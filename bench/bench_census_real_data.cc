@@ -1,0 +1,155 @@
+// Reproduces the paper's real-data (census) results (§5.2/§5.3) on the
+// census-like skewed dataset (DESIGN.md §3 substitution):
+//   * compression: BEE overall ratio ≈ 0.17, BRE ≈ 0.70; attributes with
+//     >90% missing compress to 0.01-0.09 (BEE) / 0.11-0.44 (BRE);
+//   * query time: bitmaps 3-10x faster than the VA-file; BRE faster than
+//     BEE for range queries over 20% of the attribute domain;
+//   * degradation vs complete data stays within ~2x (vs orders of
+//     magnitude for hierarchical indexes in Fig. 1).
+//
+// Paper row count: 463,733. Default here: 100,000 (set INCDB_BENCH_ROWS to
+// 463733 for the full-scale run); shapes are row-count independent.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bitmap/bitmap_index.h"
+#include "table/generator.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace {
+
+int Main() {
+  const uint64_t rows = bench::BenchRows(100000);
+  const Table table = GenerateTable(CensusLikeSpec(rows, 42)).value();
+  std::printf("# Census-like dataset: %s\n", table.Summary().c_str());
+
+  const BitmapIndex bee =
+      BitmapIndex::Build(table, {BitmapEncoding::kEquality,
+                                 MissingStrategy::kExtraBitmap})
+          .value();
+  const BitmapIndex bre =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap})
+          .value();
+  const VaFile va = VaFile::Build(table).value();
+
+  // ---- §5.2: compression ratios ----
+  std::printf("\n# Compression (paper: BEE ratio ~0.17 overall, BRE ~0.70)\n");
+  bench::PrintHeader({"encoding", "size_mb", "overall_ratio",
+                      "attrs_ratio_lt_0.1", "attrs_ratio_lt_0.5"});
+  for (const BitmapIndex* index : {&bee, &bre}) {
+    int lt_01 = 0;
+    int lt_05 = 0;
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      const double ratio = index->AttributeCompressionRatio(a);
+      if (ratio < 0.1) ++lt_01;
+      if (ratio < 0.5) ++lt_05;
+    }
+    bench::PrintRow({index->Name(),
+                     bench::FormatBytesAsMB(index->SizeInBytes()),
+                     bench::FormatDouble(index->CompressionRatio(), 3),
+                     std::to_string(lt_01), std::to_string(lt_05)});
+  }
+  bench::PrintRow({va.Name(), bench::FormatBytesAsMB(va.SizeInBytes()), "-",
+                   "-", "-"});
+
+  // ---- §5.2: high-missing attributes ----
+  std::printf("\n# Attributes with >90%% missing data "
+              "(paper: BEE 0.01-0.09, BRE 0.11-0.44)\n");
+  bench::PrintHeader({"attribute", "missing_pct", "bee_ratio", "bre_ratio"});
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const double missing_rate = table.column(a).MissingRate();
+    if (missing_rate <= 0.9) continue;
+    bench::PrintRow({table.schema().attribute(a).name,
+                     bench::FormatDouble(missing_rate * 100.0, 1),
+                     bench::FormatDouble(bee.AttributeCompressionRatio(a), 3),
+                     bench::FormatDouble(bre.AttributeCompressionRatio(a), 3)});
+  }
+
+  // ---- §5.3: query time, range queries over 20% of the domain ----
+  // Restrict the search-key pool to attributes that can express a 20%-wide
+  // interval (cardinality >= 5).
+  std::vector<size_t> pool;
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    if (table.schema().attribute(a).cardinality >= 5) pool.push_back(a);
+  }
+  WorkloadParams params;
+  params.num_queries = bench::BenchQueries();
+  params.dims = 6;
+  params.attribute_selectivity = 0.20;
+  params.attribute_pool = pool;
+  params.seed = 7;
+
+  std::printf("\n# Query time, %zu 6-dim range queries, AS=20%% "
+              "(paper: bitmaps 3-10x faster than VA-file; BRE < BEE)\n",
+              params.num_queries);
+  bench::PrintHeader({"semantics", "bee_wah_ms", "bre_wah_ms", "va_file_ms",
+                      "va_over_bre", "va_over_bee"});
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    params.semantics = semantics;
+    const std::vector<RangeQuery> queries =
+        bench::MustGenerateWorkload(table, params);
+    const double bee_ms =
+        bench::MustRunWorkload(bee, queries, rows).total_millis;
+    const double bre_ms =
+        bench::MustRunWorkload(bre, queries, rows).total_millis;
+    const double va_ms = bench::MustRunWorkload(va, queries, rows).total_millis;
+    bench::PrintRow({std::string(MissingSemanticsToString(semantics)),
+                     bench::FormatDouble(bee_ms, 2),
+                     bench::FormatDouble(bre_ms, 2),
+                     bench::FormatDouble(va_ms, 2),
+                     bench::FormatDouble(va_ms / bre_ms, 2),
+                     bench::FormatDouble(va_ms / bee_ms, 2)});
+  }
+
+  // ---- §5.3: degradation vs a complete version of the same data ----
+  // The paper: "performance can be as high as two times slower ... with our
+  // techniques", versus orders of magnitude for hierarchical indexes.
+  DatasetSpec complete_spec = CensusLikeSpec(rows, 42);
+  for (auto& attr : complete_spec.attributes) attr.missing_rate = 0.0;
+  const Table complete = GenerateTable(complete_spec).value();
+  const BitmapIndex bee_complete =
+      BitmapIndex::Build(complete, {BitmapEncoding::kEquality,
+                                    MissingStrategy::kExtraBitmap})
+          .value();
+  const BitmapIndex bre_complete =
+      BitmapIndex::Build(complete, {BitmapEncoding::kRange,
+                                    MissingStrategy::kExtraBitmap})
+          .value();
+  const VaFile va_complete = VaFile::Build(complete).value();
+
+  std::printf("\n# Degradation vs complete data (paper: at most ~2x)\n");
+  bench::PrintHeader(
+      {"index", "incomplete_ms", "complete_ms", "slowdown_factor"});
+  params.semantics = MissingSemantics::kMatch;
+  const std::vector<RangeQuery> queries =
+      bench::MustGenerateWorkload(table, params);
+  const std::vector<RangeQuery> complete_queries =
+      bench::MustGenerateWorkload(complete, params);
+  struct Pair {
+    const IncompleteIndex* incomplete;
+    const IncompleteIndex* complete;
+  };
+  for (const Pair& pair :
+       {Pair{&bee, &bee_complete}, Pair{&bre, &bre_complete},
+        Pair{&va, &va_complete}}) {
+    const double inc_ms =
+        bench::MustRunWorkload(*pair.incomplete, queries, rows).total_millis;
+    const double com_ms =
+        bench::MustRunWorkload(*pair.complete, complete_queries, rows)
+            .total_millis;
+    bench::PrintRow({pair.incomplete->Name(), bench::FormatDouble(inc_ms, 2),
+                     bench::FormatDouble(com_ms, 2),
+                     bench::FormatDouble(inc_ms / com_ms, 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main() { return incdb::Main(); }

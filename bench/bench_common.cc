@@ -1,0 +1,85 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incdb {
+namespace bench {
+
+uint64_t BenchRows(uint64_t fallback) {
+  const char* env = std::getenv("INCDB_BENCH_ROWS");
+  if (env != nullptr) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+size_t BenchQueries() {
+  const char* env = std::getenv("INCDB_BENCH_QUERIES");
+  if (env != nullptr) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 100;
+}
+
+void PrintHeader(const std::vector<std::string>& columns) {
+  PrintRow(columns);
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::fputs(cells[i].c_str(), stdout);
+    std::fputc(i + 1 == cells.size() ? '\n' : ',', stdout);
+  }
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatBytesAsMB(uint64_t bytes) {
+  return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 3);
+}
+
+WorkloadResult MustRunWorkload(const IncompleteIndex& index,
+                               const std::vector<RangeQuery>& queries,
+                               uint64_t num_rows) {
+  auto result = RunWorkload(index, queries, num_rows);
+  if (!result.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+std::unique_ptr<IncompleteIndex> MustCreateIndex(IndexKind kind,
+                                                 const Table& table) {
+  auto index = CreateIndex(kind, table);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed (%s): %s\n",
+                 std::string(IndexKindToString(kind)).c_str(),
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(index).value();
+}
+
+std::vector<RangeQuery> MustGenerateWorkload(const Table& table,
+                                             const WorkloadParams& params) {
+  auto queries = GenerateWorkload(table, params);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 queries.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(queries).value();
+}
+
+}  // namespace bench
+}  // namespace incdb

@@ -1,0 +1,51 @@
+#ifndef INCDB_BENCH_BENCH_COMMON_H_
+#define INCDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/index_factory.h"
+#include "query/workload.h"
+#include "table/table.h"
+
+namespace incdb {
+namespace bench {
+
+/// Number of rows benchmarks use, honoring the INCDB_BENCH_ROWS environment
+/// variable (default `fallback`, the paper-scale value unless noted).
+uint64_t BenchRows(uint64_t fallback);
+
+/// Number of queries per configuration (INCDB_BENCH_QUERIES, default 100 —
+/// the paper's workload size).
+size_t BenchQueries();
+
+/// Prints a CSV header line.
+void PrintHeader(const std::vector<std::string>& columns);
+
+/// Prints one CSV row of already-formatted cells.
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats helpers.
+std::string FormatDouble(double value, int decimals = 3);
+std::string FormatBytesAsMB(uint64_t bytes);
+
+/// Builds an index, runs the workload, and returns the result; aborts with
+/// a message on error (benchmarks are scripts, not libraries).
+WorkloadResult MustRunWorkload(const IncompleteIndex& index,
+                               const std::vector<RangeQuery>& queries,
+                               uint64_t num_rows);
+
+/// CreateIndex or die.
+std::unique_ptr<IncompleteIndex> MustCreateIndex(IndexKind kind,
+                                                 const Table& table);
+
+/// GenerateWorkload or die.
+std::vector<RangeQuery> MustGenerateWorkload(const Table& table,
+                                             const WorkloadParams& params);
+
+}  // namespace bench
+}  // namespace incdb
+
+#endif  // INCDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Extension study beyond the paper: all four bitmap encodings (BEE/BRE
+// from the paper, BIE/BSL from its related work [5]/[10], each extended
+// with the paper's missing-data treatment) plus the VA-file, compared on
+// index size and query time across cardinalities and query shapes.
+//
+// Expected trade-off ladder: storage BSL < VA < BIE < BEE < BRE (high C);
+// range-query speed BRE fastest (1-3 bitmaps), BIE close (2 bitmaps),
+// BSL pays ~4 lg C ops, BEE linear in interval width, VA scans n records.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bitmap/bitmap_index.h"
+#include "table/generator.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace {
+
+int Main() {
+  const uint64_t rows = bench::BenchRows(100000);
+  const size_t attrs = 8;
+
+  std::printf("# Index size by encoding (%llu rows, %zu attributes, "
+              "10%% missing)\n",
+              static_cast<unsigned long long>(rows), attrs);
+  bench::PrintHeader({"cardinality", "bee_mb", "bre_mb", "bie_mb", "bsl_mb",
+                      "va_mb"});
+  for (uint32_t cardinality : {5u, 20u, 100u}) {
+    const Table table =
+        GenerateTable(UniformSpec(rows, cardinality, 0.10, attrs, 42)).value();
+    std::vector<std::string> row = {std::to_string(cardinality)};
+    for (BitmapEncoding encoding :
+         {BitmapEncoding::kEquality, BitmapEncoding::kRange,
+          BitmapEncoding::kInterval, BitmapEncoding::kBitSliced}) {
+      row.push_back(bench::FormatBytesAsMB(
+          BitmapIndex::Build(table, {encoding, MissingStrategy::kExtraBitmap})
+              .value()
+              .SizeInBytes()));
+    }
+    row.push_back(
+        bench::FormatBytesAsMB(VaFile::Build(table).value().SizeInBytes()));
+    bench::PrintRow(row);
+  }
+
+  const Table table = GenerateTable(UniformSpec(rows, 100, 0.10, attrs, 42)).value();
+  const BitmapIndex bee =
+      BitmapIndex::Build(table, {BitmapEncoding::kEquality,
+                                 MissingStrategy::kExtraBitmap})
+          .value();
+  const BitmapIndex bre =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap})
+          .value();
+  const BitmapIndex bie =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+          .value();
+  const BitmapIndex bsl =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kBitSliced, MissingStrategy::kExtraBitmap})
+          .value();
+  const VaFile va = VaFile::Build(table).value();
+
+  std::printf("\n# Query time by encoding and query shape "
+              "(cardinality 100, 4-dim keys, %zu queries, missing-is-match)\n",
+              bench::BenchQueries());
+  bench::PrintHeader({"query_shape", "bee_ms", "bre_ms", "bie_ms", "bsl_ms",
+                      "va_ms"});
+  struct Shape {
+    const char* label;
+    bool point;
+    double attribute_selectivity;
+  };
+  for (const Shape& shape :
+       {Shape{"point", true, 0.0}, Shape{"narrow_range_5pct", false, 0.05},
+        Shape{"range_20pct", false, 0.20}, Shape{"wide_range_70pct", false, 0.70}}) {
+    WorkloadParams params;
+    params.num_queries = bench::BenchQueries();
+    params.dims = 4;
+    params.point_queries = shape.point;
+    params.attribute_selectivity = shape.attribute_selectivity;
+    params.seed = 7;
+    const std::vector<RangeQuery> queries =
+        bench::MustGenerateWorkload(table, params);
+    std::vector<std::string> row = {shape.label};
+    const IncompleteIndex* indexes[] = {&bee, &bre, &bie, &bsl, &va};
+    for (const IncompleteIndex* index : indexes) {
+      row.push_back(bench::FormatDouble(
+          bench::MustRunWorkload(*index, queries, rows).total_millis, 2));
+    }
+    bench::PrintRow(row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main() { return incdb::Main(); }

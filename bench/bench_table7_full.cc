@@ -1,0 +1,93 @@
+// Builds the paper's FULL synthetic dataset (Table 7 left: 100,000 rows x
+// 450 attributes, cardinalities {2,5,10,20,50,100} x missing {10..50}%)
+// and indexes every attribute with each scalable family, reporting build
+// time and total index size — the whole-dataset companion to Fig. 4's
+// per-slice numbers, plus an 8-dim query-time spot check.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bitmap/bitmap_index.h"
+#include "common/timer.h"
+#include "table/generator.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace {
+
+int Main() {
+  const uint64_t rows = bench::BenchRows(100000);
+  Timer generate_timer;
+  const Table table = GenerateTable(PaperSyntheticSpec(rows, 42)).value();
+  std::printf("# Full Table 7 synthetic dataset: %s (generated in %.1f s)\n",
+              table.Summary().c_str(),
+              generate_timer.ElapsedMillis() / 1000.0);
+  std::printf("# raw data: %s MB\n",
+              bench::FormatBytesAsMB(table.DataSizeInBytes()).c_str());
+
+  bench::PrintHeader({"index", "build_s", "size_mb", "compression_ratio"});
+  struct Entry {
+    std::string name;
+    const IncompleteIndex* index;
+  };
+  std::vector<std::unique_ptr<IncompleteIndex>> keep_alive;
+  std::vector<Entry> entries;
+
+  for (BitmapEncoding encoding :
+       {BitmapEncoding::kEquality, BitmapEncoding::kRange,
+        BitmapEncoding::kBitSliced}) {
+    Timer timer;
+    auto index = BitmapIndex::Build(
+        table, {encoding, MissingStrategy::kExtraBitmap});
+    const double seconds = timer.ElapsedMillis() / 1000.0;
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    auto owned = std::make_unique<BitmapIndex>(std::move(index).value());
+    bench::PrintRow({owned->Name(), bench::FormatDouble(seconds, 1),
+                     bench::FormatBytesAsMB(owned->SizeInBytes()),
+                     bench::FormatDouble(owned->CompressionRatio(), 3)});
+    entries.push_back({owned->Name(), owned.get()});
+    keep_alive.push_back(std::move(owned));
+  }
+  {
+    Timer timer;
+    auto va = VaFile::Build(table);
+    const double seconds = timer.ElapsedMillis() / 1000.0;
+    if (!va.ok()) {
+      std::fprintf(stderr, "%s\n", va.status().ToString().c_str());
+      return 1;
+    }
+    auto owned = std::make_unique<VaFile>(std::move(va).value());
+    bench::PrintRow({owned->Name(), bench::FormatDouble(seconds, 1),
+                     bench::FormatBytesAsMB(owned->SizeInBytes()), "-"});
+    entries.push_back({owned->Name(), owned.get()});
+    keep_alive.push_back(std::move(owned));
+  }
+
+  // Spot check: 8-dim 1%-GS queries across the full-width schema.
+  WorkloadParams params;
+  params.num_queries = bench::BenchQueries();
+  params.dims = 8;
+  params.global_selectivity = 0.01;
+  params.seed = 7;
+  const std::vector<RangeQuery> queries =
+      bench::MustGenerateWorkload(table, params);
+  std::printf("\n# 8-dim queries over the 450-attribute schema "
+              "(%zu queries, GS=1%%)\n", params.num_queries);
+  bench::PrintHeader({"index", "time_ms"});
+  for (const Entry& entry : entries) {
+    bench::PrintRow(
+        {entry.name,
+         bench::FormatDouble(
+             bench::MustRunWorkload(*entry.index, queries, rows).total_millis,
+             2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main() { return incdb::Main(); }

@@ -1,0 +1,86 @@
+// Index lifecycle tour: build → persist to disk → reload → append new
+// records incrementally → run boolean (AND/OR/NOT) queries under both
+// missing-data semantics via the Database facade.
+//
+//   ./build/examples/index_lifecycle
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bitmap/bitmap_index.h"
+#include "core/database.h"
+#include "table/generator.h"
+
+using namespace incdb;
+
+int main() {
+  // A product-defect log: component (1..12), severity (1..5, often not yet
+  // triaged → missing), region (1..8).
+  DatasetSpec spec;
+  spec.num_rows = 30000;
+  spec.seed = 9;
+  spec.attributes = {{"component", 12, 0.0, 0.0},
+                     {"severity", 5, 0.35, 0.0},
+                     {"region", 8, 0.05, 0.0}};
+  Table table = GenerateTable(spec).value();
+
+  // --- persist an index and reload it ---
+  const BitmapIndex built =
+      BitmapIndex::Build(table, {BitmapEncoding::kRange,
+                                 MissingStrategy::kExtraBitmap})
+          .value();
+  const std::string path = "/tmp/incdb_defects.bre";
+  if (!built.Save(path).ok()) return 1;
+  auto loaded = BitmapIndex::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("saved + reloaded %s: %llu bytes on disk, %llu rows\n",
+              loaded->Name().c_str(),
+              static_cast<unsigned long long>(loaded->SizeInBytes()),
+              static_cast<unsigned long long>(loaded->num_rows()));
+
+  // --- incremental maintenance ---
+  BitmapIndex live = std::move(loaded).value();
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<Value> row = {static_cast<Value>(1 + i % 12),
+                                    i % 3 == 0 ? kMissingValue
+                                               : static_cast<Value>(1 + i % 5),
+                                    static_cast<Value>(1 + i % 8)};
+    if (!table.AppendRow(row).ok() || !live.AppendRow(row).ok()) return 1;
+  }
+  std::printf("appended 1000 records; index now covers %llu rows\n",
+              static_cast<unsigned long long>(live.num_rows()));
+
+  // --- counting without materializing (compressed COUNT path) ---
+  RangeQuery severe;
+  severe.terms = {{1, {4, 5}}};
+  severe.semantics = MissingSemantics::kMatch;
+  const uint64_t possible = live.ExecuteCount(severe).value();
+  severe.semantics = MissingSemantics::kNoMatch;
+  const uint64_t confirmed = live.ExecuteCount(severe).value();
+  std::printf("severe defects: %llu confirmed, %llu possible "
+              "(untriaged could still be severe)\n",
+              static_cast<unsigned long long>(confirmed),
+              static_cast<unsigned long long>(possible));
+
+  // --- boolean queries through the Database facade ---
+  Database db = Database::FromTable(std::move(table)).value();
+  if (!db.BuildIndex(IndexKind::kBitmapRange).ok()) return 1;
+  // "severe (4-5) in region 1-2, excluding component 7"
+  const QueryExpr expr = QueryExpr::MakeAnd(
+      {QueryExpr::MakeTerm(1, {4, 5}), QueryExpr::MakeTerm(2, {1, 2}),
+       QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {7, 7}))});
+  std::string chosen;
+  const auto certain =
+      db.QueryExpression(expr, MissingSemantics::kNoMatch, &chosen);
+  const auto maybe = db.QueryExpression(expr, MissingSemantics::kMatch);
+  if (!certain.ok() || !maybe.ok()) return 1;
+  std::printf("%s\n  served by %s: %zu certain answers, %zu possible\n",
+              expr.ToString().c_str(), chosen.c_str(),
+              certain.value().size(), maybe.value().size());
+
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,931 @@
+#include "bitmap/bitmap_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/bitutil.h"
+#include "common/io.h"
+#include "common/logging.h"
+
+namespace incdb {
+
+namespace {
+
+/// Incremental builder for one WAH bitvector: appends set bits at ascending
+/// row positions, run-length-filling the gaps, so build cost is proportional
+/// to the number of set bits rather than the number of rows.
+class SetBitBuilder {
+ public:
+  void SetBitAt(uint64_t row) {
+    INCDB_DCHECK(row >= appended_);
+    bits_.AppendRun(false, row - appended_);
+    bits_.AppendBit(true);
+    appended_ = row + 1;
+  }
+
+  WahBitVector Finish(uint64_t num_rows) {
+    bits_.AppendRun(false, num_rows - appended_);
+    appended_ = num_rows;
+    return std::move(bits_);
+  }
+
+ private:
+  WahBitVector bits_;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace
+
+std::string_view BitmapEncodingToString(BitmapEncoding encoding) {
+  switch (encoding) {
+    case BitmapEncoding::kEquality:
+      return "BEE";
+    case BitmapEncoding::kRange:
+      return "BRE";
+    case BitmapEncoding::kInterval:
+      return "BIE";
+    case BitmapEncoding::kBitSliced:
+      return "BSL";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Interval-encoding geometry: bitmap I_j covers values [j, j+m-1] with
+// m = ceil(C/2); n = C-m+1 bitmaps are stored.
+uint32_t IntervalEncodingM(uint32_t cardinality) {
+  return (cardinality + 1) / 2;
+}
+uint32_t IntervalEncodingN(uint32_t cardinality) {
+  return cardinality - IntervalEncodingM(cardinality) + 1;
+}
+
+}  // namespace
+
+Result<BitmapIndex> BitmapIndex::Build(const Table& table, Options options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot build a bitmap index on an empty table");
+  }
+  if (options.missing_strategy != MissingStrategy::kExtraBitmap &&
+      options.encoding != BitmapEncoding::kEquality) {
+    return Status::NotSupported(
+        "kAllOnes/kAllZeros missing strategies apply to equality encoding only");
+  }
+
+  const uint64_t n = table.num_rows();
+  std::vector<AttributeBitmaps> attributes;
+  attributes.reserve(table.num_attributes());
+
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const Column& column = table.column(a);
+    const uint32_t cardinality = column.cardinality();
+    AttributeBitmaps ab;
+    ab.cardinality = cardinality;
+    ab.has_missing = column.MissingCount() > 0;
+
+    if (options.missing_strategy == MissingStrategy::kAllOnes &&
+        ab.has_missing && cardinality == 1) {
+      return Status::NotSupported(
+          "attribute '" + table.schema().attribute(a).name +
+          "': kAllOnes cannot distinguish missing from the single value when "
+          "cardinality is 1 (paper §4.2)");
+    }
+
+    if (options.encoding == BitmapEncoding::kBitSliced) {
+      // Binary-encode each value into b slice bitmaps; missing rows carry
+      // the reserved all-zeros code (absent from every slice).
+      const int num_slices = bitutil::BitsForCardinality(cardinality);
+      std::vector<SetBitBuilder> builders(static_cast<size_t>(num_slices));
+      SetBitBuilder sliced_missing;
+      for (uint64_t r = 0; r < n; ++r) {
+        const Value v = column.Get(r);
+        if (IsMissing(v)) {
+          sliced_missing.SetBitAt(r);
+          continue;
+        }
+        for (uint32_t code = static_cast<uint32_t>(v); code != 0;
+             code &= code - 1) {
+          builders[static_cast<size_t>(bitutil::CountTrailingZeros(code))]
+              .SetBitAt(r);
+        }
+      }
+      ab.values.reserve(static_cast<size_t>(num_slices));
+      for (int k = 0; k < num_slices; ++k) {
+        ab.values.push_back(builders[static_cast<size_t>(k)].Finish(n));
+      }
+      if (ab.has_missing) ab.missing = sliced_missing.Finish(n);
+      attributes.push_back(std::move(ab));
+      continue;
+    }
+
+    if (options.encoding == BitmapEncoding::kInterval) {
+      // Each value v belongs to I_j for j in [v-m+1, v] (clamped); build
+      // all n window bitmaps in one pass.
+      const uint32_t m = IntervalEncodingM(cardinality);
+      const uint32_t n_bitmaps = IntervalEncodingN(cardinality);
+      std::vector<SetBitBuilder> builders(n_bitmaps);
+      SetBitBuilder interval_missing;
+      for (uint64_t r = 0; r < n; ++r) {
+        const Value v = column.Get(r);
+        if (IsMissing(v)) {
+          interval_missing.SetBitAt(r);
+          continue;
+        }
+        const uint32_t value = static_cast<uint32_t>(v);
+        const uint32_t first = value >= m ? value - m + 1 : 1;
+        const uint32_t last = std::min(n_bitmaps, value);
+        for (uint32_t j = first; j <= last; ++j) builders[j - 1].SetBitAt(r);
+      }
+      ab.values.reserve(n_bitmaps);
+      for (uint32_t j = 0; j < n_bitmaps; ++j) {
+        ab.values.push_back(builders[j].Finish(n));
+      }
+      if (ab.has_missing) ab.missing = interval_missing.Finish(n);
+      attributes.push_back(std::move(ab));
+      continue;
+    }
+
+    // Equality bitmaps first (also the scaffold for range encoding).
+    std::vector<SetBitBuilder> value_builders(cardinality);
+    SetBitBuilder missing_builder;
+    for (uint64_t r = 0; r < n; ++r) {
+      const Value v = column.Get(r);
+      if (IsMissing(v)) {
+        switch (options.missing_strategy) {
+          case MissingStrategy::kExtraBitmap:
+            missing_builder.SetBitAt(r);
+            break;
+          case MissingStrategy::kAllOnes:
+            for (auto& builder : value_builders) builder.SetBitAt(r);
+            break;
+          case MissingStrategy::kAllZeros:
+            break;  // absent from every bitmap
+        }
+      } else {
+        value_builders[static_cast<size_t>(v) - 1].SetBitAt(r);
+      }
+    }
+
+    std::vector<WahBitVector> equality(cardinality);
+    for (uint32_t j = 0; j < cardinality; ++j) {
+      equality[j] = value_builders[j].Finish(n);
+    }
+    std::optional<WahBitVector> missing;
+    if (ab.has_missing &&
+        options.missing_strategy == MissingStrategy::kExtraBitmap) {
+      missing = missing_builder.Finish(n);
+    }
+
+    if (options.encoding == BitmapEncoding::kEquality) {
+      ab.values = std::move(equality);
+      ab.missing = std::move(missing);
+    } else {
+      // Range encoding: B_{i,j} = "value <= j", built as a running OR over
+      // the equality bitmaps. Missing counts as value 0, so the running OR
+      // starts from the missing bitmap and missing rows are 1 everywhere.
+      // The all-ones top bitmap B_{i,C} is dropped (paper §4.3).
+      ab.values.reserve(cardinality > 0 ? cardinality - 1 : 0);
+      WahBitVector running = missing.has_value()
+                                 ? *missing
+                                 : WahBitVector::Fill(n, false);
+      for (uint32_t j = 1; j <= cardinality - 1; ++j) {
+        running = running.Or(equality[j - 1]);
+        ab.values.push_back(running);
+      }
+      ab.missing = std::move(missing);
+    }
+    attributes.push_back(std::move(ab));
+  }
+  return BitmapIndex(options, n, std::move(attributes));
+}
+
+std::string BitmapIndex::Name() const {
+  std::string name(BitmapEncodingToString(options_.encoding));
+  name += "-WAH";
+  switch (options_.missing_strategy) {
+    case MissingStrategy::kExtraBitmap:
+      break;
+    case MissingStrategy::kAllOnes:
+      name += "(all-ones)";
+      break;
+    case MissingStrategy::kAllZeros:
+      name += "(all-zeros)";
+      break;
+  }
+  return name;
+}
+
+Result<WahBitVector> BitmapIndex::EvaluateInterval(size_t attr,
+                                                   Interval interval,
+                                                   MissingSemantics semantics,
+                                                   QueryStats* stats) const {
+  if (attr >= attributes_.size()) {
+    return Status::OutOfRange("attribute index " + std::to_string(attr) +
+                              " out of range");
+  }
+  const AttributeBitmaps& ab = attributes_[attr];
+  if (interval.lo < 1 ||
+      interval.hi > static_cast<Value>(ab.cardinality) ||
+      interval.lo > interval.hi) {
+    return Status::InvalidArgument("interval [" + std::to_string(interval.lo) +
+                                   "," + std::to_string(interval.hi) +
+                                   "] invalid for cardinality " +
+                                   std::to_string(ab.cardinality));
+  }
+  if (options_.missing_strategy == MissingStrategy::kAllOnes &&
+      semantics != MissingSemantics::kMatch) {
+    return Status::NotSupported(
+        "kAllOnes encodes missing as a universal match; it cannot answer "
+        "missing-not-match queries (paper §4.2)");
+  }
+  if (options_.missing_strategy == MissingStrategy::kAllZeros &&
+      semantics != MissingSemantics::kNoMatch) {
+    return Status::NotSupported(
+        "kAllZeros erases missing rows; it cannot answer missing-is-match "
+        "queries (paper §4.2)");
+  }
+  switch (options_.encoding) {
+    case BitmapEncoding::kEquality:
+      return EvaluateEquality(ab, interval, semantics, stats);
+    case BitmapEncoding::kRange:
+      return EvaluateRange(ab, interval, semantics, stats);
+    case BitmapEncoding::kInterval:
+      return EvaluateIntervalEncoded(ab, interval, semantics, stats);
+    case BitmapEncoding::kBitSliced:
+      return EvaluateBitSliced(ab, interval, semantics, stats);
+  }
+  return Status::Internal("unknown encoding");
+}
+
+WahBitVector BitmapIndex::EvaluateIntervalEncoded(
+    const AttributeBitmaps& ab, Interval interval, MissingSemantics semantics,
+    QueryStats* stats) const {
+  // Two-bitmap evaluation rules for the interval encoding, derived from
+  // I_j = [j, j+m-1], m = ceil(C/2), n = C-m+1 stored bitmaps. For a query
+  // [l, h] of width w = h-l+1:
+  //   w == C             -> all ones (no bitmap touched)
+  //   w == m             -> I_l
+  //   w  > m             -> I_l OR I_{h-m+1}        ([l,l+m-1] ∪ [h-m+1,h],
+  //                         contiguous because w <= C <= 2m)
+  //   w  < m and h < m   -> I_l AND NOT I_{h+1}     (bottom corner)
+  //   w  < m and l > n   -> I_{h-m+1} AND NOT I_{l-m}  (top corner)
+  //   w  < m otherwise   -> I_l AND I_{h-m+1}       (window intersection)
+  // Missing rows are 0 in every I_j, so: match semantics ORs in B_{i,0};
+  // no-match gets correct results for free (the full-domain case excepted,
+  // which needs NOT B_{i,0}).
+  const Value cardinality = static_cast<Value>(ab.cardinality);
+  const Value m = static_cast<Value>(IntervalEncodingM(ab.cardinality));
+  const Value n = static_cast<Value>(IntervalEncodingN(ab.cardinality));
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  const Value width = hi - lo + 1;
+  auto bitmap = [&](Value j) -> const WahBitVector& {
+    INCDB_DCHECK(j >= 1 && j <= n);
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    return ab.values[static_cast<size_t>(j) - 1];
+  };
+  auto count_op = [&]() {
+    if (stats != nullptr) ++stats->bitvector_ops;
+  };
+
+  if (width == cardinality) {
+    if (semantics == MissingSemantics::kMatch || !ab.missing.has_value()) {
+      return WahBitVector::Fill(num_rows_, true);
+    }
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    count_op();
+    return ab.missing->Not();
+  }
+
+  WahBitVector result;
+  if (width == m) {
+    result = bitmap(lo);
+  } else if (width > m) {
+    result = bitmap(lo).Or(bitmap(hi - m + 1));
+    count_op();
+  } else if (hi < m) {
+    result = bitmap(lo).AndNot(bitmap(hi + 1));
+    count_op();
+  } else if (lo > n) {
+    result = bitmap(hi - m + 1).AndNot(bitmap(lo - m));
+    count_op();
+  } else {
+    result = bitmap(lo).And(bitmap(hi - m + 1));
+    count_op();
+  }
+  if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    result = result.Or(*ab.missing);
+    count_op();
+  }
+  return result;
+}
+
+WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
+                                           Interval interval,
+                                           MissingSemantics semantics,
+                                           QueryStats* stats) const {
+  const uint32_t cardinality = ab.cardinality;
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  auto access = [&](const WahBitVector& bitmap) -> const WahBitVector& {
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    return bitmap;
+  };
+  auto fold_or = [&](Value from, Value to) -> WahBitVector {
+    // OR of B_{i,from} .. B_{i,to}; zero fill when the range is empty.
+    if (from > to) return WahBitVector::Fill(num_rows_, false);
+    WahBitVector acc = access(ab.values[static_cast<size_t>(from) - 1]);
+    for (Value j = from + 1; j <= to; ++j) {
+      acc = acc.Or(access(ab.values[static_cast<size_t>(j) - 1]));
+      if (stats != nullptr) ++stats->bitvector_ops;
+    }
+    return acc;
+  };
+
+  // Paper Fig. 2: use the direct OR when the interval covers at most half
+  // the domain, otherwise complement the OR of the outside bitmaps. We pick
+  // the side with fewer bitmaps, which realizes the paper's worst-case
+  // bound of min(AS, 1-AS) * C + 1 bitvector accesses.
+  const Value width = hi - lo + 1;
+  const bool narrow = width <= static_cast<Value>(cardinality) - width;
+
+  if (options_.missing_strategy == MissingStrategy::kAllZeros) {
+    // Rejected alternative: missing rows appear in no bitmap, so the
+    // complement path would resurrect them; every interval must be answered
+    // by the direct OR (the performance drawback the ablation shows).
+    return fold_or(lo, hi);
+  }
+
+  if (options_.missing_strategy == MissingStrategy::kAllOnes) {
+    // Rejected alternative (match semantics only): missing rows are 1 in
+    // every bitmap, so the direct OR already includes them; the complement
+    // path must recover them by ANDing two value bitmaps (only missing rows
+    // are set in more than one).
+    if (narrow) return fold_or(lo, hi);
+    WahBitVector outside =
+        fold_or(1, lo - 1).Or(fold_or(hi + 1, static_cast<Value>(cardinality)));
+    if (stats != nullptr) ++stats->bitvector_ops;
+    WahBitVector result = outside.Not();
+    if (stats != nullptr) ++stats->bitvector_ops;
+    if (cardinality >= 2) {
+      WahBitVector missing_rows =
+          access(ab.values[0]).And(access(ab.values[1]));
+      result = result.Or(missing_rows);
+      if (stats != nullptr) stats->bitvector_ops += 2;
+    }
+    return result;
+  }
+
+  // kExtraBitmap — the paper's design (Fig. 2).
+  if (narrow) {
+    WahBitVector acc = fold_or(lo, hi);
+    if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
+      acc = acc.Or(access(*ab.missing));
+      if (stats != nullptr) ++stats->bitvector_ops;
+    }
+    return acc;
+  }
+  WahBitVector outside =
+      fold_or(1, lo - 1).Or(fold_or(hi + 1, static_cast<Value>(cardinality)));
+  if (stats != nullptr) ++stats->bitvector_ops;
+  if (semantics == MissingSemantics::kNoMatch && ab.missing.has_value()) {
+    // NOT(outside OR B_0): the complement alone would admit missing rows.
+    outside = outside.Or(access(*ab.missing));
+    if (stats != nullptr) ++stats->bitvector_ops;
+  }
+  WahBitVector result = outside.Not();
+  if (stats != nullptr) ++stats->bitvector_ops;
+  return result;
+}
+
+WahBitVector BitmapIndex::RangeLE(const AttributeBitmaps& ab, Value j,
+                                  QueryStats* stats) const {
+  if (j <= 0) {
+    // "value <= 0" = the missing rows (missing is encoded as value 0).
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) ++stats->bitvectors_accessed;
+      return *ab.missing;
+    }
+    return WahBitVector::Fill(num_rows_, false);
+  }
+  if (static_cast<uint32_t>(j) >= ab.cardinality) {
+    return WahBitVector::Fill(num_rows_, true);  // the dropped all-ones B_C
+  }
+  if (stats != nullptr) ++stats->bitvectors_accessed;
+  return ab.values[static_cast<size_t>(j) - 1];
+}
+
+WahBitVector BitmapIndex::EvaluateRange(const AttributeBitmaps& ab,
+                                        Interval interval,
+                                        MissingSemantics semantics,
+                                        QueryStats* stats) const {
+  const Value cardinality = static_cast<Value>(ab.cardinality);
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  auto count_op = [&](int n = 1) {
+    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
+  };
+  auto or_missing = [&](WahBitVector r) -> WahBitVector {
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) ++stats->bitvectors_accessed;
+      count_op();
+      return r.Or(*ab.missing);
+    }
+    return r;
+  };
+  auto xor_missing = [&](WahBitVector r) -> WahBitVector {
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) ++stats->bitvectors_accessed;
+      count_op();
+      return r.Xor(*ab.missing);
+    }
+    return r;
+  };
+
+  if (semantics == MissingSemantics::kMatch) {
+    // Paper Fig. 3(a).
+    if (cardinality == 1) return WahBitVector::Fill(num_rows_, true);
+    if (lo == hi) {
+      if (lo == 1) return RangeLE(ab, 1, stats);
+      if (lo == cardinality) {
+        count_op();
+        return or_missing(RangeLE(ab, lo - 1, stats).Not());
+      }
+      count_op();
+      return or_missing(
+          RangeLE(ab, lo, stats).Xor(RangeLE(ab, lo - 1, stats)));
+    }
+    if (lo == 1 && hi == cardinality) {
+      return WahBitVector::Fill(num_rows_, true);
+    }
+    if (lo == 1) return RangeLE(ab, hi, stats);
+    if (hi == cardinality) {
+      count_op();
+      return or_missing(RangeLE(ab, lo - 1, stats).Not());
+    }
+    count_op();
+    return or_missing(RangeLE(ab, hi, stats).Xor(RangeLE(ab, lo - 1, stats)));
+  }
+
+  // Paper Fig. 3(b) — missing is not a match.
+  if (cardinality == 1) {
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) ++stats->bitvectors_accessed;
+      count_op();
+      return ab.missing->Not();
+    }
+    return WahBitVector::Fill(num_rows_, true);
+  }
+  if (lo == hi) {
+    if (lo == 1) return xor_missing(RangeLE(ab, 1, stats));
+    if (lo == cardinality) {
+      count_op();
+      return RangeLE(ab, lo - 1, stats).Not();
+    }
+    count_op();
+    return RangeLE(ab, lo, stats).Xor(RangeLE(ab, lo - 1, stats));
+  }
+  if (lo == 1 && hi == cardinality) {
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) ++stats->bitvectors_accessed;
+      count_op();
+      return ab.missing->Not();
+    }
+    return WahBitVector::Fill(num_rows_, true);
+  }
+  if (lo == 1) return xor_missing(RangeLE(ab, hi, stats));
+  if (hi == cardinality) {
+    count_op();
+    return RangeLE(ab, lo - 1, stats).Not();
+  }
+  count_op();
+  return RangeLE(ab, hi, stats).Xor(RangeLE(ab, lo - 1, stats));
+}
+
+WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
+                                            Interval interval,
+                                            MissingSemantics semantics,
+                                            QueryStats* stats) const {
+  // O'Neil-Quass bit-sliced evaluation over the compressed slices.
+  // Codes: missing = 0, value v = v; slices S_0..S_{b-1} (LSB first).
+  //
+  //   EQ(v): running AND of S_k (bit set) / AND-NOT S_k (bit clear).
+  //   LE(v): the classic circuit — walk slices MSB→LSB keeping
+  //          BLT (certainly less) and BEQ (equal so far):
+  //            bit k of v set:   BLT |= BEQ & ~S_k;  BEQ &= S_k
+  //            bit k of v clear: BEQ &= ~S_k
+  //          LE = BLT | BEQ.
+  //   [lo, hi]: LE(hi) AND NOT (lo == 1 ? B_0 : LE(lo-1)) — code 0
+  //   (missing) is below every value, so the subtraction also strips
+  //   missing rows; match semantics then OR B_0 back in.
+  const Value cardinality = static_cast<Value>(ab.cardinality);
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  const int num_slices = static_cast<int>(ab.values.size());
+  auto slice = [&](int k) -> const WahBitVector& {
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    return ab.values[static_cast<size_t>(k)];
+  };
+  auto count_op = [&](int n = 1) {
+    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
+  };
+  auto equals = [&](Value v) -> WahBitVector {
+    WahBitVector eq = WahBitVector::Fill(num_rows_, true);
+    for (int k = num_slices - 1; k >= 0; --k) {
+      eq = ((v >> k) & 1) ? eq.And(slice(k)) : eq.AndNot(slice(k));
+      count_op();
+    }
+    return eq;
+  };
+  auto less_equal = [&](Value v) -> WahBitVector {
+    WahBitVector blt = WahBitVector::Fill(num_rows_, false);
+    WahBitVector beq = WahBitVector::Fill(num_rows_, true);
+    for (int k = num_slices - 1; k >= 0; --k) {
+      const WahBitVector& sk = slice(k);
+      if ((v >> k) & 1) {
+        blt = blt.Or(beq.AndNot(sk));
+        beq = beq.And(sk);
+        count_op(3);
+      } else {
+        beq = beq.AndNot(sk);
+        count_op();
+      }
+    }
+    count_op();
+    return blt.Or(beq);
+  };
+  auto missing_rows = [&]() -> WahBitVector {
+    if (!ab.missing.has_value()) return WahBitVector::Fill(num_rows_, false);
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    return *ab.missing;
+  };
+
+  WahBitVector base;
+  if (lo == hi) {
+    base = equals(lo);  // code lo >= 1, so missing (code 0) is excluded
+  } else {
+    WahBitVector le_hi = hi == cardinality
+                             ? WahBitVector::Fill(num_rows_, true)
+                             : less_equal(hi);
+    // Subtract codes <= lo-1; LE(0) is exactly the missing rows.
+    WahBitVector below = lo == 1 ? missing_rows() : less_equal(lo - 1);
+    base = le_hi.AndNot(below);
+    count_op();
+  }
+  if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
+    if (stats != nullptr) ++stats->bitvectors_accessed;
+    base = base.Or(*ab.missing);
+    count_op();
+  }
+  return base;
+}
+
+Result<WahBitVector> BitmapIndex::ExecuteCompressed(const RangeQuery& query,
+                                                    QueryStats* stats) const {
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query must have at least one term");
+  }
+  WahBitVector acc;
+  bool first = true;
+  for (const QueryTerm& term : query.terms) {
+    INCDB_ASSIGN_OR_RETURN(
+        WahBitVector term_result,
+        EvaluateInterval(term.attribute, term.interval, query.semantics,
+                         stats));
+    if (first) {
+      acc = std::move(term_result);
+      first = false;
+    } else {
+      acc = acc.And(term_result);
+      if (stats != nullptr) ++stats->bitvector_ops;
+    }
+  }
+  return acc;
+}
+
+Result<BitVector> BitmapIndex::Execute(const RangeQuery& query,
+                                       QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
+  return acc.Decompress();
+}
+
+Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
+    const RangeQuery& query, size_t agg_attr, QueryStats* stats) const {
+  if (agg_attr >= attributes_.size()) {
+    return Status::OutOfRange("aggregate attribute index " +
+                              std::to_string(agg_attr) + " out of range");
+  }
+  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
+  const AttributeBitmaps& ab = attributes_[agg_attr];
+  Aggregate aggregate;
+
+  if (options_.encoding == BitmapEncoding::kBitSliced) {
+    // Bit-sliced fast path: SUM = Σ_k 2^k * |acc ∧ S_k|; COUNT = matching
+    // rows that appear in at least one slice... cheaper: total matches
+    // minus the missing ones (code 0 is absent from every slice, but so is
+    // no real value, since values start at 1 and always have some bit set).
+    for (size_t k = 0; k < ab.values.size(); ++k) {
+      if (stats != nullptr) {
+        ++stats->bitvectors_accessed;
+        ++stats->bitvector_ops;
+      }
+      aggregate.sum += (uint64_t{1} << k) * acc.And(ab.values[k]).Count();
+    }
+    if (ab.missing.has_value()) {
+      if (stats != nullptr) {
+        ++stats->bitvectors_accessed;
+        ++stats->bitvector_ops;
+      }
+      aggregate.missing_count = acc.And(*ab.missing).Count();
+    }
+    aggregate.count = acc.Count() - aggregate.missing_count;
+    // Min/max still need the per-value walk; reuse the generic path below
+    // only for the extremes (early-exit from each end).
+    for (uint32_t v = 1; v <= ab.cardinality && aggregate.count > 0; ++v) {
+      INCDB_ASSIGN_OR_RETURN(
+          WahBitVector group,
+          EvaluateInterval(agg_attr,
+                           {static_cast<Value>(v), static_cast<Value>(v)},
+                           MissingSemantics::kNoMatch, stats));
+      if (acc.And(group).Count() > 0) {
+        aggregate.min = static_cast<Value>(v);
+        break;
+      }
+    }
+    for (uint32_t v = ab.cardinality; v >= 1 && aggregate.count > 0; --v) {
+      INCDB_ASSIGN_OR_RETURN(
+          WahBitVector group,
+          EvaluateInterval(agg_attr,
+                           {static_cast<Value>(v), static_cast<Value>(v)},
+                           MissingSemantics::kNoMatch, stats));
+      if (acc.And(group).Count() > 0) {
+        aggregate.max = static_cast<Value>(v);
+        break;
+      }
+    }
+  } else {
+    // Generic path: per-value counts (as in ExecuteGroupCount).
+    for (uint32_t v = 1; v <= ab.cardinality; ++v) {
+      INCDB_ASSIGN_OR_RETURN(
+          WahBitVector group,
+          EvaluateInterval(agg_attr,
+                           {static_cast<Value>(v), static_cast<Value>(v)},
+                           MissingSemantics::kNoMatch, stats));
+      const uint64_t count = acc.And(group).Count();
+      if (stats != nullptr) ++stats->bitvector_ops;
+      if (count == 0) continue;
+      if (aggregate.count == 0) aggregate.min = static_cast<Value>(v);
+      aggregate.max = static_cast<Value>(v);
+      aggregate.count += count;
+      aggregate.sum += count * v;
+    }
+    aggregate.missing_count = acc.Count() - aggregate.count;
+  }
+
+  if (aggregate.count > 0) {
+    aggregate.mean = static_cast<double>(aggregate.sum) /
+                     static_cast<double>(aggregate.count);
+  }
+  return aggregate;
+}
+
+Result<uint64_t> BitmapIndex::ExecuteCount(const RangeQuery& query,
+                                           QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
+  return acc.Count();
+}
+
+Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
+    const RangeQuery& query, size_t group_attr, QueryStats* stats) const {
+  if (group_attr >= attributes_.size()) {
+    return Status::OutOfRange("group attribute index " +
+                              std::to_string(group_attr) + " out of range");
+  }
+  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
+  const AttributeBitmaps& ab = attributes_[group_attr];
+  std::vector<uint64_t> counts(ab.cardinality + 1, 0);
+  uint64_t grouped = 0;
+  for (uint32_t v = 1; v <= ab.cardinality; ++v) {
+    // The per-value bitvector falls out of the interval evaluator for any
+    // encoding: a no-match point query is exactly "value == v".
+    INCDB_ASSIGN_OR_RETURN(
+        WahBitVector group,
+        EvaluateInterval(group_attr,
+                         {static_cast<Value>(v), static_cast<Value>(v)},
+                         MissingSemantics::kNoMatch, stats));
+    counts[v] = acc.And(group).Count();
+    if (stats != nullptr) ++stats->bitvector_ops;
+    grouped += counts[v];
+  }
+  // Missing-group bucket = matches not in any value group.
+  counts[0] = acc.Count() - grouped;
+  return counts;
+}
+
+Status BitmapIndex::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, index has " +
+        std::to_string(attributes_.size()) + " attributes");
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    const Value v = row[a];
+    if (v != kMissingValue &&
+        (v < 1 || static_cast<uint32_t>(v) > attributes_[a].cardinality)) {
+      return Status::OutOfRange("attribute " + std::to_string(a) +
+                                ": value " + std::to_string(v) +
+                                " outside domain");
+    }
+    if (IsMissing(v) && attributes_[a].cardinality == 1 &&
+        options_.missing_strategy == MissingStrategy::kAllOnes) {
+      return Status::NotSupported(
+          "kAllOnes cannot represent missing at cardinality 1 (paper §4.2)");
+    }
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    AttributeBitmaps& ab = attributes_[a];
+    const Value v = row[a];
+    const bool missing = IsMissing(v);
+    if (missing && !ab.missing.has_value() &&
+        options_.missing_strategy == MissingStrategy::kExtraBitmap) {
+      // First missing value for this attribute: materialize B_{i,0}.
+      ab.missing = WahBitVector::Fill(num_rows_, false);
+      ab.has_missing = true;
+    }
+    if (options_.encoding == BitmapEncoding::kEquality) {
+      const bool missing_bit_everywhere =
+          missing && options_.missing_strategy == MissingStrategy::kAllOnes;
+      for (uint32_t j = 1; j <= ab.cardinality; ++j) {
+        ab.values[j - 1].AppendBit(
+            missing ? missing_bit_everywhere
+                    : static_cast<uint32_t>(v) == j);
+      }
+    } else if (options_.encoding == BitmapEncoding::kRange) {
+      // Range encoding: B_{i,j} = "value <= j"; missing rows are 1 in
+      // every kept bitmap.
+      for (uint32_t j = 1; j + 1 <= ab.cardinality; ++j) {
+        ab.values[j - 1].AppendBit(missing ||
+                                   static_cast<uint32_t>(v) <= j);
+      }
+    } else if (options_.encoding == BitmapEncoding::kInterval) {
+      // Interval encoding: I_j = "value in [j, j+m-1]".
+      const uint32_t m = IntervalEncodingM(ab.cardinality);
+      for (uint32_t j = 1; j <= ab.values.size(); ++j) {
+        ab.values[j - 1].AppendBit(!missing &&
+                                   j <= static_cast<uint32_t>(v) &&
+                                   static_cast<uint32_t>(v) <= j + m - 1);
+      }
+    } else {
+      // Bit-sliced encoding: slice k holds bit k of the code (missing = 0).
+      const uint32_t code = missing ? 0 : static_cast<uint32_t>(v);
+      for (size_t k = 0; k < ab.values.size(); ++k) {
+        ab.values[k].AppendBit((code >> k) & 1);
+      }
+    }
+    if (ab.missing.has_value()) ab.missing->AppendBit(missing);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+namespace {
+constexpr char kBitmapMagic[] = "INCDBBM1";
+}  // namespace
+
+Status BitmapIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  BinaryWriter writer(out);
+  writer.WriteString(kBitmapMagic);
+  writer.WriteU8(static_cast<uint8_t>(options_.encoding));
+  writer.WriteU8(static_cast<uint8_t>(options_.missing_strategy));
+  writer.WriteU64(num_rows_);
+  writer.WriteU64(attributes_.size());
+  for (const AttributeBitmaps& ab : attributes_) {
+    writer.WriteU32(ab.cardinality);
+    writer.WriteU8(ab.missing.has_value() ? 1 : 0);
+    if (ab.missing.has_value()) ab.missing->SaveTo(writer);
+    writer.WriteU64(ab.values.size());
+    for (const WahBitVector& bitmap : ab.values) bitmap.SaveTo(writer);
+  }
+  return writer.status();
+}
+
+Result<BitmapIndex> BitmapIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  BinaryReader reader(in);
+  INCDB_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(64));
+  if (magic != kBitmapMagic) {
+    return Status::IOError("'" + path + "' is not an incdb bitmap index");
+  }
+  Options options;
+  INCDB_ASSIGN_OR_RETURN(uint8_t encoding, reader.ReadU8());
+  INCDB_ASSIGN_OR_RETURN(uint8_t strategy, reader.ReadU8());
+  if (encoding > static_cast<uint8_t>(BitmapEncoding::kBitSliced) ||
+      strategy > static_cast<uint8_t>(MissingStrategy::kAllZeros)) {
+    return Status::IOError("'" + path + "': corrupted options");
+  }
+  options.encoding = static_cast<BitmapEncoding>(encoding);
+  options.missing_strategy = static_cast<MissingStrategy>(strategy);
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_attrs, reader.ReadU64());
+  if (num_attrs > (1u << 20)) {
+    return Status::IOError("'" + path + "': implausible attribute count");
+  }
+  std::vector<AttributeBitmaps> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    AttributeBitmaps ab;
+    INCDB_ASSIGN_OR_RETURN(ab.cardinality, reader.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(uint8_t has_missing, reader.ReadU8());
+    if (has_missing != 0) {
+      INCDB_ASSIGN_OR_RETURN(WahBitVector missing,
+                             WahBitVector::LoadFrom(reader));
+      if (missing.size() != num_rows) {
+        return Status::IOError("'" + path + "': bitmap size mismatch");
+      }
+      ab.missing = std::move(missing);
+      ab.has_missing = true;
+    }
+    INCDB_ASSIGN_OR_RETURN(uint64_t num_bitmaps, reader.ReadU64());
+    uint64_t expected = 0;
+    switch (options.encoding) {
+      case BitmapEncoding::kEquality:
+        expected = ab.cardinality;
+        break;
+      case BitmapEncoding::kRange:
+        expected = ab.cardinality > 0 ? ab.cardinality - 1 : 0;
+        break;
+      case BitmapEncoding::kInterval:
+        expected = IntervalEncodingN(ab.cardinality);
+        break;
+      case BitmapEncoding::kBitSliced:
+        expected =
+            static_cast<uint64_t>(bitutil::BitsForCardinality(ab.cardinality));
+        break;
+    }
+    if (num_bitmaps != expected) {
+      return Status::IOError("'" + path + "': bitmap count mismatch");
+    }
+    ab.values.reserve(num_bitmaps);
+    for (uint64_t j = 0; j < num_bitmaps; ++j) {
+      INCDB_ASSIGN_OR_RETURN(WahBitVector bitmap,
+                             WahBitVector::LoadFrom(reader));
+      if (bitmap.size() != num_rows) {
+        return Status::IOError("'" + path + "': bitmap size mismatch");
+      }
+      ab.values.push_back(std::move(bitmap));
+    }
+    attributes.push_back(std::move(ab));
+  }
+  return BitmapIndex(options, num_rows, std::move(attributes));
+}
+
+uint64_t BitmapIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (size_t a = 0; a < attributes_.size(); ++a) {
+    total += AttributeSizeInBytes(a);
+  }
+  return total;
+}
+
+uint64_t BitmapIndex::AttributeSizeInBytes(size_t attr) const {
+  const AttributeBitmaps& ab = attributes_[attr];
+  uint64_t total = 0;
+  for (const WahBitVector& bitmap : ab.values) total += bitmap.SizeInBytes();
+  if (ab.missing.has_value()) total += ab.missing->SizeInBytes();
+  return total;
+}
+
+size_t BitmapIndex::NumBitmaps(size_t attr) const {
+  const AttributeBitmaps& ab = attributes_[attr];
+  return ab.values.size() + (ab.missing.has_value() ? 1 : 0);
+}
+
+uint64_t BitmapIndex::VerbatimSizeInBytes() const {
+  uint64_t total = 0;
+  const uint64_t bytes_per_bitmap = bitutil::CeilDiv(num_rows_, 8);
+  for (size_t a = 0; a < attributes_.size(); ++a) {
+    total += NumBitmaps(a) * bytes_per_bitmap;
+  }
+  return total;
+}
+
+double BitmapIndex::CompressionRatio() const {
+  const uint64_t verbatim = VerbatimSizeInBytes();
+  if (verbatim == 0) return 0.0;
+  return static_cast<double>(SizeInBytes()) / static_cast<double>(verbatim);
+}
+
+double BitmapIndex::AttributeCompressionRatio(size_t attr) const {
+  const uint64_t verbatim =
+      NumBitmaps(attr) * bitutil::CeilDiv(num_rows_, 8);
+  if (verbatim == 0) return 0.0;
+  return static_cast<double>(AttributeSizeInBytes(attr)) /
+         static_cast<double>(verbatim);
+}
+
+}  // namespace incdb

@@ -1,0 +1,213 @@
+#ifndef INCDB_BITMAP_BITMAP_INDEX_H_
+#define INCDB_BITMAP_BITMAP_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compression/wah_bitvector.h"
+#include "core/incomplete_index.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Bitmap record encoding (paper §4.2 / §4.3, plus the interval encoding
+/// from the paper's related work [5] adapted to missing data).
+enum class BitmapEncoding {
+  /// BEE: B_{i,j}[x] = 1 iff record x has value j for attribute i.
+  kEquality,
+  /// BRE: B_{i,j}[x] = 1 iff record x has value <= j; the all-ones top
+  /// bitmap B_{i,C} is dropped. Missing is treated as value 0 (smaller than
+  /// the whole domain), so missing rows are 1 in every kept bitmap.
+  kRange,
+  /// BIE (Chan & Ioannidis' interval encoding, the paper's reference [5],
+  /// extended here with the same B_{i,0} missing bitvector as BEE):
+  /// I_{i,j}[x] = 1 iff value(x) in [j, j+m-1] with m = ceil(C/2); only
+  /// n = C-m+1 bitmaps are stored (about half of BEE) and any interval is
+  /// answered with at most two of them. Missing rows are 0 in every I_j.
+  kInterval,
+  /// BSL (bit-sliced / binary encoding, after O'Neil & Quass — the paper's
+  /// reference [10] — extended to missing data): record x's value is
+  /// binary-encoded into b = ceil(lg(C+1)) slice bitmaps S_0..S_{b-1};
+  /// the all-zeros code is reserved for missing (mirroring the VA-file's
+  /// trick). The smallest bitmap index (log C bitmaps) at the cost of
+  /// O(log C) logical operations per query dimension, evaluated with the
+  /// classic bit-sliced less-than-or-equal circuit.
+  kBitSliced,
+};
+
+/// How missing cells are represented in an equality-encoded index.
+enum class MissingStrategy {
+  /// The paper's design: a dedicated bitvector B_{i,0} marks missing rows.
+  kExtraBitmap,
+  /// §4.2 rejected alternative (kept for the ablation bench): missing rows
+  /// are 1 in *every* value bitmap. Only answers missing-is-match queries;
+  /// ambiguous when C_i == 1; ruins run compression. Equality only.
+  kAllOnes,
+  /// §4.2 rejected alternative: missing rows are 0 in every value bitmap.
+  /// Only answers missing-not-match queries and disables the complement
+  /// optimization for wide ranges. Equality only.
+  kAllZeros,
+};
+
+std::string_view BitmapEncodingToString(BitmapEncoding encoding);
+
+/// WAH-compressed bitmap index over an incomplete table, supporting both
+/// query semantics. Implements the paper's interval-evaluation rules
+/// exactly: Fig. 2 for equality encoding, Fig. 3 for range encoding; all
+/// logical work happens on the compressed form.
+class BitmapIndex : public IncompleteIndex {
+ public:
+  struct Options {
+    BitmapEncoding encoding = BitmapEncoding::kEquality;
+    MissingStrategy missing_strategy = MissingStrategy::kExtraBitmap;
+  };
+
+  /// Builds the index. Fails on an empty table or on an unsupported
+  /// combination (kAllOnes/kAllZeros with range encoding).
+  static Result<BitmapIndex> Build(const Table& table, Options options);
+
+  std::string Name() const override;
+  Result<BitVector> Execute(const RangeQuery& query,
+                            QueryStats* stats = nullptr) const override;
+  uint64_t SizeInBytes() const override;
+
+  /// COUNT(*) computed on the compressed form (fills counted in O(1) per
+  /// run; no verbatim bitvector is materialized).
+  Result<uint64_t> ExecuteCount(const RangeQuery& query,
+                                QueryStats* stats = nullptr) const override;
+
+  /// GROUP BY `group_attr` COUNT(*) over the rows matching `query` — the
+  /// classic bitmap-index aggregation: the query's compressed result is
+  /// ANDed with each group's (encoding-derived) equality bitvector and
+  /// counted, entirely on compressed bitvectors. Returns cardinality+1
+  /// counts; index 0 is the missing-group bucket, index v the count for
+  /// value v. `query` must be a valid query; to group the whole table,
+  /// pass a full-domain term under match semantics.
+  Result<std::vector<uint64_t>> ExecuteGroupCount(
+      const RangeQuery& query, size_t group_attr,
+      QueryStats* stats = nullptr) const;
+
+  /// Aggregate of one attribute over the rows matching `query`. Missing
+  /// cells of `agg_attr` are excluded from sum/min/max/mean (SQL NULL
+  /// semantics) and reported in missing_count. Computed from per-value
+  /// compressed counts for any encoding; a bit-sliced index computes the
+  /// sum directly from its slices (sum = Σ_k 2^k·count(acc ∧ S_k), the
+  /// classic bit-sliced aggregation), which the tests cross-check.
+  struct Aggregate {
+    uint64_t count = 0;          ///< matching rows with agg_attr present
+    uint64_t missing_count = 0;  ///< matching rows with agg_attr missing
+    uint64_t sum = 0;
+    Value min = 0;               ///< 0 when count == 0
+    Value max = 0;
+    double mean = 0.0;           ///< 0 when count == 0
+  };
+  Result<Aggregate> ExecuteAggregate(const RangeQuery& query, size_t agg_attr,
+                                     QueryStats* stats = nullptr) const;
+
+  /// Appends one record to the index (incremental maintenance; the bitmap
+  /// encodings are append-friendly since every bitvector just grows by one
+  /// bit). `row[i]` is the value of attribute i, kMissingValue for missing.
+  /// The resulting index is bit-identical to one built from scratch over
+  /// the extended data.
+  Status AppendRow(const std::vector<Value>& row) override;
+
+  /// Persists the index to a file (the paper's "requisite index files on
+  /// disk"). Format: magic INCDBBM1 + options + per-attribute WAH payloads.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index written by Save.
+  static Result<BitmapIndex> Load(const std::string& path);
+
+  /// Evaluates one interval (one search-key term) to a compressed result —
+  /// the paper's Fig. 2 / Fig. 3 logic. Exposed for tests and analysis.
+  Result<WahBitVector> EvaluateInterval(size_t attr, Interval interval,
+                                        MissingSemantics semantics,
+                                        QueryStats* stats = nullptr) const;
+
+  /// Bytes the index would occupy uncompressed (verbatim bitmaps).
+  uint64_t VerbatimSizeInBytes() const;
+
+  /// SizeInBytes() / VerbatimSizeInBytes() — the paper's compression ratio.
+  double CompressionRatio() const;
+
+  /// Per-attribute compressed size / compression ratio (for Fig. 4 and the
+  /// §5.2 real-data analysis).
+  uint64_t AttributeSizeInBytes(size_t attr) const;
+  double AttributeCompressionRatio(size_t attr) const;
+
+  /// Number of bitvectors stored for attribute `attr` (C_i, C_i ± 1
+  /// depending on encoding and missing data).
+  size_t NumBitmaps(size_t attr) const;
+
+  BitmapEncoding encoding() const { return options_.encoding; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// The missing bitvector B_{i,0}, or nullptr when the attribute has no
+  /// missing data (or a non-extra-bitmap strategy is in use).
+  const WahBitVector* missing_bitmap(size_t attr) const {
+    return attributes_[attr].missing.has_value() ? &*attributes_[attr].missing
+                                                 : nullptr;
+  }
+
+  /// Value bitvector B_{i,j} (1-based j; equality: j in [1, C], range:
+  /// j in [1, C-1]).
+  const WahBitVector& value_bitmap(size_t attr, size_t j) const {
+    return attributes_[attr].values[j - 1];
+  }
+
+ private:
+  /// All bitvectors for one attribute.
+  struct AttributeBitmaps {
+    uint32_t cardinality = 0;
+    bool has_missing = false;
+    /// B_{i,0} (kExtraBitmap only; empty optional otherwise).
+    std::optional<WahBitVector> missing;
+    /// Equality: B_{i,1}..B_{i,C}. Range: B_{i,1}..B_{i,C-1}.
+    std::vector<WahBitVector> values;
+  };
+
+  BitmapIndex(Options options, uint64_t num_rows,
+              std::vector<AttributeBitmaps> attributes)
+      : options_(options),
+        num_rows_(num_rows),
+        attributes_(std::move(attributes)) {}
+
+  // Fig. 2 (equality) / Fig. 3 (range) interval evaluation, plus the
+  // two-bitmap rules for the interval encoding (derivation in the .cc).
+  WahBitVector EvaluateEquality(const AttributeBitmaps& ab, Interval interval,
+                                MissingSemantics semantics,
+                                QueryStats* stats) const;
+  WahBitVector EvaluateRange(const AttributeBitmaps& ab, Interval interval,
+                             MissingSemantics semantics,
+                             QueryStats* stats) const;
+  WahBitVector EvaluateIntervalEncoded(const AttributeBitmaps& ab,
+                                       Interval interval,
+                                       MissingSemantics semantics,
+                                       QueryStats* stats) const;
+  WahBitVector EvaluateBitSliced(const AttributeBitmaps& ab,
+                                 Interval interval,
+                                 MissingSemantics semantics,
+                                 QueryStats* stats) const;
+
+  // Range encoding: bitvector for "value <= j" (j in [0, C]); j = 0 is the
+  // missing bitmap (zero fill when the attribute is complete), j = C the
+  // dropped all-ones bitmap.
+  WahBitVector RangeLE(const AttributeBitmaps& ab, Value j,
+                       QueryStats* stats) const;
+
+  // Shared query path: per-term interval evaluation folded with compressed
+  // ANDs; Execute decompresses it, ExecuteCount counts it in place.
+  Result<WahBitVector> ExecuteCompressed(const RangeQuery& query,
+                                         QueryStats* stats) const;
+
+  Options options_;
+  uint64_t num_rows_ = 0;
+  std::vector<AttributeBitmaps> attributes_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_BITMAP_BITMAP_INDEX_H_

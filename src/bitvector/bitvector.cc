@@ -1,0 +1,150 @@
+#include "bitvector/bitvector.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace incdb {
+
+namespace {
+constexpr uint64_t kWordBits = 64;
+}  // namespace
+
+BitVector::BitVector(uint64_t size)
+    : size_(size), words_(bitutil::CeilDiv(size, kWordBits), 0) {}
+
+BitVector::BitVector(uint64_t size, bool value) : BitVector(size) {
+  if (value) SetAll();
+}
+
+BitVector BitVector::FromBools(const std::vector<bool>& bits) {
+  BitVector bv(bits.size());
+  for (uint64_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bv.Set(i);
+  }
+  return bv;
+}
+
+Result<BitVector> BitVector::FromString(const std::string& bits) {
+  BitVector bv(bits.size());
+  for (uint64_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      bv.Set(i);
+    } else if (bits[i] != '0') {
+      return Status::InvalidArgument("bit string may contain only '0'/'1'");
+    }
+  }
+  return bv;
+}
+
+bool BitVector::Get(uint64_t index) const {
+  INCDB_DCHECK(index < size_);
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1;
+}
+
+void BitVector::Set(uint64_t index, bool value) {
+  INCDB_DCHECK(index < size_);
+  const uint64_t mask = uint64_t{1} << (index % kWordBits);
+  if (value) {
+    words_[index / kWordBits] |= mask;
+  } else {
+    words_[index / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  ++size_;
+  if (value) Set(size_ - 1);
+}
+
+void BitVector::Resize(uint64_t new_size) {
+  words_.resize(bitutil::CeilDiv(new_size, kWordBits), 0);
+  size_ = new_size;
+  ZeroTrailingBits();
+}
+
+void BitVector::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  ZeroTrailingBits();
+}
+
+uint64_t BitVector::Count() const {
+  uint64_t count = 0;
+  for (uint64_t w : words_) count += static_cast<uint64_t>(bitutil::PopCount(w));
+  return count;
+}
+
+double BitVector::Density() const {
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(Count()) / static_cast<double>(size_);
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  INCDB_CHECK(size_ == other.size_);
+  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  INCDB_CHECK(size_ == other.size_);
+  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::XorWith(const BitVector& other) {
+  INCDB_CHECK(size_ == other.size_);
+  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+void BitVector::Flip() {
+  for (auto& w : words_) w = ~w;
+  ZeroTrailingBits();
+}
+
+std::vector<uint32_t> BitVector::ToIndices() const {
+  std::vector<uint32_t> indices;
+  indices.reserve(Count());
+  ForEachSetBit([&](uint64_t i) { indices.push_back(static_cast<uint32_t>(i)); });
+  return indices;
+}
+
+std::string BitVector::ToString() const {
+  std::string out(size_, '0');
+  ForEachSetBit([&](uint64_t i) { out[i] = '1'; });
+  return out;
+}
+
+void BitVector::ZeroTrailingBits() {
+  const uint64_t tail = size_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= bitutil::LowBitsMask(static_cast<int>(tail));
+  }
+}
+
+BitVector And(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.AndWith(b);
+  return out;
+}
+
+BitVector Or(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.OrWith(b);
+  return out;
+}
+
+BitVector Xor(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.XorWith(b);
+  return out;
+}
+
+BitVector Not(const BitVector& a) {
+  BitVector out = a;
+  out.Flip();
+  return out;
+}
+
+}  // namespace incdb

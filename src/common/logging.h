@@ -1,0 +1,36 @@
+#ifndef INCDB_COMMON_LOGGING_H_
+#define INCDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming-error
+/// invariants only; runtime conditions are reported via Status.
+#define INCDB_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "INCDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define INCDB_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "INCDB_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only check, compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define INCDB_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define INCDB_DCHECK(cond) INCDB_CHECK(cond)
+#endif
+
+#endif  // INCDB_COMMON_LOGGING_H_

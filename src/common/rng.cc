@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace incdb {
+
+namespace {
+
+// splitmix64, used to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  INCDB_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~uint64_t{0}) - (~uint64_t{0}) % span;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(UniformInt(0, i - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+ZipfSampler::ZipfSampler(uint32_t cardinality, double theta)
+    : cardinality_(cardinality), theta_(theta), cdf_(cardinality) {
+  INCDB_CHECK(cardinality >= 1);
+  double total = 0.0;
+  for (uint32_t v = 1; v <= cardinality; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v), theta);
+  }
+  double acc = 0.0;
+  for (uint32_t v = 1; v <= cardinality; ++v) {
+    acc += 1.0 / std::pow(static_cast<double>(v), theta) / total;
+    cdf_[v - 1] = acc;
+  }
+  cdf_[cardinality - 1] = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // Binary search for the first v with cdf_[v-1] >= u.
+  uint32_t lo = 0;
+  uint32_t hi = cardinality_ - 1;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace incdb

@@ -1,0 +1,61 @@
+#ifndef INCDB_COMMON_RNG_H_
+#define INCDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace incdb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All data generation and workload construction in incdb is driven by this
+/// generator so that experiments are exactly reproducible from a seed. Not
+/// cryptographically secure; not thread-safe (use one Rng per thread).
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Random permutation of {0, 1, ..., n-1} (Fisher-Yates).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples integers in [1, cardinality] from a Zipf(theta) distribution via a
+/// precomputed inverse CDF. theta = 0 degenerates to uniform; larger theta
+/// means heavier skew toward small ranks.
+///
+/// Used to synthesize census-like skewed attributes (see DESIGN.md §3).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t cardinality, double theta);
+
+  /// Draws one value in [1, cardinality].
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t cardinality() const { return cardinality_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint32_t cardinality_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[v-1] = P(X <= v)
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_COMMON_RNG_H_

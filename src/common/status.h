@@ -1,0 +1,145 @@
+#ifndef INCDB_COMMON_STATUS_H_
+#define INCDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace incdb {
+
+/// Error category carried by a Status.
+///
+/// The library never throws across public boundaries; every fallible
+/// operation returns a Status (or a Result<T>, which bundles a value with a
+/// Status), following the RocksDB/Arrow idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kNotSupported,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (empty message). Construct error statuses via
+/// the named factories, e.g. `Status::InvalidArgument("cardinality must be
+/// positive")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Named factory for the OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// Access the value only after checking `ok()`; accessing the value of an
+/// error Result aborts (programming error, not a runtime condition).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `Result<int> r = 42;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace incdb
+
+/// Propagates a non-OK Status to the caller.
+#define INCDB_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::incdb::Status _incdb_status = (expr);          \
+    if (!_incdb_status.ok()) return _incdb_status;   \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define INCDB_ASSIGN_OR_RETURN(lhs, expr)              \
+  INCDB_ASSIGN_OR_RETURN_IMPL(                         \
+      INCDB_STATUS_CONCAT(_incdb_result, __LINE__), lhs, expr)
+
+#define INCDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define INCDB_STATUS_CONCAT(a, b) INCDB_STATUS_CONCAT_IMPL(a, b)
+#define INCDB_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // INCDB_COMMON_STATUS_H_

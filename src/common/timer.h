@@ -1,0 +1,37 @@
+#ifndef INCDB_COMMON_TIMER_H_
+#define INCDB_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace incdb {
+
+/// Monotonic stopwatch for measuring query execution time.
+class Timer {
+ public:
+  /// Starts the stopwatch at construction.
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_COMMON_TIMER_H_

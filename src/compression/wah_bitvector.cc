@@ -1,0 +1,485 @@
+#include "compression/wah_bitvector.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace incdb {
+
+namespace {
+
+// Per-word-type constants. With W = bits per word: the top bit flags a
+// fill, the next bit is the fill value, the remaining W-2 bits count fill
+// groups of W-1 bits each.
+template <typename WordT>
+struct WahTraits {
+  static constexpr int kWordBits = static_cast<int>(sizeof(WordT) * 8);
+  static constexpr int kGroupBits = kWordBits - 1;
+  static constexpr WordT kFillFlag = WordT{1} << (kWordBits - 1);
+  static constexpr WordT kFillBitFlag = WordT{1} << (kWordBits - 2);
+  static constexpr WordT kFillCountMask = kFillBitFlag - 1;
+  static constexpr uint64_t kMaxFillGroups = kFillCountMask;
+  static constexpr WordT kFullLiteral = kFillFlag - 1;
+
+  static bool IsFill(WordT word) { return (word & kFillFlag) != 0; }
+  static bool FillBit(WordT word) { return (word & kFillBitFlag) != 0; }
+  static uint64_t FillGroups(WordT word) { return word & kFillCountMask; }
+  static WordT MakeFill(bool bit, uint64_t groups) {
+    return kFillFlag | (bit ? kFillBitFlag : WordT{0}) |
+           static_cast<WordT>(groups & kFillCountMask);
+  }
+};
+
+// Sequential decoder over the full (group-aligned) part of a WAH vector.
+// Presents the stream as a sequence of runs; a literal is a run of one
+// group.
+template <typename WordT>
+class Decoder {
+  using Traits = WahTraits<WordT>;
+
+ public:
+  explicit Decoder(const std::vector<WordT>& words) : words_(words), pos_(0) {
+    Load();
+  }
+
+  bool done() const { return groups_left_ == 0 && pos_ >= words_.size(); }
+
+  bool is_fill() const { return is_fill_; }
+  bool fill_bit() const { return fill_bit_; }
+  uint64_t groups_left() const { return groups_left_; }
+
+  // The current run viewed as a literal word (fills expand to 0/all-ones).
+  WordT LiteralView() const {
+    if (!is_fill_) return literal_;
+    return fill_bit_ ? Traits::kFullLiteral : WordT{0};
+  }
+
+  // Consumes n groups from the current run (n <= groups_left()).
+  void Consume(uint64_t n) {
+    INCDB_DCHECK(n <= groups_left_);
+    groups_left_ -= n;
+    if (groups_left_ == 0) Load();
+  }
+
+ private:
+  void Load() {
+    while (pos_ < words_.size()) {
+      const WordT w = words_[pos_++];
+      if (Traits::IsFill(w)) {
+        const uint64_t n = Traits::FillGroups(w);
+        if (n == 0) continue;  // defensive: skip empty fills
+        is_fill_ = true;
+        fill_bit_ = Traits::FillBit(w);
+        groups_left_ = n;
+        return;
+      }
+      is_fill_ = false;
+      literal_ = w;
+      groups_left_ = 1;
+      return;
+    }
+    groups_left_ = 0;
+  }
+
+  const std::vector<WordT>& words_;
+  size_t pos_;
+  bool is_fill_ = false;
+  bool fill_bit_ = false;
+  WordT literal_ = 0;
+  uint64_t groups_left_ = 0;
+};
+
+template <typename WordT>
+WordT ApplyOp(WordT a, WordT b, int op) {
+  switch (op) {
+    case 0:
+      return a & b;
+    case 1:
+      return a | b;
+    case 2:
+      return a ^ b;
+    default:
+      return a & (~b & WahTraits<WordT>::kFullLiteral);
+  }
+}
+
+// Word-width-dispatched scalar I/O for serialization.
+void WriteWord(BinaryWriter& writer, uint32_t word) { writer.WriteU32(word); }
+void WriteWord(BinaryWriter& writer, uint64_t word) { writer.WriteU64(word); }
+Status ReadWord(BinaryReader& reader, uint32_t* word) {
+  INCDB_ASSIGN_OR_RETURN(*word, reader.ReadU32());
+  return Status::OK();
+}
+Status ReadWord(BinaryReader& reader, uint64_t* word) {
+  INCDB_ASSIGN_OR_RETURN(*word, reader.ReadU64());
+  return Status::OK();
+}
+
+}  // namespace
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Compress(
+    const BitVector& bits) {
+  using Traits = WahTraits<WordT>;
+  BasicWahBitVector out;
+  const uint64_t n = bits.size();
+  const std::vector<uint64_t>& words = bits.words();
+  // Extract consecutive (W-1)-bit groups from the 64-bit word array.
+  const uint64_t full_groups = n / kGroupBits;
+  for (uint64_t g = 0; g < full_groups; ++g) {
+    const uint64_t bit_pos = g * kGroupBits;
+    const uint64_t word_idx = bit_pos / 64;
+    const int offset = static_cast<int>(bit_pos % 64);
+    uint64_t chunk = words[word_idx] >> offset;
+    if (offset + kGroupBits > 64 && word_idx + 1 < words.size()) {
+      chunk |= words[word_idx + 1] << (64 - offset);
+    }
+    const WordT literal =
+        static_cast<WordT>(chunk & bitutil::LowBitsMask(kGroupBits));
+    if (literal == 0) {
+      out.EmitFill(false, 1);
+    } else if (literal == Traits::kFullLiteral) {
+      out.EmitFill(true, 1);
+    } else {
+      out.EmitLiteral(literal);
+    }
+  }
+  out.size_ = full_groups * kGroupBits;
+  // Trailing partial group into the active word.
+  for (uint64_t i = full_groups * kGroupBits; i < n; ++i) {
+    out.AppendBit(bits.Get(i));
+  }
+  return out;
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Fill(uint64_t size,
+                                                        bool bit) {
+  BasicWahBitVector out;
+  out.AppendRun(bit, size);
+  return out;
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::AppendBit(bool bit) {
+  if (bit) active_word_ |= WordT{1} << active_bits_;
+  ++active_bits_;
+  ++size_;
+  if (active_bits_ == kGroupBits) FlushActiveGroup();
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::AppendRun(bool bit, uint64_t count) {
+  // Align to a group boundary first.
+  while (count > 0 && active_bits_ != 0) {
+    AppendBit(bit);
+    --count;
+  }
+  const uint64_t groups = count / kGroupBits;
+  if (groups > 0) {
+    EmitFill(bit, groups);
+    size_ += groups * kGroupBits;
+    count -= groups * kGroupBits;
+  }
+  while (count > 0) {
+    AppendBit(bit);
+    --count;
+  }
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::FlushActiveGroup() {
+  using Traits = WahTraits<WordT>;
+  INCDB_DCHECK(active_bits_ == kGroupBits);
+  if (active_word_ == 0) {
+    EmitFill(false, 1);
+  } else if (active_word_ == Traits::kFullLiteral) {
+    EmitFill(true, 1);
+  } else {
+    EmitLiteral(active_word_);
+  }
+  active_word_ = 0;
+  active_bits_ = 0;
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::EmitFill(bool bit, uint64_t groups) {
+  using Traits = WahTraits<WordT>;
+  while (groups > 0) {
+    if (!words_.empty() && Traits::IsFill(words_.back()) &&
+        Traits::FillBit(words_.back()) == bit) {
+      const uint64_t have = Traits::FillGroups(words_.back());
+      const uint64_t take = std::min(groups, Traits::kMaxFillGroups - have);
+      if (take > 0) {
+        words_.back() = Traits::MakeFill(bit, have + take);
+        groups -= take;
+        continue;
+      }
+    }
+    const uint64_t take = std::min(groups, Traits::kMaxFillGroups);
+    words_.push_back(Traits::MakeFill(bit, take));
+    groups -= take;
+  }
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::EmitLiteral(WordT literal) {
+  INCDB_DCHECK((literal & WahTraits<WordT>::kFillFlag) == 0);
+  words_.push_back(literal);
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::Count() const {
+  using Traits = WahTraits<WordT>;
+  uint64_t count = 0;
+  for (WordT w : words_) {
+    if (Traits::IsFill(w)) {
+      if (Traits::FillBit(w)) count += Traits::FillGroups(w) * kGroupBits;
+    } else {
+      count += static_cast<uint64_t>(std::popcount(w));
+    }
+  }
+  count += static_cast<uint64_t>(std::popcount(active_word_));
+  return count;
+}
+
+template <typename WordT>
+BitVector BasicWahBitVector<WordT>::Decompress() const {
+  using Traits = WahTraits<WordT>;
+  BitVector out(size_);
+  uint64_t bit_pos = 0;
+  auto write_literal = [&](WordT lit) {
+    for (WordT w = lit; w != 0; w &= w - 1) {
+      out.Set(bit_pos + static_cast<uint64_t>(std::countr_zero(w)));
+    }
+    bit_pos += kGroupBits;
+  };
+  for (WordT w : words_) {
+    if (Traits::IsFill(w)) {
+      const uint64_t groups = Traits::FillGroups(w);
+      if (Traits::FillBit(w)) {
+        for (uint64_t i = 0; i < groups * kGroupBits; ++i) {
+          out.Set(bit_pos + i);
+        }
+      }
+      bit_pos += groups * kGroupBits;
+    } else {
+      write_literal(w);
+    }
+  }
+  for (int i = 0; i < active_bits_; ++i) {
+    if ((active_word_ >> i) & 1) out.Set(bit_pos + i);
+  }
+  return out;
+}
+
+template <typename WordT>
+bool BasicWahBitVector<WordT>::Get(uint64_t index) const {
+  using Traits = WahTraits<WordT>;
+  INCDB_CHECK(index < size_);
+  uint64_t bit_pos = 0;
+  for (WordT w : words_) {
+    const uint64_t span = Traits::IsFill(w)
+                              ? Traits::FillGroups(w) * kGroupBits
+                              : static_cast<uint64_t>(kGroupBits);
+    if (index < bit_pos + span) {
+      if (Traits::IsFill(w)) return Traits::FillBit(w);
+      return (w >> (index - bit_pos)) & 1;
+    }
+    bit_pos += span;
+  }
+  return (active_word_ >> (index - bit_pos)) & 1;
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::SizeInBytes() const {
+  return (words_.size() + (active_bits_ > 0 ? 1 : 0)) * sizeof(WordT);
+}
+
+template <typename WordT>
+double BasicWahBitVector<WordT>::CompressionRatio() const {
+  if (size_ == 0) return 0.0;
+  const double verbatim_bytes = static_cast<double>(size_) / 8.0;
+  return static_cast<double>(SizeInBytes()) / verbatim_bytes;
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::And(
+    const BasicWahBitVector& other) const {
+  return BinaryOp(other, OpKind::kAnd);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Or(
+    const BasicWahBitVector& other) const {
+  return BinaryOp(other, OpKind::kOr);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Xor(
+    const BasicWahBitVector& other) const {
+  return BinaryOp(other, OpKind::kXor);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndNot(
+    const BasicWahBitVector& other) const {
+  return BinaryOp(other, OpKind::kAndNot);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::BinaryOp(
+    const BasicWahBitVector& other, OpKind op) const {
+  using Traits = WahTraits<WordT>;
+  INCDB_CHECK(size_ == other.size_);
+  const int op_code = static_cast<int>(op);
+  BasicWahBitVector out;
+  Decoder<WordT> a(words_);
+  Decoder<WordT> b(other.words_);
+  uint64_t groups_emitted = 0;
+  while (!a.done() && !b.done()) {
+    if (a.is_fill() && b.is_fill()) {
+      const uint64_t n = std::min(a.groups_left(), b.groups_left());
+      const WordT va = a.fill_bit() ? Traits::kFullLiteral : WordT{0};
+      const WordT vb = b.fill_bit() ? Traits::kFullLiteral : WordT{0};
+      const WordT r = ApplyOp(va, vb, op_code);
+      out.EmitFill(r == Traits::kFullLiteral, n);
+      groups_emitted += n;
+      a.Consume(n);
+      b.Consume(n);
+    } else {
+      // At least one side is a literal; process one group.
+      const WordT r = ApplyOp(a.LiteralView(), b.LiteralView(), op_code);
+      if (r == 0) {
+        out.EmitFill(false, 1);
+      } else if (r == Traits::kFullLiteral) {
+        out.EmitFill(true, 1);
+      } else {
+        out.EmitLiteral(r);
+      }
+      ++groups_emitted;
+      a.Consume(1);
+      b.Consume(1);
+    }
+  }
+  INCDB_CHECK(a.done() && b.done());
+  out.size_ = groups_emitted * kGroupBits;
+  // Partial trailing group: sizes are equal, so active_bits_ match.
+  INCDB_CHECK(active_bits_ == other.active_bits_);
+  if (active_bits_ > 0) {
+    const WordT mask = static_cast<WordT>(bitutil::LowBitsMask(active_bits_));
+    out.active_word_ =
+        ApplyOp(active_word_, other.active_word_, op_code) & mask;
+    out.active_bits_ = active_bits_;
+    out.size_ += static_cast<uint64_t>(active_bits_);
+  }
+  INCDB_CHECK(out.size_ == size_);
+  return out;
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Not() const {
+  using Traits = WahTraits<WordT>;
+  BasicWahBitVector out;
+  for (WordT w : words_) {
+    if (Traits::IsFill(w)) {
+      out.EmitFill(!Traits::FillBit(w), Traits::FillGroups(w));
+    } else {
+      const WordT lit = ~w & Traits::kFullLiteral;
+      if (lit == 0) {
+        out.EmitFill(false, 1);
+      } else if (lit == Traits::kFullLiteral) {
+        out.EmitFill(true, 1);
+      } else {
+        out.EmitLiteral(lit);
+      }
+    }
+  }
+  out.size_ = size_ - static_cast<uint64_t>(active_bits_);
+  if (active_bits_ > 0) {
+    const WordT mask = static_cast<WordT>(bitutil::LowBitsMask(active_bits_));
+    out.active_word_ = ~active_word_ & mask;
+    out.active_bits_ = active_bits_;
+    out.size_ += static_cast<uint64_t>(active_bits_);
+  }
+  return out;
+}
+
+template <typename WordT>
+std::string BasicWahBitVector<WordT>::DebugString() const {
+  using Traits = WahTraits<WordT>;
+  std::string out;
+  for (WordT w : words_) {
+    if (Traits::IsFill(w)) {
+      out += "F";
+      out += Traits::FillBit(w) ? '1' : '0';
+      out += "x" + std::to_string(Traits::FillGroups(w)) + " ";
+    } else {
+      out += "L:";
+      for (int i = 0; i < kGroupBits; ++i) {
+        out += ((w >> i) & 1) ? '1' : '0';
+      }
+      out += " ";
+    }
+  }
+  if (active_bits_ > 0) {
+    out += "A:";
+    for (int i = 0; i < active_bits_; ++i) {
+      out += ((active_word_ >> i) & 1) ? '1' : '0';
+    }
+  }
+  return out;
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::SaveTo(BinaryWriter& writer) const {
+  writer.WriteU64(size_);
+  writer.WriteU32(static_cast<uint32_t>(active_bits_));
+  WriteWord(writer, active_word_);
+  writer.WriteU64(words_.size());
+  for (WordT word : words_) WriteWord(writer, word);
+}
+
+template <typename WordT>
+Result<BasicWahBitVector<WordT>> BasicWahBitVector<WordT>::LoadFrom(
+    BinaryReader& reader) {
+  using Traits = WahTraits<WordT>;
+  BasicWahBitVector out;
+  INCDB_ASSIGN_OR_RETURN(out.size_, reader.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint32_t active_bits, reader.ReadU32());
+  if (active_bits >= static_cast<uint32_t>(kGroupBits)) {
+    return Status::IOError("corrupted WAH payload: active_bits out of range");
+  }
+  out.active_bits_ = static_cast<int>(active_bits);
+  INCDB_RETURN_IF_ERROR(ReadWord(reader, &out.active_word_));
+  if ((out.active_word_ &
+       ~static_cast<WordT>(bitutil::LowBitsMask(out.active_bits_))) != 0) {
+    return Status::IOError(
+        "corrupted WAH payload: active word has stray bits");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_words, reader.ReadU64());
+  if (num_words > (uint64_t{1} << 40)) {
+    return Status::IOError("corrupted WAH payload: implausible word count");
+  }
+  out.words_.resize(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    INCDB_RETURN_IF_ERROR(ReadWord(reader, &out.words_[i]));
+  }
+  // Cross-check the declared size against the decoded group count.
+  uint64_t groups = 0;
+  for (WordT w : out.words_) {
+    groups += Traits::IsFill(w) ? Traits::FillGroups(w) : 1;
+  }
+  if (groups * kGroupBits + static_cast<uint64_t>(out.active_bits_) !=
+      out.size_) {
+    return Status::IOError("corrupted WAH payload: size mismatch");
+  }
+  return out;
+}
+
+template class BasicWahBitVector<uint32_t>;
+template class BasicWahBitVector<uint64_t>;
+
+}  // namespace incdb

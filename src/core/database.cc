@@ -1,0 +1,204 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "core/scan_index.h"
+#include "query/parser.h"
+#include "table/csv.h"
+
+namespace incdb {
+
+namespace {
+
+// Kinds whose AppendRow keeps them in sync with table inserts.
+bool SupportsAppends(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSequentialScan:
+    case IndexKind::kBitmapEquality:
+    case IndexKind::kBitmapRange:
+    case IndexKind::kBitmapInterval:
+    case IndexKind::kBitmapBitSliced:
+    case IndexKind::kVaFile:
+    case IndexKind::kVaPlusFile:
+    case IndexKind::kMosaic:
+    case IndexKind::kBitstringAugmented:
+      return true;
+  }
+  return false;
+}
+
+// Routing preference per query shape (paper §6: BEE optimal for point
+// queries; BRE typically best for range queries; BIE next — two bitmaps
+// per dimension at half BEE's storage; VA-file the fallback index).
+const IndexKind kPointPreference[] = {
+    IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
+    IndexKind::kBitmapInterval, IndexKind::kBitmapBitSliced,
+    IndexKind::kVaFile, IndexKind::kVaPlusFile, IndexKind::kMosaic,
+    IndexKind::kBitstringAugmented};
+const IndexKind kRangePreference[] = {
+    IndexKind::kBitmapRange, IndexKind::kBitmapInterval,
+    IndexKind::kBitmapEquality, IndexKind::kBitmapBitSliced,
+    IndexKind::kVaFile, IndexKind::kVaPlusFile, IndexKind::kMosaic,
+    IndexKind::kBitstringAugmented};
+
+}  // namespace
+
+Database::Database(Table table)
+    : table_(std::make_unique<Table>(std::move(table))),
+      scan_(std::make_unique<ScanIndex>(*table_)),
+      deleted_(table_->num_rows()) {}
+
+Result<Database> Database::Create(Schema schema) {
+  INCDB_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
+  return Database(std::move(table));
+}
+
+Result<Database> Database::FromTable(Table table) {
+  return Database(std::move(table));
+}
+
+Result<Database> Database::FromCsv(const std::string& path) {
+  INCDB_ASSIGN_OR_RETURN(Table table, ReadCsv(path));
+  return Database(std::move(table));
+}
+
+Status Database::Insert(const std::vector<Value>& row) {
+  INCDB_RETURN_IF_ERROR(table_->AppendRow(row));
+  for (auto& [kind, index] : indexes_) {
+    INCDB_RETURN_IF_ERROR(index->AppendRow(row));
+  }
+  deleted_.PushBack(false);
+  return Status::OK();
+}
+
+Status Database::Delete(uint32_t row) {
+  if (row >= table_->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  if (deleted_.size() < table_->num_rows()) {
+    deleted_.Resize(table_->num_rows());
+  }
+  if (deleted_.Get(row)) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   " already deleted");
+  }
+  deleted_.Set(row);
+  ++num_deleted_;
+  return Status::OK();
+}
+
+bool Database::IsDeleted(uint32_t row) const {
+  return row < deleted_.size() && deleted_.Get(row);
+}
+
+void Database::MaskDeleted(BitVector* result) const {
+  if (num_deleted_ == 0) return;
+  BitVector mask = deleted_;
+  mask.Resize(result->size());
+  mask.Flip();
+  result->AndWith(mask);
+}
+
+Status Database::BuildIndex(IndexKind kind) {
+  if (kind == IndexKind::kSequentialScan) {
+    return Status::InvalidArgument(
+        "the sequential scan is always available; no index to build");
+  }
+  if (!SupportsAppends(kind)) {
+    return Status::NotSupported(
+        std::string(IndexKindToString(kind)) +
+        " cannot stay in sync under Database::Insert");
+  }
+  if (table_->num_rows() == 0) {
+    return Status::InvalidArgument(
+        "cannot build an index on an empty database; Insert rows first");
+  }
+  INCDB_ASSIGN_OR_RETURN(std::unique_ptr<IncompleteIndex> index,
+                         CreateIndex(kind, *table_));
+  indexes_[kind] = std::move(index);
+  return Status::OK();
+}
+
+Status Database::DropIndex(IndexKind kind) {
+  if (indexes_.erase(kind) == 0) {
+    return Status::NotFound("no " + std::string(IndexKindToString(kind)) +
+                            " index registered");
+  }
+  return Status::OK();
+}
+
+bool Database::HasIndex(IndexKind kind) const {
+  return indexes_.count(kind) > 0;
+}
+
+std::vector<IndexKind> Database::Indexes() const {
+  std::vector<IndexKind> kinds;
+  for (const auto& [kind, index] : indexes_) kinds.push_back(kind);
+  return kinds;
+}
+
+const IncompleteIndex& Database::Route(bool is_point_query) const {
+  const auto& preference = is_point_query ? kPointPreference : kRangePreference;
+  for (IndexKind kind : preference) {
+    const auto it = indexes_.find(kind);
+    if (it != indexes_.end()) return *it->second;
+  }
+  return *scan_;
+}
+
+Result<QueryTerm> Database::ResolveTerm(const NamedTerm& term) const {
+  INCDB_ASSIGN_OR_RETURN(size_t attr, table_->schema().IndexOf(term.attribute));
+  const uint32_t cardinality = table_->schema().attribute(attr).cardinality;
+  if (term.lo < 1 || term.hi > static_cast<Value>(cardinality) ||
+      term.lo > term.hi) {
+    return Status::InvalidArgument(
+        "interval [" + std::to_string(term.lo) + "," +
+        std::to_string(term.hi) + "] invalid for attribute '" +
+        term.attribute + "' (cardinality " + std::to_string(cardinality) +
+        ")");
+  }
+  return QueryTerm{attr, {term.lo, term.hi}};
+}
+
+Result<std::vector<uint32_t>> Database::Query(
+    const std::vector<NamedTerm>& terms, MissingSemantics semantics,
+    std::string* chosen) const {
+  RangeQuery query;
+  query.semantics = semantics;
+  for (const NamedTerm& term : terms) {
+    INCDB_ASSIGN_OR_RETURN(QueryTerm resolved, ResolveTerm(term));
+    query.terms.push_back(resolved);
+  }
+  const IncompleteIndex& index = Route(query.IsPointQuery());
+  if (chosen != nullptr) *chosen = index.Name();
+  INCDB_ASSIGN_OR_RETURN(BitVector result, index.Execute(query));
+  MaskDeleted(&result);
+  return result.ToIndices();
+}
+
+Result<std::vector<uint32_t>> Database::QueryExpression(
+    const QueryExpr& expr, MissingSemantics semantics,
+    std::string* chosen) const {
+  INCDB_RETURN_IF_ERROR(expr.Validate(*table_));
+  const IncompleteIndex& index = Route(/*is_point_query=*/false);
+  if (chosen != nullptr) *chosen = index.Name();
+  INCDB_ASSIGN_OR_RETURN(BitVector result,
+                         ExecuteExpr(index, expr, semantics));
+  MaskDeleted(&result);
+  return result.ToIndices();
+}
+
+Result<std::vector<uint32_t>> Database::QueryText(
+    const std::string& text, MissingSemantics semantics,
+    std::string* chosen) const {
+  INCDB_ASSIGN_OR_RETURN(QueryExpr expr, ParseQuery(text, *table_));
+  return QueryExpression(expr, semantics, chosen);
+}
+
+uint64_t Database::IndexSizeInBytes() const {
+  uint64_t total = 0;
+  for (const auto& [kind, index] : indexes_) total += index->SizeInBytes();
+  return total;
+}
+
+}  // namespace incdb

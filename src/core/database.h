@@ -1,0 +1,118 @@
+#ifndef INCDB_CORE_DATABASE_H_
+#define INCDB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expr_executor.h"
+#include "core/incomplete_index.h"
+#include "core/index_factory.h"
+#include "query/expr.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// A query term addressed by attribute name (the Database-level API).
+struct NamedTerm {
+  std::string attribute;
+  Value lo = 1;
+  Value hi = 1;
+};
+
+/// Convenience facade bundling an incomplete table with its indexes.
+///
+/// Owns the base table, keeps any number of indexes in sync under appends,
+/// and routes each query to the best index available using the paper's
+/// guidance (§6): equality encoding is best for point queries, range
+/// encoding for range queries, the VA-file when memory is tight, and a
+/// sequential scan when nothing else exists. Not thread-safe for writes.
+class Database {
+ public:
+  /// An empty database with the given schema.
+  static Result<Database> Create(Schema schema);
+  /// Takes ownership of an existing table.
+  static Result<Database> FromTable(Table table);
+  /// Loads a table written by WriteCsv ("?" = missing).
+  static Result<Database> FromCsv(const std::string& path);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Table& table() const { return *table_; }
+  uint64_t num_rows() const { return table_->num_rows(); }
+
+  /// Appends a row to the table and to every registered index.
+  Status Insert(const std::vector<Value>& row);
+
+  /// Logically deletes a row: it stays in the table and the indexes but is
+  /// masked out of every subsequent query result (the standard
+  /// deletion-bitvector technique — bitmap indexes are append-only).
+  /// Deleting a row twice is an error.
+  Status Delete(uint32_t row);
+
+  /// True if `row` has been logically deleted.
+  bool IsDeleted(uint32_t row) const;
+
+  /// Rows inserted minus rows deleted.
+  uint64_t num_live_rows() const { return table_->num_rows() - num_deleted_; }
+  uint64_t num_deleted_rows() const { return num_deleted_; }
+
+  /// Builds and registers an index (rebuilding if already present).
+  /// Fails for kinds that cannot stay in sync under Insert.
+  Status BuildIndex(IndexKind kind);
+  /// Removes an index; queries fall back to other indexes or a scan.
+  Status DropIndex(IndexKind kind);
+  bool HasIndex(IndexKind kind) const;
+  /// Registered index kinds, in routing-preference order.
+  std::vector<IndexKind> Indexes() const;
+
+  /// Runs a conjunctive query given by named terms. Returns matching row
+  /// ids ascending. `chosen`, when non-null, receives the name of the
+  /// index that served the query.
+  Result<std::vector<uint32_t>> Query(const std::vector<NamedTerm>& terms,
+                                      MissingSemantics semantics,
+                                      std::string* chosen = nullptr) const;
+
+  /// Runs a boolean expression query (AND/OR/NOT, Kleene semantics).
+  Result<std::vector<uint32_t>> QueryExpression(
+      const QueryExpr& expr, MissingSemantics semantics,
+      std::string* chosen = nullptr) const;
+
+  /// Parses and runs a textual predicate, e.g.
+  /// "rating >= 4 AND price IN [1,7] AND NOT region = 3" (see
+  /// query/parser.h for the grammar).
+  Result<std::vector<uint32_t>> QueryText(const std::string& text,
+                                          MissingSemantics semantics,
+                                          std::string* chosen = nullptr) const;
+
+  /// Resolves a named term to an attribute index + validated interval.
+  Result<QueryTerm> ResolveTerm(const NamedTerm& term) const;
+
+  /// Total bytes across registered indexes.
+  uint64_t IndexSizeInBytes() const;
+
+ private:
+  explicit Database(Table table);
+
+  /// The index that should serve `query` per the paper's guidance.
+  const IncompleteIndex& Route(bool is_point_query) const;
+
+  /// Strips logically deleted rows from a result bitvector.
+  void MaskDeleted(BitVector* result) const;
+
+  // unique_ptr so index back-references to the table stay stable on move.
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<IncompleteIndex> scan_;
+  std::map<IndexKind, std::unique_ptr<IncompleteIndex>> indexes_;
+  /// Deletion mask; bit set = row deleted. Grows lazily with the table.
+  BitVector deleted_;
+  uint64_t num_deleted_ = 0;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_DATABASE_H_

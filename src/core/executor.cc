@@ -1,0 +1,114 @@
+#include "core/executor.h"
+
+#include <thread>
+
+#include "common/timer.h"
+#include "query/seq_scan.h"
+
+namespace incdb {
+
+Result<WorkloadResult> RunWorkload(const IncompleteIndex& index,
+                                   const std::vector<RangeQuery>& queries,
+                                   uint64_t num_rows) {
+  WorkloadResult result;
+  result.index_name = index.Name();
+  result.num_queries = queries.size();
+  Timer timer;
+  for (const RangeQuery& query : queries) {
+    INCDB_ASSIGN_OR_RETURN(BitVector answer,
+                           index.Execute(query, &result.stats));
+    result.total_matches += answer.Count();
+  }
+  result.total_millis = timer.ElapsedMillis();
+  if (!queries.empty() && num_rows > 0) {
+    result.realized_selectivity =
+        static_cast<double>(result.total_matches) /
+        (static_cast<double>(queries.size()) * static_cast<double>(num_rows));
+  }
+  return result;
+}
+
+Result<WorkloadResult> RunWorkloadParallel(
+    const IncompleteIndex& index, const std::vector<RangeQuery>& queries,
+    uint64_t num_rows, size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, queries.size()));
+
+  struct WorkerState {
+    uint64_t matches = 0;
+    QueryStats stats;
+    Status status;
+  };
+  std::vector<WorkerState> workers(num_threads);
+
+  Timer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t]() {
+        WorkerState& state = workers[t];
+        // Strided partition: worker t takes queries t, t+T, t+2T, ...
+        for (size_t q = t; q < queries.size(); q += num_threads) {
+          auto result = index.Execute(queries[q], &state.stats);
+          if (!result.ok()) {
+            state.status = result.status();
+            return;
+          }
+          state.matches += result.value().Count();
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  WorkloadResult result;
+  result.index_name = index.Name();
+  result.num_queries = queries.size();
+  result.total_millis = timer.ElapsedMillis();
+  for (const WorkerState& state : workers) {
+    INCDB_RETURN_IF_ERROR(state.status);
+    result.total_matches += state.matches;
+    result.stats.bitvectors_accessed += state.stats.bitvectors_accessed;
+    result.stats.bitvector_ops += state.stats.bitvector_ops;
+    result.stats.candidates += state.stats.candidates;
+    result.stats.false_positives += state.stats.false_positives;
+    result.stats.nodes_accessed += state.stats.nodes_accessed;
+    result.stats.subqueries += state.stats.subqueries;
+  }
+  if (!queries.empty() && num_rows > 0) {
+    result.realized_selectivity =
+        static_cast<double>(result.total_matches) /
+        (static_cast<double>(queries.size()) * static_cast<double>(num_rows));
+  }
+  return result;
+}
+
+Status VerifyAgainstOracle(const IncompleteIndex& index, const Table& table,
+                           const std::vector<RangeQuery>& queries) {
+  SequentialScan oracle(table);
+  for (const RangeQuery& query : queries) {
+    INCDB_ASSIGN_OR_RETURN(BitVector expected,
+                           oracle.ExecuteToBitVector(query));
+    INCDB_ASSIGN_OR_RETURN(BitVector actual, index.Execute(query, nullptr));
+    if (!(expected == actual)) {
+      // Locate the first differing row for the diagnostic.
+      uint64_t bad_row = 0;
+      for (uint64_t r = 0; r < table.num_rows(); ++r) {
+        if (expected.Get(r) != actual.Get(r)) {
+          bad_row = r;
+          break;
+        }
+      }
+      return Status::Internal(
+          index.Name() + " disagrees with oracle on query '" +
+          query.ToString() + "' at row " + std::to_string(bad_row) +
+          " (oracle=" + (expected.Get(bad_row) ? "match" : "no-match") + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace incdb

@@ -1,0 +1,55 @@
+#ifndef INCDB_CORE_EXECUTOR_H_
+#define INCDB_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/incomplete_index.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Aggregate outcome of running a query workload against one index —
+/// the per-configuration data point the paper's Fig. 5 style experiments
+/// report.
+struct WorkloadResult {
+  std::string index_name;
+  size_t num_queries = 0;
+  /// Wall-clock time to execute all queries, milliseconds (the paper's
+  /// query-execution-time metric: indexes already in memory, result is the
+  /// set of matching record pointers).
+  double total_millis = 0.0;
+  /// Sum of result-set sizes over all queries.
+  uint64_t total_matches = 0;
+  /// Realized mean global selectivity (total_matches / (queries * rows)).
+  double realized_selectivity = 0.0;
+  /// Summed per-query cost counters.
+  QueryStats stats;
+};
+
+/// Executes every query in `queries` against `index`, timing the batch.
+/// `num_rows` is the table row count (for realized selectivity).
+Result<WorkloadResult> RunWorkload(const IncompleteIndex& index,
+                                   const std::vector<RangeQuery>& queries,
+                                   uint64_t num_rows);
+
+/// Like RunWorkload, but fans the batch out over `num_threads` worker
+/// threads (index query execution is read-only and thread-safe).
+/// total_millis is the wall-clock time of the parallel batch; per-query
+/// stats are summed across workers. num_threads == 0 uses the hardware
+/// concurrency.
+Result<WorkloadResult> RunWorkloadParallel(
+    const IncompleteIndex& index, const std::vector<RangeQuery>& queries,
+    uint64_t num_rows, size_t num_threads);
+
+/// Runs every query against both `index` and the RowMatches oracle and
+/// fails on the first mismatch (reporting the query and the differing row).
+/// The test suite's main correctness tool.
+Status VerifyAgainstOracle(const IncompleteIndex& index, const Table& table,
+                           const std::vector<RangeQuery>& queries);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_EXECUTOR_H_

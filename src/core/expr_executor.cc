@@ -1,0 +1,87 @@
+#include "core/expr_executor.h"
+
+namespace incdb {
+
+namespace {
+
+struct TruthSets {
+  BitVector possible;  // rows with truth != false
+  BitVector certain;   // rows with truth == true
+};
+
+Result<TruthSets> EvaluateNode(const IncompleteIndex& index,
+                               const QueryExpr& expr, QueryStats* stats) {
+  switch (expr.kind()) {
+    case QueryExpr::Kind::kTerm: {
+      RangeQuery query;
+      query.terms = {{expr.attribute(), expr.interval()}};
+      query.semantics = MissingSemantics::kMatch;
+      INCDB_ASSIGN_OR_RETURN(BitVector possible, index.Execute(query, stats));
+      query.semantics = MissingSemantics::kNoMatch;
+      INCDB_ASSIGN_OR_RETURN(BitVector certain, index.Execute(query, stats));
+      return TruthSets{std::move(possible), std::move(certain)};
+    }
+    case QueryExpr::Kind::kAnd:
+    case QueryExpr::Kind::kOr: {
+      const bool is_and = expr.kind() == QueryExpr::Kind::kAnd;
+      TruthSets acc;
+      bool first = true;
+      for (const QueryExpr& child : expr.children()) {
+        INCDB_ASSIGN_OR_RETURN(TruthSets sets,
+                               EvaluateNode(index, child, stats));
+        if (first) {
+          acc = std::move(sets);
+          first = false;
+          continue;
+        }
+        if (is_and) {
+          acc.possible.AndWith(sets.possible);
+          acc.certain.AndWith(sets.certain);
+        } else {
+          acc.possible.OrWith(sets.possible);
+          acc.certain.OrWith(sets.certain);
+        }
+      }
+      if (first) {
+        return Status::InvalidArgument("AND/OR must have children");
+      }
+      return acc;
+    }
+    case QueryExpr::Kind::kNot: {
+      INCDB_ASSIGN_OR_RETURN(
+          TruthSets sets, EvaluateNode(index, expr.children().front(), stats));
+      // NOT swaps and complements: possibly(!x) = !certainly(x).
+      TruthSets out;
+      out.possible = std::move(sets.certain);
+      out.possible.Flip();
+      out.certain = std::move(sets.possible);
+      out.certain.Flip();
+      return out;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Result<BitVector> ExecuteExpr(const IncompleteIndex& index,
+                              const QueryExpr& expr,
+                              MissingSemantics semantics, QueryStats* stats) {
+  INCDB_ASSIGN_OR_RETURN(TruthSets sets, EvaluateNode(index, expr, stats));
+  if (semantics == MissingSemantics::kMatch) {
+    return std::move(sets.possible);
+  }
+  return std::move(sets.certain);
+}
+
+Result<BitVector> ExecuteExprScan(const Table& table, const QueryExpr& expr,
+                                  MissingSemantics semantics) {
+  INCDB_RETURN_IF_ERROR(expr.Validate(table));
+  BitVector result(table.num_rows());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    if (ExprMatches(table, r, expr, semantics)) result.Set(r);
+  }
+  return result;
+}
+
+}  // namespace incdb

@@ -1,0 +1,36 @@
+#ifndef INCDB_CORE_EXPR_EXECUTOR_H_
+#define INCDB_CORE_EXPR_EXECUTOR_H_
+
+#include "core/incomplete_index.h"
+#include "query/expr.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Executes a boolean query expression against any IncompleteIndex.
+///
+/// The evaluation computes, for every node, the pair of bitvectors
+/// (possible, certain) — rows whose Kleene truth is != false / == true —
+/// using the identities
+///
+///   term:  certain  = index result under missing-not-match
+///          possible = index result under missing-is-match
+///   AND:   certain  = AND of child certains;  possible = AND of possibles
+///   OR :   certain  = OR  of child certains;  possible = OR  of possibles
+///   NOT:   certain  = NOT child's possible;   possible = NOT child's certain
+///
+/// and returns `possible` under MissingSemantics::kMatch, `certain` under
+/// kNoMatch. Agrees exactly with the ExprMatches row oracle; for pure
+/// conjunctions it degenerates to the index's native RangeQuery execution.
+Result<BitVector> ExecuteExpr(const IncompleteIndex& index,
+                              const QueryExpr& expr,
+                              MissingSemantics semantics,
+                              QueryStats* stats = nullptr);
+
+/// Row-by-row oracle evaluation of an expression over a table.
+Result<BitVector> ExecuteExprScan(const Table& table, const QueryExpr& expr,
+                                  MissingSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_EXPR_EXECUTOR_H_

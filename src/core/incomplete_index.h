@@ -1,0 +1,80 @@
+#ifndef INCDB_CORE_INCOMPLETE_INDEX_H_
+#define INCDB_CORE_INCOMPLETE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bitvector/bitvector.h"
+#include "common/status.h"
+#include "query/query.h"
+
+namespace incdb {
+
+/// Per-query accounting filled in by index implementations. Which fields
+/// are meaningful depends on the index family; unused fields stay zero.
+struct QueryStats {
+  /// Bitmap indexes: number of bitvectors read to answer the query (the
+  /// paper's primary cost model for BEE/BRE).
+  uint64_t bitvectors_accessed = 0;
+  /// Bitmap indexes: number of logical operations (AND/OR/XOR/NOT) executed.
+  uint64_t bitvector_ops = 0;
+  /// VA-file: approximate candidates surviving the filter step.
+  uint64_t candidates = 0;
+  /// VA-file: candidates eliminated by the exact refinement step.
+  uint64_t false_positives = 0;
+  /// Tree indexes (R-tree, B+-tree, baselines): nodes visited.
+  uint64_t nodes_accessed = 0;
+  /// Bitstring-augmented baseline: number of subqueries executed (up to 2^k).
+  uint64_t subqueries = 0;
+
+  void Reset() { *this = QueryStats(); }
+};
+
+/// Common interface for every query-answering structure in incdb: the
+/// paper's techniques (BEE, BRE, VA-file), the baselines (MOSAIC,
+/// bitstring-augmented, R-tree) and the sequential scan.
+///
+/// All implementations return *exact* results (any approximate filter is
+/// followed by a refinement step), matching the paper's 100%-precision
+/// setting; the test suite verifies each against the RowMatches oracle.
+class IncompleteIndex {
+ public:
+  virtual ~IncompleteIndex() = default;
+
+  /// Short identifier, e.g. "BEE-WAH", "BRE-WAH", "VA-File".
+  virtual std::string Name() const = 0;
+
+  /// Executes a range query; bit x of the result is set iff row x answers
+  /// the query under its semantics. `stats`, when non-null, receives
+  /// per-query cost counters.
+  virtual Result<BitVector> Execute(const RangeQuery& query,
+                                    QueryStats* stats = nullptr) const = 0;
+
+  /// Index size in bytes — the paper's index-size metric (for bitmap
+  /// indexes this is the WAH-compressed size; for the VA-file the packed
+  /// approximation plus lookup tables).
+  virtual uint64_t SizeInBytes() const = 0;
+
+  /// Incrementally indexes one appended record (`row[i]` = value of
+  /// attribute i, kMissingValue for missing). The base table must be
+  /// extended with the same row first. Default: NotSupported — bitmap
+  /// indexes, VA-files, MOSAIC, the bitstring-augmented index and the scan
+  /// all override this.
+  virtual Status AppendRow(const std::vector<Value>& row) {
+    (void)row;
+    return Status::NotSupported(Name() + " does not support appends");
+  }
+
+  /// COUNT(*) of the query's result. Default: executes and counts; the
+  /// bitmap index overrides this to count directly on the compressed
+  /// result without materializing a verbatim bitvector.
+  virtual Result<uint64_t> ExecuteCount(const RangeQuery& query,
+                                        QueryStats* stats = nullptr) const {
+    INCDB_ASSIGN_OR_RETURN(BitVector result, Execute(query, stats));
+    return result.Count();
+  }
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_INCOMPLETE_INDEX_H_

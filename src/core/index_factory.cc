@@ -1,0 +1,77 @@
+#include "core/index_factory.h"
+
+#include "baselines/bitstring_augmented.h"
+#include "baselines/mosaic.h"
+#include "bitmap/bitmap_index.h"
+#include "core/scan_index.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+
+namespace {
+
+// Moves a Result<T> of a concrete index into a unique_ptr of the interface.
+template <typename T>
+Result<std::unique_ptr<IncompleteIndex>> Wrap(Result<T> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<IncompleteIndex>(
+      new T(std::move(result).value()));
+}
+
+}  // namespace
+
+std::string_view IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSequentialScan:
+      return "SeqScan";
+    case IndexKind::kBitmapEquality:
+      return "BEE-WAH";
+    case IndexKind::kBitmapRange:
+      return "BRE-WAH";
+    case IndexKind::kBitmapInterval:
+      return "BIE-WAH";
+    case IndexKind::kBitmapBitSliced:
+      return "BSL-WAH";
+    case IndexKind::kVaFile:
+      return "VA-File";
+    case IndexKind::kVaPlusFile:
+      return "VA+-File";
+    case IndexKind::kMosaic:
+      return "MOSAIC";
+    case IndexKind::kBitstringAugmented:
+      return "Bitstring-Augmented";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<IncompleteIndex>> CreateIndex(IndexKind kind,
+                                                     const Table& table) {
+  switch (kind) {
+    case IndexKind::kSequentialScan:
+      return std::unique_ptr<IncompleteIndex>(new ScanIndex(table));
+    case IndexKind::kBitmapEquality:
+      return Wrap(BitmapIndex::Build(
+          table, {BitmapEncoding::kEquality, MissingStrategy::kExtraBitmap}));
+    case IndexKind::kBitmapRange:
+      return Wrap(BitmapIndex::Build(
+          table, {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap}));
+    case IndexKind::kBitmapInterval:
+      return Wrap(BitmapIndex::Build(
+          table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap}));
+    case IndexKind::kBitmapBitSliced:
+      return Wrap(BitmapIndex::Build(
+          table,
+          {BitmapEncoding::kBitSliced, MissingStrategy::kExtraBitmap}));
+    case IndexKind::kVaFile:
+      return Wrap(VaFile::Build(table, {VaQuantization::kUniform, 0}));
+    case IndexKind::kVaPlusFile:
+      return Wrap(VaFile::Build(table, {VaQuantization::kEquiDepth, 0}));
+    case IndexKind::kMosaic:
+      return Wrap(MosaicIndex::Build(table));
+    case IndexKind::kBitstringAugmented:
+      return Wrap(BitstringAugmentedIndex::Build(table));
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+}  // namespace incdb

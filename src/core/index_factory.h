@@ -1,0 +1,47 @@
+#ifndef INCDB_CORE_INDEX_FACTORY_H_
+#define INCDB_CORE_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/incomplete_index.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// The index families incdb provides.
+enum class IndexKind {
+  /// No index: full sequential scan (baseline and oracle).
+  kSequentialScan,
+  /// WAH-compressed equality-encoded bitmap index (paper §4.2).
+  kBitmapEquality,
+  /// WAH-compressed range-encoded bitmap index (paper §4.3).
+  kBitmapRange,
+  /// WAH-compressed interval-encoded bitmap index (related work [5],
+  /// extended with the missing bitvector; ~half BEE's storage, <= 2
+  /// bitmaps per query dimension).
+  kBitmapInterval,
+  /// WAH-compressed bit-sliced (binary-encoded) bitmap index (related work
+  /// [10], extended with the all-zeros missing code; ~lg C bitmaps).
+  kBitmapBitSliced,
+  /// Vector-approximation file, uniform bins (paper §4.5).
+  kVaFile,
+  /// VA+-style equi-depth VA-file (paper future work).
+  kVaPlusFile,
+  /// MOSAIC baseline: one B+-tree per attribute (related work [12]).
+  kMosaic,
+  /// Bitstring-augmented R-tree baseline (related work [12]).
+  kBitstringAugmented,
+};
+
+std::string_view IndexKindToString(IndexKind kind);
+
+/// Builds an index of the requested kind over `table`. The table must
+/// outlive the returned index (the sequential scan and VA-file read it at
+/// query time; the others only need it during Build).
+Result<std::unique_ptr<IncompleteIndex>> CreateIndex(IndexKind kind,
+                                                     const Table& table);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_INDEX_FACTORY_H_

@@ -1,0 +1,326 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <string_view>
+
+namespace incdb {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  long number = 0;
+  size_t position = 0;
+};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      Token token;
+      token.position = pos_;
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t end = pos_;
+        while (end < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[end]))) {
+          ++end;
+        }
+        token.kind = TokenKind::kNumber;
+        token.text = text_.substr(pos_, end - pos_);
+        token.number = std::stol(token.text);
+        pos_ = end;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_')) {
+          ++end;
+        }
+        token.text = text_.substr(pos_, end - pos_);
+        pos_ = end;
+        if (EqualsIgnoreCase(token.text, "AND")) {
+          token.kind = TokenKind::kAnd;
+        } else if (EqualsIgnoreCase(token.text, "OR")) {
+          token.kind = TokenKind::kOr;
+        } else if (EqualsIgnoreCase(token.text, "NOT")) {
+          token.kind = TokenKind::kNot;
+        } else if (EqualsIgnoreCase(token.text, "IN")) {
+          token.kind = TokenKind::kIn;
+        } else {
+          token.kind = TokenKind::kIdent;
+        }
+      } else {
+        switch (c) {
+          case '(':
+            token.kind = TokenKind::kLParen;
+            ++pos_;
+            break;
+          case ')':
+            token.kind = TokenKind::kRParen;
+            ++pos_;
+            break;
+          case '[':
+            token.kind = TokenKind::kLBracket;
+            ++pos_;
+            break;
+          case ']':
+            token.kind = TokenKind::kRBracket;
+            ++pos_;
+            break;
+          case ',':
+            token.kind = TokenKind::kComma;
+            ++pos_;
+            break;
+          case '=':
+            token.kind = TokenKind::kEq;
+            ++pos_;
+            break;
+          case '!':
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+              token.kind = TokenKind::kNe;
+              pos_ += 2;
+              break;
+            }
+            return Error(pos_, "unexpected '!'");
+          case '<':
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+              token.kind = TokenKind::kLe;
+              pos_ += 2;
+            } else {
+              token.kind = TokenKind::kLt;
+              ++pos_;
+            }
+            break;
+          case '>':
+            if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+              token.kind = TokenKind::kGe;
+              pos_ += 2;
+            } else {
+              token.kind = TokenKind::kGt;
+              ++pos_;
+            }
+            break;
+          default:
+            return Error(pos_, std::string("unexpected character '") + c +
+                                   "'");
+        }
+      }
+      tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.position = text_.size();
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  Status Error(size_t position, const std::string& message) {
+    return Status::InvalidArgument("query parse error at position " +
+                                   std::to_string(position) + ": " + message);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Table& table)
+      : tokens_(std::move(tokens)), table_(table) {}
+
+  Result<QueryExpr> Parse() {
+    INCDB_ASSIGN_OR_RETURN(QueryExpr expr, ParseOr());
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  void Advance() { ++index_; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        "query parse error at position " +
+        std::to_string(Current().position) + ": " + message);
+  }
+
+  Result<QueryExpr> ParseOr() {
+    INCDB_ASSIGN_OR_RETURN(QueryExpr first, ParseAnd());
+    std::vector<QueryExpr> children = {std::move(first)};
+    while (Current().kind == TokenKind::kOr) {
+      Advance();
+      INCDB_ASSIGN_OR_RETURN(QueryExpr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return QueryExpr::MakeOr(std::move(children));
+  }
+
+  Result<QueryExpr> ParseAnd() {
+    INCDB_ASSIGN_OR_RETURN(QueryExpr first, ParseUnary());
+    std::vector<QueryExpr> children = {std::move(first)};
+    while (Current().kind == TokenKind::kAnd) {
+      Advance();
+      INCDB_ASSIGN_OR_RETURN(QueryExpr next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return QueryExpr::MakeAnd(std::move(children));
+  }
+
+  Result<QueryExpr> ParseUnary() {
+    if (Current().kind == TokenKind::kNot) {
+      Advance();
+      INCDB_ASSIGN_OR_RETURN(QueryExpr child, ParseUnary());
+      return QueryExpr::MakeNot(std::move(child));
+    }
+    if (Current().kind == TokenKind::kLParen) {
+      Advance();
+      INCDB_ASSIGN_OR_RETURN(QueryExpr inner, ParseOr());
+      if (Current().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    return ParseTerm();
+  }
+
+  Result<long> ParseNumber() {
+    if (Current().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    const long value = Current().number;
+    Advance();
+    return value;
+  }
+
+  Result<QueryExpr> ParseTerm() {
+    if (Current().kind != TokenKind::kIdent) {
+      return Error("expected an attribute name");
+    }
+    const std::string name = Current().text;
+    Advance();
+    const auto attr = table_.schema().IndexOf(name);
+    if (!attr.ok()) {
+      return Error("unknown attribute '" + name + "'");
+    }
+    const Value cardinality = static_cast<Value>(
+        table_.schema().attribute(attr.value()).cardinality);
+
+    auto make_term = [&](Value lo, Value hi) -> Result<QueryExpr> {
+      if (lo < 1 || hi > cardinality || lo > hi) {
+        return Error("interval [" + std::to_string(lo) + "," +
+                     std::to_string(hi) + "] outside domain [1," +
+                     std::to_string(cardinality) + "] of '" + name + "'");
+      }
+      return QueryExpr::MakeTerm(attr.value(), {lo, hi});
+    };
+
+    const TokenKind op = Current().kind;
+    switch (op) {
+      case TokenKind::kEq:
+      case TokenKind::kNe: {
+        Advance();
+        INCDB_ASSIGN_OR_RETURN(long v, ParseNumber());
+        INCDB_ASSIGN_OR_RETURN(
+            QueryExpr term,
+            make_term(static_cast<Value>(v), static_cast<Value>(v)));
+        if (op == TokenKind::kNe) return QueryExpr::MakeNot(std::move(term));
+        return term;
+      }
+      case TokenKind::kLt:
+      case TokenKind::kLe: {
+        Advance();
+        INCDB_ASSIGN_OR_RETURN(long v, ParseNumber());
+        const Value hi =
+            op == TokenKind::kLt ? static_cast<Value>(v - 1)
+                                 : static_cast<Value>(v);
+        return make_term(1, hi);
+      }
+      case TokenKind::kGt:
+      case TokenKind::kGe: {
+        Advance();
+        INCDB_ASSIGN_OR_RETURN(long v, ParseNumber());
+        const Value lo =
+            op == TokenKind::kGt ? static_cast<Value>(v + 1)
+                                 : static_cast<Value>(v);
+        return make_term(lo, cardinality);
+      }
+      case TokenKind::kIn: {
+        Advance();
+        if (Current().kind != TokenKind::kLBracket) return Error("expected '['");
+        Advance();
+        INCDB_ASSIGN_OR_RETURN(long lo, ParseNumber());
+        if (Current().kind != TokenKind::kComma) return Error("expected ','");
+        Advance();
+        INCDB_ASSIGN_OR_RETURN(long hi, ParseNumber());
+        if (Current().kind != TokenKind::kRBracket) return Error("expected ']'");
+        Advance();
+        return make_term(static_cast<Value>(lo), static_cast<Value>(hi));
+      }
+      default:
+        return Error("expected an operator (=, !=, <, <=, >, >=, IN) after '" +
+                     name + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const Table& table_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<QueryExpr> ParseQuery(const std::string& text, const Table& table) {
+  Lexer lexer(text);
+  INCDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), table);
+  return parser.Parse();
+}
+
+}  // namespace incdb

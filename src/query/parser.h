@@ -1,0 +1,35 @@
+#ifndef INCDB_QUERY_PARSER_H_
+#define INCDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/expr.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Parses a boolean predicate over named attributes into a QueryExpr.
+///
+/// Grammar (keywords case-insensitive; attribute names resolved against
+/// the table's schema and intervals validated against cardinalities):
+///
+///   expr    := and ( "OR" and )*
+///   and     := unary ( "AND" unary )*
+///   unary   := "NOT" unary | "(" expr ")" | term
+///   term    := IDENT op
+///   op      := "=" INT | "!=" INT
+///            | "<" INT | "<=" INT | ">" INT | ">=" INT
+///            | "IN" "[" INT "," INT "]"
+///
+/// Examples:
+///   "rating >= 4 AND price IN [1,7]"
+///   "NOT (q1 = 4) OR q7 != 2"
+///
+/// `!=` desugars to NOT(= v), which under Kleene semantics keeps missing
+/// cells unknown — exactly the behaviour §4.2's NOT discussion requires.
+Result<QueryExpr> ParseQuery(const std::string& text, const Table& table);
+
+}  // namespace incdb
+
+#endif  // INCDB_QUERY_PARSER_H_

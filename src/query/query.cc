@@ -1,0 +1,78 @@
+#include "query/query.h"
+
+#include <unordered_set>
+
+namespace incdb {
+
+std::string_view MissingSemanticsToString(MissingSemantics semantics) {
+  switch (semantics) {
+    case MissingSemantics::kMatch:
+      return "match";
+    case MissingSemantics::kNoMatch:
+      return "no-match";
+  }
+  return "unknown";
+}
+
+bool RangeQuery::IsPointQuery() const {
+  for (const QueryTerm& term : terms) {
+    if (!term.interval.IsPoint()) return false;
+  }
+  return true;
+}
+
+std::string RangeQuery::ToString() const {
+  std::string out = "[";
+  out += MissingSemanticsToString(semantics);
+  out += "]";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    out += (i == 0) ? " " : " AND ";
+    out += "A" + std::to_string(terms[i].attribute) + " in [" +
+           std::to_string(terms[i].interval.lo) + "," +
+           std::to_string(terms[i].interval.hi) + "]";
+  }
+  return out;
+}
+
+Status ValidateQuery(const RangeQuery& query, const Table& table) {
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query must have at least one term");
+  }
+  std::unordered_set<size_t> seen;
+  for (const QueryTerm& term : query.terms) {
+    if (term.attribute >= table.num_attributes()) {
+      return Status::OutOfRange("attribute index " +
+                                std::to_string(term.attribute) +
+                                " out of range");
+    }
+    if (!seen.insert(term.attribute).second) {
+      return Status::InvalidArgument("duplicate attribute " +
+                                     std::to_string(term.attribute) +
+                                     " in search key");
+    }
+    const uint32_t cardinality =
+        table.schema().attribute(term.attribute).cardinality;
+    if (term.interval.lo < 1 || term.interval.hi > static_cast<Value>(cardinality) ||
+        term.interval.lo > term.interval.hi) {
+      return Status::InvalidArgument(
+          "interval [" + std::to_string(term.interval.lo) + "," +
+          std::to_string(term.interval.hi) + "] invalid for cardinality " +
+          std::to_string(cardinality));
+    }
+  }
+  return Status::OK();
+}
+
+bool RowMatches(const Table& table, uint64_t row, const RangeQuery& query) {
+  for (const QueryTerm& term : query.terms) {
+    const Value v = table.Get(row, term.attribute);
+    if (IsMissing(v)) {
+      if (query.semantics == MissingSemantics::kNoMatch) return false;
+      continue;  // missing counts as a match for this term
+    }
+    if (!term.interval.Contains(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace incdb

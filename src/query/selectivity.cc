@@ -1,0 +1,40 @@
+#include "query/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incdb {
+
+double TermMatchProbability(double attribute_selectivity, double missing_rate,
+                            MissingSemantics semantics) {
+  if (semantics == MissingSemantics::kMatch) {
+    return (1.0 - missing_rate) * attribute_selectivity + missing_rate;
+  }
+  return (1.0 - missing_rate) * attribute_selectivity;
+}
+
+double PredictGlobalSelectivity(double attribute_selectivity,
+                                double missing_rate, size_t dims,
+                                MissingSemantics semantics) {
+  return std::pow(
+      TermMatchProbability(attribute_selectivity, missing_rate, semantics),
+      static_cast<double>(dims));
+}
+
+double SolveAttributeSelectivity(double global_selectivity,
+                                 double missing_rate, size_t dims,
+                                 MissingSemantics semantics) {
+  const double per_term =
+      std::pow(global_selectivity, 1.0 / static_cast<double>(dims));
+  double as;
+  if (semantics == MissingSemantics::kMatch) {
+    if (missing_rate >= 1.0) return 0.0;
+    as = (per_term - missing_rate) / (1.0 - missing_rate);
+  } else {
+    if (missing_rate >= 1.0) return 0.0;
+    as = per_term / (1.0 - missing_rate);
+  }
+  return std::clamp(as, 0.0, 1.0);
+}
+
+}  // namespace incdb

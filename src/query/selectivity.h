@@ -1,0 +1,39 @@
+#ifndef INCDB_QUERY_SELECTIVITY_H_
+#define INCDB_QUERY_SELECTIVITY_H_
+
+#include <cstddef>
+
+#include "query/query.h"
+
+namespace incdb {
+
+/// Selectivity model from the paper (§5.3):
+///
+///   GS = prod_i ((1 - Pm_i) * AS_i + Pm_i)            (missing is a match)
+///
+/// where GS is global query selectivity, AS_i = (v2 - v1 + 1) / C_i is the
+/// attribute selectivity and Pm_i the attribute's missing rate. Under
+/// missing-not-match semantics a missing cell never matches, so the per-term
+/// probability is (1 - Pm_i) * AS_i.
+
+/// Probability that one query term matches a random record.
+double TermMatchProbability(double attribute_selectivity, double missing_rate,
+                            MissingSemantics semantics);
+
+/// Predicted GS for k equal terms: TermMatchProbability(...)^k.
+double PredictGlobalSelectivity(double attribute_selectivity,
+                                double missing_rate, size_t dims,
+                                MissingSemantics semantics);
+
+/// Inverts the model: the equal attribute selectivity that yields a target
+/// GS with k query dimensions at missing rate Pm. Clamped to [0, 1]; may be
+/// 0 when Pm alone already exceeds GS^(1/k) under match semantics (the
+/// workload generator then degrades to point intervals, exactly as the
+/// paper notes its realized GS drifts from the 1% target).
+double SolveAttributeSelectivity(double global_selectivity,
+                                 double missing_rate, size_t dims,
+                                 MissingSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_QUERY_SELECTIVITY_H_

@@ -1,0 +1,25 @@
+#include "query/seq_scan.h"
+
+namespace incdb {
+
+Result<std::vector<uint32_t>> SequentialScan::Execute(
+    const RangeQuery& query) const {
+  INCDB_RETURN_IF_ERROR(ValidateQuery(query, table_));
+  std::vector<uint32_t> rows;
+  for (uint64_t r = 0; r < table_.num_rows(); ++r) {
+    if (RowMatches(table_, r, query)) rows.push_back(static_cast<uint32_t>(r));
+  }
+  return rows;
+}
+
+Result<BitVector> SequentialScan::ExecuteToBitVector(
+    const RangeQuery& query) const {
+  INCDB_RETURN_IF_ERROR(ValidateQuery(query, table_));
+  BitVector result(table_.num_rows());
+  for (uint64_t r = 0; r < table_.num_rows(); ++r) {
+    if (RowMatches(table_, r, query)) result.Set(r);
+  }
+  return result;
+}
+
+}  // namespace incdb

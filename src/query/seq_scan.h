@@ -1,0 +1,34 @@
+#ifndef INCDB_QUERY_SEQ_SCAN_H_
+#define INCDB_QUERY_SEQ_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "common/status.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Sequential-scan query evaluation: visits every row and applies
+/// RowMatches. This is both the no-index baseline the paper compares
+/// against and the exactness oracle every index implementation is verified
+/// against in the test suite.
+class SequentialScan {
+ public:
+  explicit SequentialScan(const Table& table) : table_(table) {}
+
+  /// Row ids (ascending) of all rows answering `query`.
+  Result<std::vector<uint32_t>> Execute(const RangeQuery& query) const;
+
+  /// Same result as a bitvector (bit x set iff row x answers).
+  Result<BitVector> ExecuteToBitVector(const RangeQuery& query) const;
+
+ private:
+  const Table& table_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_QUERY_SEQ_SCAN_H_

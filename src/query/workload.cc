@@ -1,0 +1,76 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "query/selectivity.h"
+
+namespace incdb {
+
+Result<std::vector<RangeQuery>> GenerateWorkload(
+    const Table& table, const WorkloadParams& params) {
+  std::vector<size_t> pool = params.attribute_pool;
+  if (pool.empty()) {
+    pool.resize(table.num_attributes());
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  }
+  for (size_t attr : pool) {
+    if (attr >= table.num_attributes()) {
+      return Status::OutOfRange("attribute pool entry " +
+                                std::to_string(attr) + " out of range");
+    }
+  }
+  if (params.dims == 0 || params.dims > pool.size()) {
+    return Status::InvalidArgument(
+        "dims must be in [1, pool size = " + std::to_string(pool.size()) +
+        "], got " + std::to_string(params.dims));
+  }
+  if (!params.point_queries && params.attribute_selectivity <= 0.0 &&
+      (params.global_selectivity <= 0.0 || params.global_selectivity > 1.0)) {
+    return Status::InvalidArgument("global_selectivity must be in (0, 1]");
+  }
+
+  Rng rng(params.seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(params.num_queries);
+  for (size_t q = 0; q < params.num_queries; ++q) {
+    RangeQuery query;
+    query.semantics = params.semantics;
+    // Choose k distinct attributes from the pool (partial Fisher-Yates).
+    std::vector<size_t> chosen = pool;
+    for (size_t i = 0; i < params.dims; ++i) {
+      const size_t j = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(i),
+                         static_cast<int64_t>(chosen.size()) - 1));
+      std::swap(chosen[i], chosen[j]);
+    }
+    chosen.resize(params.dims);
+
+    for (size_t attr : chosen) {
+      const uint32_t cardinality = table.schema().attribute(attr).cardinality;
+      uint32_t width = 1;
+      if (!params.point_queries) {
+        double as = params.attribute_selectivity;
+        if (as <= 0.0) {
+          const double pm = table.column(attr).MissingRate();
+          as = SolveAttributeSelectivity(params.global_selectivity, pm,
+                                         params.dims, params.semantics);
+        }
+        // Granularity of attribute selectivity is limited by C_i (paper
+        // §5.3): round to the nearest realizable interval width, >= 1.
+        width = static_cast<uint32_t>(
+            std::lround(as * static_cast<double>(cardinality)));
+        width = std::clamp<uint32_t>(width, 1, cardinality);
+      }
+      const Value lo = static_cast<Value>(
+          rng.UniformInt(1, static_cast<int64_t>(cardinality - width + 1)));
+      query.terms.push_back(
+          {attr, Interval{lo, static_cast<Value>(lo + static_cast<Value>(width) - 1)}});
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace incdb

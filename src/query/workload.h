@@ -1,0 +1,45 @@
+#ifndef INCDB_QUERY_WORKLOAD_H_
+#define INCDB_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Recipe for a random query workload over a table. Mirrors the paper's
+/// experimental setup: 100 queries per configuration, k-dimensional search
+/// keys, global selectivity fixed (1% in the paper) and per-attribute
+/// selectivity derived by inverting the GS formula.
+struct WorkloadParams {
+  size_t num_queries = 100;
+  /// Query dimensionality k (number of search-key attributes).
+  size_t dims = 8;
+  /// Target global selectivity; per-attribute interval widths are derived
+  /// from it via SolveAttributeSelectivity (ignored when
+  /// attribute_selectivity > 0).
+  double global_selectivity = 0.01;
+  /// When > 0, use this attribute selectivity directly for every term
+  /// (e.g. the paper's 20%-of-domain range queries on the census data).
+  double attribute_selectivity = 0.0;
+  /// When true, all intervals are points (attribute_selectivity and
+  /// global_selectivity are ignored).
+  bool point_queries = false;
+  MissingSemantics semantics = MissingSemantics::kMatch;
+  uint64_t seed = 7;
+  /// Attributes eligible for search keys; empty means all attributes.
+  std::vector<size_t> attribute_pool;
+};
+
+/// Generates `params.num_queries` random range queries over `table`.
+/// Deterministic in the seed. Fails when dims exceeds the pool size or any
+/// parameter is out of range.
+Result<std::vector<RangeQuery>> GenerateWorkload(const Table& table,
+                                                 const WorkloadParams& params);
+
+}  // namespace incdb
+
+#endif  // INCDB_QUERY_WORKLOAD_H_

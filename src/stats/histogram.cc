@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+AttributeHistogram AttributeHistogram::FromColumn(const Column& column) {
+  return AttributeHistogram(column.cardinality(), column.num_rows(),
+                            column.Histogram());
+}
+
+double AttributeHistogram::MissingRate() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[0]) / static_cast<double>(total_);
+}
+
+double AttributeHistogram::EstimateTermSelectivity(
+    Interval interval, MissingSemantics semantics) const {
+  if (total_ == 0) return 0.0;
+  uint64_t matching = 0;
+  const Value lo = std::max<Value>(interval.lo, 1);
+  const Value hi = std::min<Value>(interval.hi, static_cast<Value>(cardinality_));
+  for (Value v = lo; v <= hi; ++v) matching += count(v);
+  if (semantics == MissingSemantics::kMatch) matching += counts_[0];
+  return static_cast<double>(matching) / static_cast<double>(total_);
+}
+
+double AttributeHistogram::Skew() const {
+  const uint64_t non_missing = total_ - counts_[0];
+  if (non_missing == 0 || cardinality_ == 0) return 1.0;
+  uint64_t max_count = 0;
+  for (uint32_t v = 1; v <= cardinality_; ++v) {
+    max_count = std::max(max_count, counts_[v]);
+  }
+  const double mean =
+      static_cast<double>(non_missing) / static_cast<double>(cardinality_);
+  if (mean == 0.0) return 1.0;
+  return static_cast<double>(max_count) / mean;
+}
+
+double AttributeHistogram::BitDensity(Value v) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(v)) / static_cast<double>(total_);
+}
+
+}  // namespace incdb

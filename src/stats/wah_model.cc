@@ -1,0 +1,25 @@
+#include "stats/wah_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace incdb {
+
+double ExpectedWahWords(uint64_t bits, double density) {
+  if (bits == 0) return 0.0;
+  const double d = std::clamp(density, 0.0, 1.0);
+  const double groups = std::ceil(static_cast<double>(bits) / 31.0);
+  const double p0 = std::pow(1.0 - d, 31.0);
+  const double p1 = std::pow(d, 31.0);
+  const double literal = std::max(0.0, 1.0 - p0 - p1);
+  const double words =
+      groups * (literal + p0 * (1.0 - p0) + p1 * (1.0 - p1));
+  return std::max(1.0, words);
+}
+
+double ExpectedWahBytes(uint64_t bits, double density) {
+  if (bits == 0) return 0.0;
+  return 4.0 * ExpectedWahWords(bits, density);
+}
+
+}  // namespace incdb

@@ -1,0 +1,60 @@
+#include "table/column.h"
+
+namespace incdb {
+
+Column::Column(uint32_t cardinality) : cardinality_(cardinality) {}
+
+Status Column::Append(Value v) {
+  if (v != kMissingValue &&
+      (v < 1 || static_cast<uint32_t>(v) > cardinality_)) {
+    return Status::OutOfRange("value " + std::to_string(v) +
+                              " outside domain [1, " +
+                              std::to_string(cardinality_) + "]");
+  }
+  values_.push_back(v);
+  return Status::OK();
+}
+
+uint64_t Column::MissingCount() const {
+  uint64_t count = 0;
+  for (Value v : values_) {
+    if (IsMissing(v)) ++count;
+  }
+  return count;
+}
+
+double Column::MissingRate() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(MissingCount()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<uint64_t> Column::Histogram() const {
+  std::vector<uint64_t> hist(cardinality_ + 1, 0);
+  for (Value v : values_) ++hist[static_cast<size_t>(v)];
+  return hist;
+}
+
+uint32_t Column::DistinctCount() const {
+  const std::vector<uint64_t> hist = Histogram();
+  uint32_t distinct = 0;
+  for (size_t v = 1; v < hist.size(); ++v) {
+    if (hist[v] > 0) ++distinct;
+  }
+  return distinct;
+}
+
+double Column::NonMissingMean() const {
+  uint64_t count = 0;
+  double sum = 0.0;
+  for (Value v : values_) {
+    if (!IsMissing(v)) {
+      sum += static_cast<double>(v);
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace incdb

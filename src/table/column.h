@@ -1,0 +1,63 @@
+#ifndef INCDB_TABLE_COLUMN_H_
+#define INCDB_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace incdb {
+
+/// Columnar storage for one attribute of an incomplete table.
+///
+/// Stores one Value per row; kMissingValue (0) marks missing cells. The
+/// column knows its declared cardinality and validates appends against it.
+class Column {
+ public:
+  /// A column for an attribute with domain 1..cardinality.
+  explicit Column(uint32_t cardinality);
+
+  uint32_t cardinality() const { return cardinality_; }
+  uint64_t num_rows() const { return values_.size(); }
+
+  /// Appends a value (kMissingValue allowed). Rejects values outside
+  /// [1, cardinality].
+  Status Append(Value v);
+
+  /// Appends without validation (generator fast path; caller guarantees
+  /// domain membership).
+  void AppendUnchecked(Value v) { values_.push_back(v); }
+
+  /// Value at `row` (kMissingValue if the cell is missing).
+  Value Get(uint64_t row) const { return values_[row]; }
+
+  bool IsMissingAt(uint64_t row) const { return IsMissing(values_[row]); }
+
+  /// Number of missing cells.
+  uint64_t MissingCount() const;
+
+  /// Fraction of missing cells (0 for an empty column) — the paper's P_m.
+  double MissingRate() const;
+
+  /// Histogram over values: index v holds the count of value v, index 0 the
+  /// missing count. Size cardinality()+1.
+  std::vector<uint64_t> Histogram() const;
+
+  /// Number of distinct non-missing values that actually occur.
+  uint32_t DistinctCount() const;
+
+  /// Mean of the non-missing values (0 if all missing). Used by the
+  /// bitstring-augmented baseline, which maps missing cells to the mean.
+  double NonMissingMean() const;
+
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  uint32_t cardinality_;
+  std::vector<Value> values_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_COLUMN_H_

@@ -1,0 +1,106 @@
+#include "table/csv.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace incdb {
+
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.attribute(i).name << ':' << schema.attribute(i).cardinality;
+  }
+  out << '\n';
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (i > 0) out << ',';
+      const Value v = table.Get(r, i);
+      if (IsMissing(v)) {
+        out << '?';
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "': missing header line");
+  }
+
+  std::vector<AttributeSpec> attrs;
+  for (const std::string& field : SplitComma(line)) {
+    const size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("header field '" + field +
+                                     "' lacks ':cardinality'");
+    }
+    AttributeSpec spec;
+    spec.name = field.substr(0, colon);
+    try {
+      spec.cardinality =
+          static_cast<uint32_t>(std::stoul(field.substr(colon + 1)));
+    } catch (...) {
+      return Status::InvalidArgument("header field '" + field +
+                                     "' has non-numeric cardinality");
+    }
+    attrs.push_back(spec);
+  }
+  INCDB_ASSIGN_OR_RETURN(Table table, Table::Create(Schema(attrs)));
+
+  std::vector<Value> row(attrs.size());
+  uint64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitComma(line);
+    if (fields.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          "'" + path + "' line " + std::to_string(line_no) + ": expected " +
+          std::to_string(attrs.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] == "?") {
+        row[i] = kMissingValue;
+      } else {
+        try {
+          row[i] = static_cast<Value>(std::stol(fields[i]));
+        } catch (...) {
+          return Status::InvalidArgument("'" + path + "' line " +
+                                         std::to_string(line_no) +
+                                         ": bad value '" + fields[i] + "'");
+        }
+      }
+    }
+    INCDB_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace incdb

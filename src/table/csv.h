@@ -1,0 +1,20 @@
+#ifndef INCDB_TABLE_CSV_H_
+#define INCDB_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Writes a table to CSV. The header row is `name:cardinality` per column;
+/// missing cells are written as `?`.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a table written by WriteCsv (or hand-authored in the same format).
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_CSV_H_

@@ -1,0 +1,58 @@
+#ifndef INCDB_TABLE_GENERATOR_H_
+#define INCDB_TABLE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Recipe for one generated attribute.
+struct GeneratedAttribute {
+  std::string name;
+  uint32_t cardinality = 0;
+  /// Probability that a cell of this attribute is missing (the paper's P_m).
+  double missing_rate = 0.0;
+  /// Zipf skew parameter for the value distribution of non-missing cells.
+  /// 0 = uniform (the paper's synthetic dataset); > 0 = skewed (our
+  /// census-like substitute, see DESIGN.md §3/§5).
+  double zipf_theta = 0.0;
+};
+
+/// Recipe for a whole generated dataset.
+struct DatasetSpec {
+  std::vector<GeneratedAttribute> attributes;
+  uint64_t num_rows = 0;
+  uint64_t seed = 42;
+};
+
+/// Generates an incomplete table from a spec. Deterministic in the seed.
+Result<Table> GenerateTable(const DatasetSpec& spec);
+
+/// The paper's synthetic dataset design (Table 7, left): uniformly
+/// distributed values, `num_rows` records (paper: 100,000) and 450
+/// attributes — cardinalities {2,5,10,20,50,100} crossed with missing rates
+/// {10,20,30,40,50}%, with {10,10,20,20,20,10} attributes per
+/// (cardinality, missing-rate) cell respectively.
+DatasetSpec PaperSyntheticSpec(uint64_t num_rows = 100000, uint64_t seed = 42);
+
+/// A single-cell slice of the synthetic design: `count` uniform attributes
+/// with the given cardinality and missing rate (used by the per-figure
+/// benches that sweep one parameter at a time).
+DatasetSpec UniformSpec(uint64_t num_rows, uint32_t cardinality,
+                        double missing_rate, size_t count, uint64_t seed = 42);
+
+/// Census-like substitute for the paper's real dataset (Table 7, right):
+/// 48 attributes whose cardinality/missing-rate histogram matches the
+/// paper's census extract, with Zipf-skewed value distributions standing in
+/// for real-data skew (the property the paper credits for its real-data
+/// compression and speed results). Paper row count: 463,733; benches may
+/// pass a scaled row count.
+DatasetSpec CensusLikeSpec(uint64_t num_rows = 463733, uint64_t seed = 42);
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "table/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace incdb {
+
+std::vector<uint32_t> LexicographicOrder(
+    const Table& table, const std::vector<size_t>& key_attrs) {
+  std::vector<uint32_t> order(table.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t attr : key_attrs) {
+                       const Value va = table.Get(a, attr);
+                       const Value vb = table.Get(b, attr);
+                       if (va != vb) return va < vb;
+                     }
+                     return false;
+                   });
+  return order;
+}
+
+std::vector<uint32_t> LexicographicOrder(const Table& table) {
+  return LexicographicOrder(table, CardinalityAscendingAttributeOrder(table));
+}
+
+std::vector<size_t> CardinalityAscendingAttributeOrder(const Table& table) {
+  std::vector<size_t> attrs(table.num_attributes());
+  std::iota(attrs.begin(), attrs.end(), 0);
+  std::stable_sort(attrs.begin(), attrs.end(), [&](size_t a, size_t b) {
+    return table.schema().attribute(a).cardinality <
+           table.schema().attribute(b).cardinality;
+  });
+  return attrs;
+}
+
+Result<Table> ReorderRows(const Table& table,
+                          const std::vector<uint32_t>& order) {
+  if (order.size() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "order has " + std::to_string(order.size()) + " entries, table has " +
+        std::to_string(table.num_rows()) + " rows");
+  }
+  std::vector<bool> seen(order.size(), false);
+  for (uint32_t row : order) {
+    if (row >= order.size() || seen[row]) {
+      return Status::InvalidArgument("order is not a permutation");
+    }
+    seen[row] = true;
+  }
+  INCDB_ASSIGN_OR_RETURN(Table reordered, Table::Create(table.schema()));
+  std::vector<Value> row(table.num_attributes());
+  for (uint32_t old_row : order) {
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      row[a] = table.Get(old_row, a);
+    }
+    reordered.AppendRowUnchecked(row);
+  }
+  return reordered;
+}
+
+}  // namespace incdb

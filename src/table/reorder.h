@@ -1,0 +1,41 @@
+#ifndef INCDB_TABLE_REORDER_H_
+#define INCDB_TABLE_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// Row reordering for better bitmap compression — the paper's §6 future
+/// work ("we would like to explore techniques such as ... row reordering
+/// in order to achieve more compression", aimed at the range-encoded
+/// bitmaps that WAH barely compresses in place).
+///
+/// Reordering rows so that equal values cluster turns scattered bits into
+/// long runs, which WAH's fill words then erase. Queries are unaffected
+/// except that result row ids refer to the reordered table.
+
+/// A permutation sorting rows lexicographically by the given attributes
+/// (missing cells sort first, as value 0). `order[new_pos] = old_row`.
+std::vector<uint32_t> LexicographicOrder(const Table& table,
+                                         const std::vector<size_t>& key_attrs);
+
+/// Lexicographic order over all attributes, lowest-cardinality attributes
+/// first — the standard heuristic: low-cardinality columns form the
+/// longest runs, so they should dominate the sort.
+std::vector<uint32_t> LexicographicOrder(const Table& table);
+
+/// Attribute indexes sorted by ascending cardinality (ties by position).
+std::vector<size_t> CardinalityAscendingAttributeOrder(const Table& table);
+
+/// Materializes a reordered copy of the table: row i of the result is row
+/// `order[i]` of the input. `order` must be a permutation of [0, rows).
+Result<Table> ReorderRows(const Table& table,
+                          const std::vector<uint32_t>& order);
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_REORDER_H_

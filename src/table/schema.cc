@@ -1,0 +1,39 @@
+#include "table/schema.h"
+
+#include <unordered_set>
+
+namespace incdb {
+
+Schema::Schema(std::vector<AttributeSpec> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> names;
+  for (const AttributeSpec& attr : attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (attr.cardinality == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' must have positive cardinality");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::AlreadyExists("duplicate attribute name '" + attr.name +
+                                   "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return attributes_ == other.attributes_;
+}
+
+}  // namespace incdb

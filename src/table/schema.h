@@ -1,0 +1,48 @@
+#ifndef INCDB_TABLE_SCHEMA_H_
+#define INCDB_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace incdb {
+
+/// Static description of one attribute: its name and cardinality C_i.
+/// Values of the attribute range over 1..cardinality, with 0 = missing.
+struct AttributeSpec {
+  std::string name;
+  uint32_t cardinality = 0;
+};
+
+/// An ordered list of attributes (A_1, ..., A_d).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attributes);
+
+  /// Validates that every attribute has a non-empty unique name and a
+  /// positive cardinality.
+  Status Validate() const;
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+};
+
+inline bool operator==(const AttributeSpec& a, const AttributeSpec& b) {
+  return a.name == b.name && a.cardinality == b.cardinality;
+}
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_SCHEMA_H_

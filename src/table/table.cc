@@ -1,0 +1,66 @@
+#include "table/table.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace incdb {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_attributes());
+  for (const AttributeSpec& attr : schema_.attributes()) {
+    columns_.emplace_back(attr.cardinality);
+  }
+}
+
+Result<Table> Table::Create(Schema schema) {
+  INCDB_RETURN_IF_ERROR(schema.Validate());
+  return Table(std::move(schema));
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " attributes");
+  }
+  // Validate the whole row before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value v = row[i];
+    if (v != kMissingValue &&
+        (v < 1 || static_cast<uint32_t>(v) > columns_[i].cardinality())) {
+      return Status::OutOfRange(
+          "attribute '" + schema_.attribute(i).name + "': value " +
+          std::to_string(v) + " outside domain [1, " +
+          std::to_string(columns_[i].cardinality()) + "]");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].AppendUnchecked(row[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const std::vector<Value>& row) {
+  INCDB_DCHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].AppendUnchecked(row[i]);
+  }
+  ++num_rows_;
+}
+
+std::string Table::Summary() const {
+  uint64_t missing = 0;
+  for (const Column& col : columns_) missing += col.MissingCount();
+  const uint64_t cells = num_rows_ * num_attributes();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "rows=%llu attrs=%zu missing=%.1f%%",
+                static_cast<unsigned long long>(num_rows_), num_attributes(),
+                cells == 0 ? 0.0 : 100.0 * static_cast<double>(missing) /
+                                       static_cast<double>(cells));
+  return buf;
+}
+
+}  // namespace incdb

@@ -1,0 +1,61 @@
+#ifndef INCDB_TABLE_TABLE_H_
+#define INCDB_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace incdb {
+
+/// An in-memory incomplete database: a schema plus columnar storage where
+/// any cell may be missing. This is the substrate every index in incdb is
+/// built over and the ground truth queries are refined against.
+class Table {
+ public:
+  /// Creates an empty table for `schema`. Fails if the schema is invalid.
+  static Result<Table> Create(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a full row; `row[i]` is the value of attribute i
+  /// (kMissingValue for missing cells). Validates domain membership.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Cell accessors.
+  Value Get(uint64_t row, size_t attr) const { return columns_[attr].Get(row); }
+  bool IsMissingAt(uint64_t row, size_t attr) const {
+    return columns_[attr].IsMissingAt(row);
+  }
+
+  const Column& column(size_t attr) const { return columns_[attr]; }
+
+  /// Raw bytes to store the data verbatim (one Value per cell) — the
+  /// reference point for index-size comparisons.
+  uint64_t DataSizeInBytes() const {
+    return num_rows_ * num_attributes() * sizeof(Value);
+  }
+
+  /// Human-readable one-line summary ("rows=... attrs=... missing=...%").
+  std::string Summary() const;
+
+  // Generator fast path: appends without per-cell validation.
+  void AppendRowUnchecked(const std::vector<Value>& row);
+
+ private:
+  explicit Table(Schema schema);
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_TABLE_H_

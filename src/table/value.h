@@ -1,0 +1,23 @@
+#ifndef INCDB_TABLE_VALUE_H_
+#define INCDB_TABLE_VALUE_H_
+
+#include <cstdint>
+
+namespace incdb {
+
+/// A cell value. Following the paper's problem definition, every attribute
+/// domain is the integers 1..C_i (C_i = attribute cardinality); the reserved
+/// value 0 denotes a missing cell.
+using Value = int32_t;
+
+/// The missing-cell marker. It is intentionally *outside* every attribute
+/// domain (domains start at 1), mirroring the paper's treatment of missing
+/// as "the next smallest possible value outside the lower bound".
+constexpr Value kMissingValue = 0;
+
+/// True if `v` denotes a missing cell.
+constexpr bool IsMissing(Value v) { return v == kMissingValue; }
+
+}  // namespace incdb
+
+#endif  // INCDB_TABLE_VALUE_H_

@@ -1,0 +1,126 @@
+// Bit-sliced encoding (BSL) specifics: slice layout on the paper's worked
+// example, the ceil(lg(C+1)) storage bound, and the O(lg C) access bound.
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitmap_index.h"
+#include "core/executor.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Table PaperExampleTable() {
+  auto table = Table::Create(Schema({{"A1", 5}})).value();
+  for (Value v : {5, 2, 3, kMissingValue, 4, 5, 1, 3, kMissingValue, 2}) {
+    EXPECT_TRUE(table.AppendRow({v}).ok());
+  }
+  return table;
+}
+
+std::string Bits(const WahBitVector& wah) {
+  return wah.Decompress().ToString();
+}
+
+BitmapIndex BuildBsl(const Table& table) {
+  return BitmapIndex::Build(
+             table, {BitmapEncoding::kBitSliced, MissingStrategy::kExtraBitmap})
+      .value();
+}
+
+// C = 5 → b = 3 slices. Codes: 5,2,3,0,4,5,1,3,0,2.
+TEST(BitSlicedTest, SliceLayoutOnPaperExample) {
+  const Table table = PaperExampleTable();
+  const BitmapIndex index = BuildBsl(table);
+  EXPECT_EQ(index.NumBitmaps(0), 4u);  // 3 slices + missing bitmap
+  ASSERT_NE(index.missing_bitmap(0), nullptr);
+  EXPECT_EQ(Bits(*index.missing_bitmap(0)), "0001000010");
+  EXPECT_EQ(Bits(index.value_bitmap(0, 1)), "1010011100");  // S_0 (bit 0)
+  EXPECT_EQ(Bits(index.value_bitmap(0, 2)), "0110000101");  // S_1 (bit 1)
+  EXPECT_EQ(Bits(index.value_bitmap(0, 3)), "1000110000");  // S_2 (bit 2)
+}
+
+TEST(BitSlicedTest, StoresLogarithmicallyManyBitmaps) {
+  for (uint32_t cardinality : {1u, 2u, 3u, 7u, 8u, 100u, 165u}) {
+    const Table table =
+        GenerateTable(UniformSpec(100, cardinality, 0.2, 1, 801)).value();
+    const BitmapIndex index = BuildBsl(table);
+    int expected_slices = 0;
+    while ((1u << expected_slices) < cardinality + 1) ++expected_slices;
+    EXPECT_EQ(index.NumBitmaps(0),
+              static_cast<size_t>(expected_slices) + 1)
+        << "C=" << cardinality;
+  }
+}
+
+TEST(BitSlicedTest, SmallestBitmapIndexAtHighCardinality) {
+  const Table table = GenerateTable(UniformSpec(20000, 100, 0.1, 2, 803)).value();
+  const uint64_t bsl = BuildBsl(table).SizeInBytes();
+  const uint64_t bee = BitmapIndex::Build(table, {}).value().SizeInBytes();
+  const uint64_t bie =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+          .value()
+          .SizeInBytes();
+  EXPECT_LT(bsl, bee);
+  EXPECT_LT(bsl, bie);
+}
+
+TEST(BitSlicedTest, AccessBoundIsLogarithmic) {
+  const Table table = GenerateTable(UniformSpec(300, 100, 0.25, 1, 805)).value();
+  const BitmapIndex index = BuildBsl(table);
+  const uint64_t slices = 7;  // ceil(lg 101)
+  for (Value lo : {1, 2, 37, 50, 99, 100}) {
+    for (Value hi : {std::min<Value>(lo + 9, 100), Value{100}}) {
+      if (hi < lo) continue;
+      QueryStats stats;
+      ASSERT_TRUE(
+          index.EvaluateInterval(0, {lo, hi}, MissingSemantics::kMatch, &stats)
+              .ok());
+      // At most two LE circuits (b slices each) plus the missing bitmap
+      // twice (subtraction + re-OR).
+      EXPECT_LE(stats.bitvectors_accessed, 2 * slices + 2)
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(BitSlicedTest, ExhaustiveSmallDomains) {
+  for (uint32_t cardinality : {1u, 2u, 3u, 4u, 7u, 8u, 9u}) {
+    const Table table =
+        GenerateTable(UniformSpec(400, cardinality, 0.3, 1, 807 + cardinality))
+            .value();
+    const BitmapIndex index = BuildBsl(table);
+    std::vector<RangeQuery> queries;
+    for (Value lo = 1; lo <= static_cast<Value>(cardinality); ++lo) {
+      for (Value hi = lo; hi <= static_cast<Value>(cardinality); ++hi) {
+        for (MissingSemantics semantics :
+             {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+          RangeQuery q;
+          q.terms = {{0, {lo, hi}}};
+          q.semantics = semantics;
+          queries.push_back(q);
+        }
+      }
+    }
+    EXPECT_TRUE(VerifyAgainstOracle(index, table, queries).ok())
+        << "cardinality " << cardinality;
+  }
+}
+
+TEST(BitSlicedTest, RejectsAlternativeMissingStrategies) {
+  const Table table = GenerateTable(UniformSpec(50, 5, 0.2, 1, 821)).value();
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kBitSliced, MissingStrategy::kAllOnes})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BitSlicedTest, NameIsBsl) {
+  const Table table = GenerateTable(UniformSpec(10, 5, 0.0, 1, 823)).value();
+  EXPECT_EQ(BuildBsl(table).Name(), "BSL-WAH");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,65 @@
+// The compressed COUNT fast path must agree with materialize-then-count
+// for every encoding and semantics.
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitmap_index.h"
+#include "core/index_factory.h"
+#include "query/workload.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+TEST(BitmapCountTest, MatchesMaterializedCountAcrossEncodings) {
+  const Table table = GenerateTable(UniformSpec(1500, 11, 0.3, 5, 901)).value();
+  for (BitmapEncoding encoding :
+       {BitmapEncoding::kEquality, BitmapEncoding::kRange,
+        BitmapEncoding::kInterval, BitmapEncoding::kBitSliced}) {
+    const BitmapIndex index =
+        BitmapIndex::Build(table, {encoding, MissingStrategy::kExtraBitmap})
+            .value();
+    WorkloadParams params;
+    params.num_queries = 25;
+    params.dims = 3;
+    params.global_selectivity = 0.05;
+    for (MissingSemantics semantics :
+         {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+      params.semantics = semantics;
+      params.seed = 17;
+      const auto queries = GenerateWorkload(table, params);
+      ASSERT_TRUE(queries.ok());
+      for (const RangeQuery& q : queries.value()) {
+        const auto fast = index.ExecuteCount(q);
+        const auto slow = index.Execute(q);
+        ASSERT_TRUE(fast.ok());
+        ASSERT_TRUE(slow.ok());
+        EXPECT_EQ(fast.value(), slow.value().Count())
+            << BitmapEncodingToString(encoding);
+      }
+    }
+  }
+}
+
+TEST(BitmapCountTest, DefaultInterfacePathAlsoWorks) {
+  const Table table = GenerateTable(UniformSpec(500, 7, 0.2, 3, 903)).value();
+  // VA-file uses the IncompleteIndex default (execute + count).
+  const auto va = CreateIndex(IndexKind::kVaFile, table).value();
+  const auto scan = CreateIndex(IndexKind::kSequentialScan, table).value();
+  RangeQuery q;
+  q.terms = {{0, {2, 5}}, {1, {1, 4}}};
+  q.semantics = MissingSemantics::kMatch;
+  EXPECT_EQ(va->ExecuteCount(q).value(), scan->ExecuteCount(q).value());
+}
+
+TEST(BitmapCountTest, PropagatesErrors) {
+  const Table table = GenerateTable(UniformSpec(100, 5, 0.1, 2, 905)).value();
+  const BitmapIndex index = BitmapIndex::Build(table, {}).value();
+  RangeQuery q;
+  q.terms = {{9, {1, 1}}};
+  EXPECT_FALSE(index.ExecuteCount(q).ok());
+  EXPECT_FALSE(index.ExecuteCount(RangeQuery{}).ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,236 @@
+#include "bitmap/bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Table MakeUniform(uint64_t rows, uint32_t cardinality, double missing,
+                  size_t attrs, uint64_t seed = 42) {
+  return GenerateTable(UniformSpec(rows, cardinality, missing, attrs, seed))
+      .value();
+}
+
+TEST(BitmapIndexTest, RejectsEmptyTable) {
+  auto table = Table::Create(Schema({{"x", 5}})).value();
+  EXPECT_FALSE(BitmapIndex::Build(table, {}).ok());
+}
+
+TEST(BitmapIndexTest, RejectsAlternativeStrategiesWithRangeEncoding) {
+  const Table table = MakeUniform(10, 5, 0.2, 1);
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kRange, MissingStrategy::kAllOnes})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kRange, MissingStrategy::kAllZeros})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BitmapIndexTest, RejectsAllOnesOnCardinalityOneWithMissing) {
+  // Paper §4.2: with the all-ones alternative it is "impossible to
+  // distinguish between missing values and a real value when the
+  // cardinality of the attribute is 1".
+  auto table = Table::Create(Schema({{"flag", 1}})).value();
+  ASSERT_TRUE(table.AppendRow({1}).ok());
+  ASSERT_TRUE(table.AppendRow({kMissingValue}).ok());
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kEquality, MissingStrategy::kAllOnes})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BitmapIndexTest, NamesEncodeConfiguration) {
+  const Table table = MakeUniform(10, 5, 0.2, 1);
+  EXPECT_EQ(BitmapIndex::Build(table, {}).value().Name(), "BEE-WAH");
+  EXPECT_EQ(BitmapIndex::Build(table, {BitmapEncoding::kRange,
+                                       MissingStrategy::kExtraBitmap})
+                .value()
+                .Name(),
+            "BRE-WAH");
+  EXPECT_EQ(BitmapIndex::Build(table, {BitmapEncoding::kEquality,
+                                       MissingStrategy::kAllOnes})
+                .value()
+                .Name(),
+            "BEE-WAH(all-ones)");
+}
+
+TEST(BitmapIndexTest, BitmapCountsFollowPaper) {
+  // C bitmaps without missing data; +1 with (equality). Range encoding
+  // drops the all-ones top bitmap: C-1 without missing data, C with.
+  const Table complete = MakeUniform(50, 8, 0.0, 1);
+  const Table incomplete = MakeUniform(50, 8, 0.3, 1);
+  EXPECT_EQ(BitmapIndex::Build(complete, {}).value().NumBitmaps(0), 8u);
+  EXPECT_EQ(BitmapIndex::Build(incomplete, {}).value().NumBitmaps(0), 9u);
+  const BitmapIndex::Options range_opts{BitmapEncoding::kRange,
+                                        MissingStrategy::kExtraBitmap};
+  EXPECT_EQ(BitmapIndex::Build(complete, range_opts).value().NumBitmaps(0),
+            7u);
+  EXPECT_EQ(BitmapIndex::Build(incomplete, range_opts).value().NumBitmaps(0),
+            8u);
+}
+
+TEST(BitmapIndexTest, EvaluateIntervalValidatesArguments) {
+  const Table table = MakeUniform(20, 5, 0.2, 2);
+  const BitmapIndex index = BitmapIndex::Build(table, {}).value();
+  EXPECT_EQ(index.EvaluateInterval(9, {1, 1}, MissingSemantics::kMatch)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(index.EvaluateInterval(0, {0, 3}, MissingSemantics::kMatch).ok());
+  EXPECT_FALSE(index.EvaluateInterval(0, {1, 6}, MissingSemantics::kMatch).ok());
+  EXPECT_FALSE(index.EvaluateInterval(0, {4, 2}, MissingSemantics::kMatch).ok());
+}
+
+TEST(BitmapIndexTest, AlternativeStrategiesRejectWrongSemantics) {
+  const Table table = MakeUniform(20, 5, 0.2, 1);
+  const BitmapIndex all_ones =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kEquality, MissingStrategy::kAllOnes})
+          .value();
+  EXPECT_EQ(all_ones.EvaluateInterval(0, {1, 2}, MissingSemantics::kNoMatch)
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+  const BitmapIndex all_zeros =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kEquality, MissingStrategy::kAllZeros})
+          .value();
+  EXPECT_EQ(all_zeros.EvaluateInterval(0, {1, 2}, MissingSemantics::kMatch)
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BitmapIndexTest, ExecuteRejectsEmptyQuery) {
+  const Table table = MakeUniform(20, 5, 0.2, 1);
+  const BitmapIndex index = BitmapIndex::Build(table, {}).value();
+  EXPECT_FALSE(index.Execute(RangeQuery{}).ok());
+}
+
+TEST(BitmapIndexTest, StatsCountBitvectorAccesses) {
+  const Table table = MakeUniform(100, 10, 0.2, 1);
+  const BitmapIndex bee = BitmapIndex::Build(table, {}).value();
+  QueryStats stats;
+  // Narrow interval [2,4] under match semantics: 3 value bitmaps + B_0.
+  ASSERT_TRUE(
+      bee.EvaluateInterval(0, {2, 4}, MissingSemantics::kMatch, &stats).ok());
+  EXPECT_EQ(stats.bitvectors_accessed, 4u);
+  stats.Reset();
+  // Wide interval [1,9]: complement path reads only the 1 outside bitmap.
+  ASSERT_TRUE(
+      bee.EvaluateInterval(0, {1, 9}, MissingSemantics::kMatch, &stats).ok());
+  EXPECT_EQ(stats.bitvectors_accessed, 1u);
+}
+
+TEST(BitmapIndexTest, RangeEncodingUsesAtMostThreeBitvectors) {
+  // Paper §4.3: 1-3 bitvector accesses per dimension under match semantics,
+  // 1-2 under no-match.
+  const Table table = MakeUniform(200, 20, 0.3, 1, 7);
+  const BitmapIndex bre =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap})
+          .value();
+  for (Value lo = 1; lo <= 20; ++lo) {
+    for (Value hi = lo; hi <= 20; ++hi) {
+      QueryStats stats;
+      ASSERT_TRUE(
+          bre.EvaluateInterval(0, {lo, hi}, MissingSemantics::kMatch, &stats)
+              .ok());
+      EXPECT_LE(stats.bitvectors_accessed, 3u);
+      stats.Reset();
+      ASSERT_TRUE(
+          bre.EvaluateInterval(0, {lo, hi}, MissingSemantics::kNoMatch, &stats)
+              .ok());
+      EXPECT_LE(stats.bitvectors_accessed, 2u);
+    }
+  }
+}
+
+TEST(BitmapIndexTest, EqualityWorstCaseAccessBound) {
+  // Paper §4.2: at most min(AS, 1-AS) * C + 1 bitvectors per interval.
+  const Table table = MakeUniform(200, 10, 0.2, 1, 9);
+  const BitmapIndex bee = BitmapIndex::Build(table, {}).value();
+  for (Value lo = 1; lo <= 10; ++lo) {
+    for (Value hi = lo; hi <= 10; ++hi) {
+      QueryStats stats;
+      ASSERT_TRUE(
+          bee.EvaluateInterval(0, {lo, hi}, MissingSemantics::kMatch, &stats)
+              .ok());
+      const uint64_t width = static_cast<uint64_t>(hi - lo + 1);
+      const uint64_t bound = std::min(width, 10 - width) + 1;
+      EXPECT_LE(stats.bitvectors_accessed, bound)
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(BitmapIndexTest, SizeAccountingConsistent) {
+  const Table table = MakeUniform(1000, 10, 0.2, 3, 11);
+  const BitmapIndex index = BitmapIndex::Build(table, {}).value();
+  uint64_t per_attr = 0;
+  for (size_t a = 0; a < 3; ++a) per_attr += index.AttributeSizeInBytes(a);
+  EXPECT_EQ(index.SizeInBytes(), per_attr);
+  EXPECT_GT(index.VerbatimSizeInBytes(), 0u);
+  EXPECT_NEAR(index.CompressionRatio(),
+              static_cast<double>(index.SizeInBytes()) /
+                  static_cast<double>(index.VerbatimSizeInBytes()),
+              1e-12);
+}
+
+TEST(BitmapIndexTest, EqualityCompressesBetterThanRangeOnUniformData) {
+  // Fig. 4's central size finding: BEE benefits from WAH, BRE does not.
+  // (At C = 100 each value bitmap has ~0.9% density, where WAH pays off.)
+  const Table table = MakeUniform(20000, 100, 0.1, 2, 13);
+  const BitmapIndex bee = BitmapIndex::Build(table, {}).value();
+  const BitmapIndex bre =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap})
+          .value();
+  EXPECT_LT(bee.CompressionRatio(), 0.5);
+  EXPECT_GT(bre.CompressionRatio(), 0.9);
+  EXPECT_LT(bee.SizeInBytes(), bre.SizeInBytes());
+}
+
+TEST(BitmapIndexTest, MoreMissingDataImprovesEqualityCompression) {
+  // Fig. 4(b): raising the missing rate shrinks the equality index (value
+  // bitmaps get sparser; the missing bitmap compresses well).
+  const BitmapIndex low =
+      BitmapIndex::Build(MakeUniform(20000, 50, 0.1, 1, 17), {}).value();
+  const BitmapIndex high =
+      BitmapIndex::Build(MakeUniform(20000, 50, 0.5, 1, 17), {}).value();
+  EXPECT_LT(high.SizeInBytes(), low.SizeInBytes());
+}
+
+TEST(BitmapIndexTest, CompleteAttributeHasNoMissingBitmap) {
+  const Table table = MakeUniform(100, 5, 0.0, 1);
+  const BitmapIndex index = BitmapIndex::Build(table, {}).value();
+  EXPECT_EQ(index.missing_bitmap(0), nullptr);
+}
+
+TEST(BitmapIndexTest, CardinalityOneRangeEncoding) {
+  auto table = Table::Create(Schema({{"flag", 1}})).value();
+  ASSERT_TRUE(table.AppendRow({1}).ok());
+  ASSERT_TRUE(table.AppendRow({kMissingValue}).ok());
+  ASSERT_TRUE(table.AppendRow({1}).ok());
+  const BitmapIndex bre =
+      BitmapIndex::Build(table,
+                         {BitmapEncoding::kRange, MissingStrategy::kExtraBitmap})
+          .value();
+  RangeQuery q;
+  q.terms = {{0, {1, 1}}};
+  q.semantics = MissingSemantics::kMatch;
+  EXPECT_EQ(bre.Execute(q).value().Count(), 3u);
+  q.semantics = MissingSemantics::kNoMatch;
+  EXPECT_EQ(bre.Execute(q).value().ToIndices(),
+            (std::vector<uint32_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,134 @@
+// Interval encoding (BIE) specifics: window-bitmap layout on the paper's
+// worked example, the n = C - ceil(C/2) + 1 storage bound, and the
+// two-bitmap query-access guarantee.
+
+#include <gtest/gtest.h>
+
+#include "bitmap/bitmap_index.h"
+#include "core/executor.h"
+#include "query/workload.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Table PaperExampleTable() {
+  auto table = Table::Create(Schema({{"A1", 5}})).value();
+  for (Value v : {5, 2, 3, kMissingValue, 4, 5, 1, 3, kMissingValue, 2}) {
+    EXPECT_TRUE(table.AppendRow({v}).ok());
+  }
+  return table;
+}
+
+std::string Bits(const WahBitVector& wah) {
+  return wah.Decompress().ToString();
+}
+
+// C = 5 → m = 3, n = 3: I_1 = [1,3], I_2 = [2,4], I_3 = [3,5]. Data:
+// 5,2,3,?,4,5,1,3,?,2.
+TEST(IntervalEncodingTest, WindowBitmapsOnPaperExample) {
+  const Table table = PaperExampleTable();
+  const BitmapIndex index =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+          .value();
+  EXPECT_EQ(index.NumBitmaps(0), 4u);  // n = 3 windows + missing bitmap
+  ASSERT_NE(index.missing_bitmap(0), nullptr);
+  EXPECT_EQ(Bits(*index.missing_bitmap(0)), "0001000010");
+  EXPECT_EQ(Bits(index.value_bitmap(0, 1)), "0110001101");  // values 1-3
+  EXPECT_EQ(Bits(index.value_bitmap(0, 2)), "0110100101");  // values 2-4
+  EXPECT_EQ(Bits(index.value_bitmap(0, 3)), "1010110100");  // values 3-5
+}
+
+TEST(IntervalEncodingTest, StoresRoughlyHalfTheBitmapsOfEquality) {
+  for (uint32_t cardinality : {2u, 3u, 10u, 50u, 101u}) {
+    const Table table =
+        GenerateTable(UniformSpec(200, cardinality, 0.2, 1, 501)).value();
+    const BitmapIndex bie =
+        BitmapIndex::Build(
+            table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+            .value();
+    const BitmapIndex bee = BitmapIndex::Build(table, {}).value();
+    const size_t expected_windows = cardinality - (cardinality + 1) / 2 + 1;
+    EXPECT_EQ(bie.NumBitmaps(0), expected_windows + 1) << cardinality;
+    EXPECT_LE(bie.NumBitmaps(0), bee.NumBitmaps(0) / 2 + 2) << cardinality;
+  }
+}
+
+// The interval encoding's defining guarantee: any interval needs at most 2
+// window bitmaps (+1 for the missing bitvector under match semantics).
+TEST(IntervalEncodingTest, AtMostTwoWindowBitmapsPerInterval) {
+  const Table table = GenerateTable(UniformSpec(300, 20, 0.25, 1, 503)).value();
+  const BitmapIndex bie =
+      BitmapIndex::Build(
+          table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+          .value();
+  for (Value lo = 1; lo <= 20; ++lo) {
+    for (Value hi = lo; hi <= 20; ++hi) {
+      QueryStats stats;
+      ASSERT_TRUE(
+          bie.EvaluateInterval(0, {lo, hi}, MissingSemantics::kMatch, &stats)
+              .ok());
+      EXPECT_LE(stats.bitvectors_accessed, 3u) << "[" << lo << "," << hi << "]";
+      stats.Reset();
+      ASSERT_TRUE(
+          bie.EvaluateInterval(0, {lo, hi}, MissingSemantics::kNoMatch, &stats)
+              .ok());
+      EXPECT_LE(stats.bitvectors_accessed, 2u) << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+// Exhaustive correctness for the odd/even cardinality corner geometry.
+TEST(IntervalEncodingTest, ExhaustiveSmallDomains) {
+  for (uint32_t cardinality : {1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+    const Table table =
+        GenerateTable(UniformSpec(400, cardinality, 0.3, 1, 505 + cardinality))
+            .value();
+    const BitmapIndex bie =
+        BitmapIndex::Build(
+            table, {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+            .value();
+    std::vector<RangeQuery> queries;
+    for (Value lo = 1; lo <= static_cast<Value>(cardinality); ++lo) {
+      for (Value hi = lo; hi <= static_cast<Value>(cardinality); ++hi) {
+        for (MissingSemantics semantics :
+             {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+          RangeQuery q;
+          q.terms = {{0, {lo, hi}}};
+          q.semantics = semantics;
+          queries.push_back(q);
+        }
+      }
+    }
+    EXPECT_TRUE(VerifyAgainstOracle(bie, table, queries).ok())
+        << "cardinality " << cardinality;
+  }
+}
+
+TEST(IntervalEncodingTest, RejectsAlternativeMissingStrategies) {
+  const Table table = GenerateTable(UniformSpec(50, 5, 0.2, 1, 521)).value();
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kInterval, MissingStrategy::kAllOnes})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(BitmapIndex::Build(
+                table, {BitmapEncoding::kInterval, MissingStrategy::kAllZeros})
+                .status()
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(IntervalEncodingTest, NameIsBie) {
+  const Table table = GenerateTable(UniformSpec(10, 5, 0.0, 1, 523)).value();
+  EXPECT_EQ(BitmapIndex::Build(
+                table,
+                {BitmapEncoding::kInterval, MissingStrategy::kExtraBitmap})
+                .value()
+                .Name(),
+            "BIE-WAH");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,65 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(BitUtilTest, PopCount) {
+  EXPECT_EQ(bitutil::PopCount(0), 0);
+  EXPECT_EQ(bitutil::PopCount(1), 1);
+  EXPECT_EQ(bitutil::PopCount(~uint64_t{0}), 64);
+  EXPECT_EQ(bitutil::PopCount(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+TEST(BitUtilTest, PopCount32) {
+  EXPECT_EQ(bitutil::PopCount32(0), 0);
+  EXPECT_EQ(bitutil::PopCount32(0xFFFFFFFFu), 32);
+  EXPECT_EQ(bitutil::PopCount32(0x7FFFFFFFu), 31);
+}
+
+TEST(BitUtilTest, CountTrailingZeros) {
+  EXPECT_EQ(bitutil::CountTrailingZeros(1), 0);
+  EXPECT_EQ(bitutil::CountTrailingZeros(2), 1);
+  EXPECT_EQ(bitutil::CountTrailingZeros(uint64_t{1} << 63), 63);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(bitutil::CeilDiv(0, 8), 0u);
+  EXPECT_EQ(bitutil::CeilDiv(1, 8), 1u);
+  EXPECT_EQ(bitutil::CeilDiv(8, 8), 1u);
+  EXPECT_EQ(bitutil::CeilDiv(9, 8), 2u);
+  EXPECT_EQ(bitutil::CeilDiv(64, 31), 3u);
+}
+
+TEST(BitUtilTest, Log2Ceil) {
+  EXPECT_EQ(bitutil::Log2Ceil(1), 0);
+  EXPECT_EQ(bitutil::Log2Ceil(2), 1);
+  EXPECT_EQ(bitutil::Log2Ceil(3), 2);
+  EXPECT_EQ(bitutil::Log2Ceil(4), 2);
+  EXPECT_EQ(bitutil::Log2Ceil(5), 3);
+  EXPECT_EQ(bitutil::Log2Ceil(1024), 10);
+  EXPECT_EQ(bitutil::Log2Ceil(1025), 11);
+}
+
+// Paper §4.5: b_i = ceil(lg(C_i + 1)). Table 5/6 example uses C = 6 → 3
+// bits would be the paper default; the worked example packs into 2 bits by
+// overriding, which our VaFile Options support.
+TEST(BitUtilTest, BitsForCardinality) {
+  EXPECT_EQ(bitutil::BitsForCardinality(1), 1);   // value + missing
+  EXPECT_EQ(bitutil::BitsForCardinality(2), 2);
+  EXPECT_EQ(bitutil::BitsForCardinality(3), 2);
+  EXPECT_EQ(bitutil::BitsForCardinality(6), 3);
+  EXPECT_EQ(bitutil::BitsForCardinality(7), 3);
+  EXPECT_EQ(bitutil::BitsForCardinality(100), 7);
+}
+
+TEST(BitUtilTest, LowBitsMask) {
+  EXPECT_EQ(bitutil::LowBitsMask(0), 0u);
+  EXPECT_EQ(bitutil::LowBitsMask(1), 1u);
+  EXPECT_EQ(bitutil::LowBitsMask(31), 0x7FFFFFFFu);
+  EXPECT_EQ(bitutil::LowBitsMask(64), ~uint64_t{0});
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,77 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace incdb {
+namespace {
+
+TEST(BinaryIoTest, ScalarRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI32(-42);
+  writer.WriteDouble(3.25);
+  ASSERT_TRUE(writer.status().ok());
+
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI32().value(), -42);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().value(), 3.25);
+}
+
+TEST(BinaryIoTest, StringRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteString("hello");
+  writer.WriteString("");
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_EQ(reader.ReadString().value(), "");
+}
+
+TEST(BinaryIoTest, VectorRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU32Vector({1, 2, 0xFFFFFFFF});
+  writer.WriteU32Vector({});
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadU32Vector().value(),
+            (std::vector<uint32_t>{1, 2, 0xFFFFFFFF}));
+  EXPECT_TRUE(reader.ReadU32Vector().value().empty());
+}
+
+TEST(BinaryIoTest, TruncatedInputFails) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU32(7);
+  BinaryReader reader(stream);
+  ASSERT_TRUE(reader.ReadU32().ok());
+  EXPECT_EQ(reader.ReadU32().status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, CorruptedLengthPrefixRejected) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(uint64_t{1} << 60);  // absurd string length
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadString().status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, LittleEndianLayout) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU32(0x04030201);
+  const std::string bytes = stream.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x04);
+}
+
+}  // namespace
+}  // namespace incdb

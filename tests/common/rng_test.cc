@@ -1,0 +1,139 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace incdb {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(1, 10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(0, 9)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 4 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(29);
+  const std::vector<uint32_t> perm = rng.Permutation(100);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 100u);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ZipfSamplerTest, UniformWhenThetaZero) {
+  Rng rng(31);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(11, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  for (int v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(counts[v], n / 10, 5 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(ZipfSamplerTest, SkewsTowardSmallValues) {
+  Rng rng(37);
+  ZipfSampler sampler(100, 1.2);
+  int low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(rng) <= 5) ++low;
+  }
+  // With theta = 1.2 the first five ranks carry well over half the mass.
+  EXPECT_GT(static_cast<double>(low) / n, 0.5);
+}
+
+TEST(ZipfSamplerTest, StaysInDomain) {
+  Rng rng(41);
+  ZipfSampler sampler(7, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t v = sampler.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(ZipfSamplerTest, CardinalityOne) {
+  Rng rng(43);
+  ZipfSampler sampler(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace incdb

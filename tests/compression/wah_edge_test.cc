@@ -1,0 +1,140 @@
+// Adversarial WAH structures: fill-count saturation, pathological
+// alternation, run boundaries straddling the active word, and ops between
+// maximally different layouts.
+
+#include <gtest/gtest.h>
+
+#include "compression/wah_bitvector.h"
+
+namespace incdb {
+namespace {
+
+TEST(WahEdgeTest, AlternatingGroupsNeverCompress) {
+  // 31 ones, 31 zeros, repeated: every group is a one-fill or zero-fill of
+  // length exactly 1 — adjacent fills of different bits must NOT merge.
+  WahBitVector wah;
+  for (int i = 0; i < 100; ++i) {
+    wah.AppendRun(i % 2 == 0, 31);
+  }
+  EXPECT_EQ(wah.size(), 3100u);
+  EXPECT_EQ(wah.NumWords(), 100u);
+  EXPECT_EQ(wah.Count(), 50u * 31u);
+  // Round trip to be sure the structure decodes.
+  EXPECT_EQ(WahBitVector::Compress(wah.Decompress()).NumWords(), 100u);
+}
+
+TEST(WahEdgeTest, AlternatingBitsWithinGroups) {
+  // 0101... within each group: all literals.
+  WahBitVector wah;
+  for (int i = 0; i < 31 * 10; ++i) wah.AppendBit(i % 2 == 1);
+  EXPECT_EQ(wah.NumWords(), 10u);
+  EXPECT_EQ(wah.Count(), 31u * 5);
+}
+
+TEST(WahEdgeTest, RunStraddlingActiveWord) {
+  // Start mid-group, append a run that crosses several group boundaries.
+  WahBitVector wah;
+  for (int i = 0; i < 17; ++i) wah.AppendBit(false);
+  wah.AppendRun(true, 31 * 3 + 5);
+  EXPECT_EQ(wah.size(), 17u + 31u * 3 + 5u);
+  EXPECT_EQ(wah.Count(), 31u * 3 + 5u);
+  const BitVector dense = wah.Decompress();
+  for (uint64_t i = 0; i < wah.size(); ++i) {
+    EXPECT_EQ(dense.Get(i), i >= 17) << i;
+  }
+}
+
+TEST(WahEdgeTest, OpsBetweenFillHeavyAndLiteralHeavy) {
+  // a: one giant fill; b: all literals. Exercises the fill-vs-literal
+  // decoder path for the whole length.
+  const uint64_t n = 31 * 5000;
+  WahBitVector a = WahBitVector::Fill(n, true);
+  WahBitVector b;
+  for (uint64_t i = 0; i < n; ++i) b.AppendBit(i % 3 == 0);
+  const WahBitVector c = a.And(b);
+  EXPECT_EQ(c.Count(), b.Count());
+  EXPECT_TRUE(c.Decompress() == b.Decompress());
+  const WahBitVector d = a.Xor(b);
+  EXPECT_EQ(d.Count(), n - b.Count());
+}
+
+TEST(WahEdgeTest, MisalignedFillRunsInterleave) {
+  // Runs offset by a prime length force every op step to split fills.
+  WahBitVector a;
+  WahBitVector b;
+  const uint64_t n = 31 * 1000;
+  uint64_t i = 0;
+  bool bit = false;
+  while (i < n) {
+    const uint64_t run = std::min<uint64_t>(97, n - i);
+    a.AppendRun(bit, run);
+    i += run;
+    bit = !bit;
+  }
+  i = 0;
+  bit = true;
+  while (i < n) {
+    const uint64_t run = std::min<uint64_t>(131, n - i);
+    b.AppendRun(bit, run);
+    i += run;
+    bit = !bit;
+  }
+  EXPECT_TRUE(a.Or(b).Decompress() == Or(a.Decompress(), b.Decompress()));
+  EXPECT_TRUE(a.Xor(b).Decompress() == Xor(a.Decompress(), b.Decompress()));
+}
+
+TEST(WahEdgeTest, SingleBitVectors) {
+  WahBitVector a;
+  a.AppendBit(true);
+  WahBitVector b;
+  b.AppendBit(false);
+  EXPECT_EQ(a.And(b).Count(), 0u);
+  EXPECT_EQ(a.Or(b).Count(), 1u);
+  EXPECT_EQ(a.Not().Count(), 0u);
+  EXPECT_EQ(b.Not().Count(), 1u);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(WahEdgeTest, EmptyOperands) {
+  WahBitVector a;
+  WahBitVector b;
+  EXPECT_EQ(a.And(b).size(), 0u);
+  EXPECT_EQ(a.Or(b).size(), 0u);
+  EXPECT_EQ(a.Not().size(), 0u);
+  EXPECT_TRUE(a.Decompress() == BitVector());
+}
+
+TEST(WahEdgeTest, CountOnSaturatedFillChain) {
+  // Multiple maximal fill words chained (each fill word holds at most
+  // 2^30 - 1 groups).
+  const uint64_t giant = (uint64_t{1} << 30) * 31 + 31 * 7;
+  WahBitVector wah;
+  wah.AppendRun(true, giant);
+  EXPECT_EQ(wah.size(), giant);
+  EXPECT_EQ(wah.Count(), giant);
+  EXPECT_GE(wah.NumWords(), 2u);  // saturation forces a second fill word
+  const WahBitVector inverted = wah.Not();
+  EXPECT_EQ(inverted.Count(), 0u);
+  EXPECT_EQ(inverted.size(), giant);
+}
+
+TEST(WahEdgeTest, GetAcrossStructures) {
+  WahBitVector wah;
+  wah.AppendRun(false, 40);
+  wah.AppendRun(true, 100);
+  for (int i = 0; i < 20; ++i) wah.AppendBit(i % 2 == 0);
+  for (uint64_t i = 0; i < wah.size(); ++i) {
+    bool expected;
+    if (i < 40) {
+      expected = false;
+    } else if (i < 140) {
+      expected = true;
+    } else {
+      expected = (i - 140) % 2 == 0;
+    }
+    EXPECT_EQ(wah.Get(i), expected) << i;
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "compression/wah_bitvector.h"
+
+namespace incdb {
+namespace {
+
+WahBitVector RandomWah(Rng& rng, uint64_t n, double density) {
+  WahBitVector wah;
+  uint64_t i = 0;
+  while (i < n) {
+    const bool bit = rng.Bernoulli(density);
+    const uint64_t run =
+        std::min<uint64_t>(n - i, 1 + rng.UniformInt(0, 100));
+    wah.AppendRun(bit, run);
+    i += run;
+  }
+  return wah;
+}
+
+TEST(WahSerializationTest, RoundTripVariousShapes) {
+  Rng rng(3);
+  for (uint64_t n : {0u, 1u, 31u, 62u, 100u, 10000u}) {
+    for (double density : {0.0, 0.01, 0.5, 1.0}) {
+      const WahBitVector original = RandomWah(rng, n, density);
+      std::stringstream stream;
+      BinaryWriter writer(stream);
+      original.SaveTo(writer);
+      ASSERT_TRUE(writer.status().ok());
+      BinaryReader reader(stream);
+      const auto loaded = WahBitVector::LoadFrom(reader);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_TRUE(loaded.value() == original) << "n=" << n << " d=" << density;
+    }
+  }
+}
+
+TEST(WahSerializationTest, RejectsBadActiveBits) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(10);   // size
+  writer.WriteU32(31);   // active_bits out of range
+  writer.WriteU32(0);
+  writer.WriteU32Vector({});
+  BinaryReader reader(stream);
+  EXPECT_EQ(WahBitVector::LoadFrom(reader).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(WahSerializationTest, RejectsStrayActiveWordBits) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(2);      // size: 2 bits
+  writer.WriteU32(2);      // active_bits = 2
+  writer.WriteU32(0xF);    // bits beyond the low 2 set
+  writer.WriteU32Vector({});
+  BinaryReader reader(stream);
+  EXPECT_EQ(WahBitVector::LoadFrom(reader).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(WahSerializationTest, RejectsSizeMismatch) {
+  WahBitVector wah;
+  wah.AppendRun(true, 62);
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(93);  // wrong size for the payload below
+  writer.WriteU32(0);
+  writer.WriteU32(0);
+  writer.WriteU32Vector({0xC0000002u});  // 1-fill of 2 groups = 62 bits
+  BinaryReader reader(stream);
+  EXPECT_EQ(WahBitVector::LoadFrom(reader).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(WahSerializationTest, TruncatedPayloadFails) {
+  WahBitVector wah;
+  wah.AppendRun(true, 1000);
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  wah.SaveTo(writer);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(WahBitVector::LoadFrom(reader).ok());
+}
+
+}  // namespace
+}  // namespace incdb

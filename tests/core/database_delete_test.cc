@@ -1,0 +1,94 @@
+// Logical deletions through the Database facade: deleted rows vanish from
+// every query path while the (append-only) indexes stay untouched.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Database MakeDb() {
+  Database db =
+      Database::FromTable(GenerateTable(UniformSpec(500, 8, 0.2, 3, 951)).value())
+          .value();
+  EXPECT_TRUE(db.BuildIndex(IndexKind::kBitmapRange).ok());
+  return db;
+}
+
+TEST(DatabaseDeleteTest, DeletedRowsDisappearFromQueries) {
+  Database db = MakeDb();
+  const std::vector<NamedTerm> terms = {{"a0", 1, 8}};
+  const auto before =
+      db.Query(terms, MissingSemantics::kMatch).value();
+  ASSERT_FALSE(before.empty());
+  const uint32_t victim = before.front();
+  ASSERT_TRUE(db.Delete(victim).ok());
+  EXPECT_TRUE(db.IsDeleted(victim));
+  const auto after = db.Query(terms, MissingSemantics::kMatch).value();
+  EXPECT_EQ(after.size(), before.size() - 1);
+  for (uint32_t r : after) EXPECT_NE(r, victim);
+}
+
+TEST(DatabaseDeleteTest, CountsTrackDeletes) {
+  Database db = MakeDb();
+  EXPECT_EQ(db.num_live_rows(), 500u);
+  ASSERT_TRUE(db.Delete(0).ok());
+  ASSERT_TRUE(db.Delete(499).ok());
+  EXPECT_EQ(db.num_live_rows(), 498u);
+  EXPECT_EQ(db.num_deleted_rows(), 2u);
+}
+
+TEST(DatabaseDeleteTest, DoubleDeleteAndOutOfRangeRejected) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Delete(5).ok());
+  EXPECT_EQ(db.Delete(5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Delete(9999).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatabaseDeleteTest, DeleteThenInsertKeepsMaskAligned) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Delete(10).ok());
+  ASSERT_TRUE(db.Insert({1, 1, 1}).ok());
+  const uint32_t new_row = static_cast<uint32_t>(db.num_rows() - 1);
+  EXPECT_FALSE(db.IsDeleted(new_row));
+  const auto rows =
+      db.Query({{"a0", 1, 1}, {"a1", 1, 1}, {"a2", 1, 1}},
+               MissingSemantics::kNoMatch)
+          .value();
+  EXPECT_NE(std::find(rows.begin(), rows.end(), new_row), rows.end());
+  ASSERT_TRUE(db.Delete(new_row).ok());
+  const auto rows_after =
+      db.Query({{"a0", 1, 1}, {"a1", 1, 1}, {"a2", 1, 1}},
+               MissingSemantics::kNoMatch)
+          .value();
+  EXPECT_EQ(std::find(rows_after.begin(), rows_after.end(), new_row),
+            rows_after.end());
+}
+
+TEST(DatabaseDeleteTest, ExpressionQueriesRespectDeletes) {
+  Database db = MakeDb();
+  const QueryExpr expr =
+      QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {1, 4}));
+  const auto before =
+      db.QueryExpression(expr, MissingSemantics::kMatch).value();
+  ASSERT_FALSE(before.empty());
+  ASSERT_TRUE(db.Delete(before.front()).ok());
+  const auto after =
+      db.QueryExpression(expr, MissingSemantics::kMatch).value();
+  EXPECT_EQ(after.size(), before.size() - 1);
+}
+
+TEST(DatabaseDeleteTest, ScanPathAlsoMasksDeletes) {
+  Database db =
+      Database::FromTable(GenerateTable(UniformSpec(100, 5, 0.1, 2, 953)).value())
+          .value();  // no indexes: scan route
+  const auto before = db.Query({{"a0", 1, 5}}, MissingSemantics::kMatch).value();
+  ASSERT_TRUE(db.Delete(before.front()).ok());
+  const auto after = db.Query({{"a0", 1, 5}}, MissingSemantics::kMatch).value();
+  EXPECT_EQ(after.size(), before.size() - 1);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,72 @@
+// Text-query path through the Database facade: parse → route → execute →
+// deletion mask, against hand-checked fixtures.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace incdb {
+namespace {
+
+Database MakeDb() {
+  Database db =
+      Database::Create(Schema({{"rating", 5}, {"price", 10}})).value();
+  EXPECT_TRUE(db.Insert({5, 7}).ok());                        // row 0
+  EXPECT_TRUE(db.Insert({3, kMissingValue}).ok());            // row 1
+  EXPECT_TRUE(db.Insert({kMissingValue, 2}).ok());            // row 2
+  EXPECT_TRUE(db.Insert({4, 9}).ok());                        // row 3
+  EXPECT_TRUE(db.Insert({2, 2}).ok());                        // row 4
+  return db;
+}
+
+TEST(DatabaseTextTest, SimpleConjunction) {
+  const Database db = MakeDb();
+  const auto certain = db.QueryText("rating >= 3 AND price <= 7",
+                                    MissingSemantics::kNoMatch);
+  ASSERT_TRUE(certain.ok()) << certain.status().ToString();
+  EXPECT_EQ(certain.value(), (std::vector<uint32_t>{0}));
+  const auto possible =
+      db.QueryText("rating >= 3 AND price <= 7", MissingSemantics::kMatch);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible.value(), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(DatabaseTextTest, NegationAndDisjunction) {
+  const Database db = MakeDb();
+  const auto rows = db.QueryText("NOT rating >= 3 OR price = 9",
+                                 MissingSemantics::kNoMatch);
+  ASSERT_TRUE(rows.ok());
+  // row 3 (price 9), row 4 (rating 2). Row 2's rating is missing → unknown.
+  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{3, 4}));
+}
+
+TEST(DatabaseTextTest, RoutesThroughIndexWhenPresent) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  std::string chosen;
+  const auto rows =
+      db.QueryText("rating IN [2,4]", MissingSemantics::kMatch, &chosen);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(chosen, "BEE-WAH");
+  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(DatabaseTextTest, RespectsDeletes) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Delete(4).ok());
+  const auto rows =
+      db.QueryText("rating <= 2", MissingSemantics::kNoMatch);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+TEST(DatabaseTextTest, ParseErrorsSurface) {
+  const Database db = MakeDb();
+  const auto bad = db.QueryText("rating <=> 2", MissingSemantics::kMatch);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  const auto unknown = db.QueryText("ratings = 2", MissingSemantics::kMatch);
+  EXPECT_FALSE(unknown.ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,130 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index_factory.h"
+#include "query/workload.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+TEST(ExecutorTest, RunWorkloadAggregates) {
+  const Table table = GenerateTable(UniformSpec(1000, 10, 0.2, 5, 91)).value();
+  const auto index = CreateIndex(IndexKind::kBitmapEquality, table).value();
+  WorkloadParams params;
+  params.num_queries = 10;
+  params.dims = 3;
+  params.global_selectivity = 0.05;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  const auto result = RunWorkload(*index, queries.value(), table.num_rows());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->index_name, "BEE-WAH");
+  EXPECT_EQ(result->num_queries, 10u);
+  EXPECT_GE(result->total_millis, 0.0);
+  EXPECT_GT(result->total_matches, 0u);
+  EXPECT_GT(result->stats.bitvectors_accessed, 0u);
+  EXPECT_NEAR(result->realized_selectivity,
+              static_cast<double>(result->total_matches) / (10.0 * 1000.0),
+              1e-12);
+}
+
+TEST(ExecutorTest, RunWorkloadPropagatesQueryErrors) {
+  const Table table = GenerateTable(UniformSpec(100, 10, 0.2, 2, 93)).value();
+  const auto index = CreateIndex(IndexKind::kBitmapEquality, table).value();
+  RangeQuery bad;
+  bad.terms = {{5, {1, 1}}};
+  EXPECT_FALSE(RunWorkload(*index, {bad}, table.num_rows()).ok());
+}
+
+TEST(ExecutorTest, VerifyPassesForCorrectIndex) {
+  const Table table = GenerateTable(UniformSpec(500, 8, 0.3, 4, 95)).value();
+  const auto index = CreateIndex(IndexKind::kBitmapRange, table).value();
+  WorkloadParams params;
+  params.num_queries = 10;
+  params.dims = 2;
+  params.global_selectivity = 0.05;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_TRUE(VerifyAgainstOracle(*index, table, queries.value()).ok());
+}
+
+// A deliberately wrong index to prove the verifier catches disagreements.
+class LyingIndex : public IncompleteIndex {
+ public:
+  explicit LyingIndex(uint64_t rows) : rows_(rows) {}
+  std::string Name() const override { return "Liar"; }
+  Result<BitVector> Execute(const RangeQuery&, QueryStats*) const override {
+    return BitVector(rows_);  // always claims "no matches"
+  }
+  uint64_t SizeInBytes() const override { return 0; }
+
+ private:
+  uint64_t rows_;
+};
+
+TEST(ExecutorTest, VerifyCatchesWrongResults) {
+  const Table table = GenerateTable(UniformSpec(200, 4, 0.2, 2, 97)).value();
+  LyingIndex liar(table.num_rows());
+  RangeQuery q;
+  q.terms = {{0, {1, 4}}};
+  q.semantics = MissingSemantics::kMatch;  // everything matches
+  const Status status = VerifyAgainstOracle(liar, table, {q});
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("Liar"), std::string::npos);
+}
+
+TEST(ExecutorTest, ParallelMatchesSerial) {
+  const Table table = GenerateTable(UniformSpec(2000, 10, 0.2, 6, 967)).value();
+  const auto index = CreateIndex(IndexKind::kBitmapRange, table).value();
+  WorkloadParams params;
+  params.num_queries = 40;
+  params.dims = 3;
+  params.global_selectivity = 0.05;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  const auto serial = RunWorkload(*index, queries.value(), table.num_rows());
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {1u, 2u, 4u, 0u}) {
+    const auto parallel = RunWorkloadParallel(*index, queries.value(),
+                                              table.num_rows(), threads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->total_matches, serial->total_matches);
+    EXPECT_EQ(parallel->num_queries, serial->num_queries);
+    EXPECT_EQ(parallel->stats.bitvectors_accessed,
+              serial->stats.bitvectors_accessed);
+    EXPECT_NEAR(parallel->realized_selectivity, serial->realized_selectivity,
+                1e-12);
+  }
+}
+
+TEST(ExecutorTest, ParallelPropagatesErrors) {
+  const Table table = GenerateTable(UniformSpec(100, 10, 0.2, 2, 969)).value();
+  const auto index = CreateIndex(IndexKind::kBitmapEquality, table).value();
+  RangeQuery bad;
+  bad.terms = {{5, {1, 1}}};
+  std::vector<RangeQuery> queries(8, bad);
+  EXPECT_FALSE(
+      RunWorkloadParallel(*index, queries, table.num_rows(), 3).ok());
+}
+
+TEST(ExecutorTest, ParallelEmptyWorkload) {
+  const Table table = GenerateTable(UniformSpec(100, 10, 0.2, 2, 971)).value();
+  const auto index = CreateIndex(IndexKind::kVaFile, table).value();
+  const auto result = RunWorkloadParallel(*index, {}, table.num_rows(), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_matches, 0u);
+}
+
+TEST(ExecutorTest, EmptyWorkload) {
+  const Table table = GenerateTable(UniformSpec(100, 4, 0.2, 2, 99)).value();
+  const auto index = CreateIndex(IndexKind::kVaFile, table).value();
+  const auto result = RunWorkload(*index, {}, table.num_rows());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_matches, 0u);
+  EXPECT_DOUBLE_EQ(result->realized_selectivity, 0.0);
+}
+
+}  // namespace
+}  // namespace incdb

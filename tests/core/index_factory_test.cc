@@ -1,0 +1,75 @@
+#include "core/index_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+const IndexKind kAllKinds[] = {
+    IndexKind::kSequentialScan,     IndexKind::kBitmapEquality,
+    IndexKind::kBitmapRange,        IndexKind::kBitmapInterval,
+    IndexKind::kBitmapBitSliced,    IndexKind::kVaFile,
+    IndexKind::kVaPlusFile,         IndexKind::kMosaic,
+    IndexKind::kBitstringAugmented,
+};
+
+TEST(IndexFactoryTest, CreatesEveryKind) {
+  const Table table = GenerateTable(UniformSpec(200, 8, 0.2, 4, 81)).value();
+  for (IndexKind kind : kAllKinds) {
+    const auto index = CreateIndex(kind, table);
+    ASSERT_TRUE(index.ok()) << IndexKindToString(kind);
+    EXPECT_EQ(index.value()->Name(), IndexKindToString(kind));
+  }
+}
+
+TEST(IndexFactoryTest, IndexesAnswerAQuery) {
+  const Table table = GenerateTable(UniformSpec(200, 8, 0.2, 4, 83)).value();
+  RangeQuery q;
+  q.terms = {{0, {2, 5}}, {1, {1, 4}}};
+  q.semantics = MissingSemantics::kMatch;
+  uint64_t expected = 0;
+  bool first = true;
+  for (IndexKind kind : kAllKinds) {
+    const auto index = CreateIndex(kind, table).value();
+    const auto result = index->Execute(q);
+    ASSERT_TRUE(result.ok()) << index->Name();
+    if (first) {
+      expected = result.value().Count();
+      first = false;
+    } else {
+      EXPECT_EQ(result.value().Count(), expected) << index->Name();
+    }
+  }
+}
+
+TEST(IndexFactoryTest, ScanHasZeroSizeOthersPositive) {
+  const Table table = GenerateTable(UniformSpec(200, 8, 0.2, 4, 85)).value();
+  EXPECT_EQ(
+      CreateIndex(IndexKind::kSequentialScan, table).value()->SizeInBytes(),
+      0u);
+  for (IndexKind kind : {IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
+                         IndexKind::kBitmapInterval,
+                         IndexKind::kBitmapBitSliced,
+                         IndexKind::kVaFile, IndexKind::kMosaic,
+                         IndexKind::kBitstringAugmented}) {
+    EXPECT_GT(CreateIndex(kind, table).value()->SizeInBytes(), 0u)
+        << IndexKindToString(kind);
+  }
+}
+
+TEST(IndexFactoryTest, PropagatesBuildFailures) {
+  auto empty = Table::Create(Schema({{"x", 5}})).value();
+  EXPECT_FALSE(CreateIndex(IndexKind::kBitmapEquality, empty).ok());
+  EXPECT_FALSE(CreateIndex(IndexKind::kVaFile, empty).ok());
+  EXPECT_FALSE(CreateIndex(IndexKind::kMosaic, empty).ok());
+}
+
+TEST(IndexKindTest, Names) {
+  EXPECT_EQ(IndexKindToString(IndexKind::kBitmapEquality), "BEE-WAH");
+  EXPECT_EQ(IndexKindToString(IndexKind::kVaPlusFile), "VA+-File");
+}
+
+}  // namespace
+}  // namespace incdb

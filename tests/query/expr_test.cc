@@ -1,0 +1,141 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Table MakeTable() {
+  auto table = Table::Create(Schema({{"a", 10}, {"b", 5}})).value();
+  // row 0: (3, 2)   row 1: (?, 2)   row 2: (7, ?)   row 3: (?, ?)
+  EXPECT_TRUE(table.AppendRow({3, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({7, kMissingValue}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, kMissingValue}).ok());
+  return table;
+}
+
+TEST(TruthTest, KleeneTables) {
+  using enum Truth;
+  EXPECT_EQ(TruthAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TruthAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TruthAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TruthOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TruthOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TruthOr(kFalse, kFalse), kFalse);
+  EXPECT_EQ(TruthNot(kTrue), kFalse);
+  EXPECT_EQ(TruthNot(kFalse), kTrue);
+  EXPECT_EQ(TruthNot(kUnknown), kUnknown);
+}
+
+TEST(TruthTest, Names) {
+  EXPECT_EQ(TruthToString(Truth::kUnknown), "unknown");
+}
+
+TEST(QueryExprTest, TermEvaluation) {
+  const Table table = MakeTable();
+  const QueryExpr term = QueryExpr::MakeTerm(0, {2, 4});
+  EXPECT_EQ(term.Evaluate(table, 0), Truth::kTrue);     // 3 in [2,4]
+  EXPECT_EQ(term.Evaluate(table, 1), Truth::kUnknown);  // missing
+  EXPECT_EQ(term.Evaluate(table, 2), Truth::kFalse);    // 7 not in [2,4]
+}
+
+TEST(QueryExprTest, NotOnMissingStaysUnknown) {
+  const Table table = MakeTable();
+  const QueryExpr negated = QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {2, 4}));
+  EXPECT_EQ(negated.Evaluate(table, 0), Truth::kFalse);
+  EXPECT_EQ(negated.Evaluate(table, 1), Truth::kUnknown);
+  EXPECT_EQ(negated.Evaluate(table, 2), Truth::kTrue);
+}
+
+TEST(QueryExprTest, AndOrCombineKleene) {
+  const Table table = MakeTable();
+  const QueryExpr both = QueryExpr::MakeAnd(
+      {QueryExpr::MakeTerm(0, {2, 4}), QueryExpr::MakeTerm(1, {1, 2})});
+  EXPECT_EQ(both.Evaluate(table, 0), Truth::kTrue);
+  EXPECT_EQ(both.Evaluate(table, 1), Truth::kUnknown);  // ? AND true
+  EXPECT_EQ(both.Evaluate(table, 2), Truth::kFalse);    // false AND ?
+  EXPECT_EQ(both.Evaluate(table, 3), Truth::kUnknown);
+
+  const QueryExpr either = QueryExpr::MakeOr(
+      {QueryExpr::MakeTerm(0, {2, 4}), QueryExpr::MakeTerm(1, {1, 2})});
+  EXPECT_EQ(either.Evaluate(table, 0), Truth::kTrue);
+  EXPECT_EQ(either.Evaluate(table, 1), Truth::kTrue);    // ? OR true
+  EXPECT_EQ(either.Evaluate(table, 2), Truth::kUnknown);  // false OR ?
+}
+
+TEST(QueryExprTest, ExprMatchesImplementsPossibleAndCertain) {
+  const Table table = MakeTable();
+  const QueryExpr expr = QueryExpr::MakeAnd(
+      {QueryExpr::MakeTerm(0, {2, 4}), QueryExpr::MakeTerm(1, {1, 2})});
+  // Possible answers (missing-is-match): rows 0, 1, 3.
+  EXPECT_TRUE(ExprMatches(table, 0, expr, MissingSemantics::kMatch));
+  EXPECT_TRUE(ExprMatches(table, 1, expr, MissingSemantics::kMatch));
+  EXPECT_FALSE(ExprMatches(table, 2, expr, MissingSemantics::kMatch));
+  EXPECT_TRUE(ExprMatches(table, 3, expr, MissingSemantics::kMatch));
+  // Certain answers: row 0 only.
+  EXPECT_TRUE(ExprMatches(table, 0, expr, MissingSemantics::kNoMatch));
+  EXPECT_FALSE(ExprMatches(table, 1, expr, MissingSemantics::kNoMatch));
+}
+
+TEST(QueryExprTest, ConjunctionReducesToRangeQuerySemantics) {
+  const Table table = MakeTable();
+  RangeQuery query;
+  query.terms = {{0, {2, 4}}, {1, {1, 2}}};
+  const QueryExpr expr = QueryExpr::FromRangeQuery(query);
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    query.semantics = semantics;
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      EXPECT_EQ(ExprMatches(table, r, expr, semantics),
+                RowMatches(table, r, query))
+          << "row " << r;
+    }
+  }
+}
+
+TEST(QueryExprTest, ValidateCatchesBadTrees) {
+  const Table table = MakeTable();
+  EXPECT_TRUE(QueryExpr::MakeTerm(0, {1, 10}).Validate(table).ok());
+  EXPECT_FALSE(QueryExpr::MakeTerm(9, {1, 1}).Validate(table).ok());
+  EXPECT_FALSE(QueryExpr::MakeTerm(1, {1, 9}).Validate(table).ok());
+  EXPECT_FALSE(QueryExpr::MakeAnd({}).Validate(table).ok());
+  EXPECT_FALSE(QueryExpr::MakeOr({}).Validate(table).ok());
+  // Errors propagate through nesting.
+  EXPECT_FALSE(QueryExpr::MakeNot(QueryExpr::MakeTerm(9, {1, 1}))
+                   .Validate(table)
+                   .ok());
+}
+
+TEST(QueryExprTest, ToString) {
+  const QueryExpr expr = QueryExpr::MakeOr(
+      {QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {2, 4})),
+       QueryExpr::MakeAnd(
+           {QueryExpr::MakeTerm(1, {1, 1}), QueryExpr::MakeTerm(2, {3, 5})})});
+  EXPECT_EQ(expr.ToString(),
+            "(NOT A0 in [2,4] OR (A1 in [1,1] AND A2 in [3,5]))");
+}
+
+TEST(QueryExprTest, DoubleNegationPreservesTruth) {
+  const Table table = MakeTable();
+  const QueryExpr term = QueryExpr::MakeTerm(0, {2, 4});
+  const QueryExpr double_not = QueryExpr::MakeNot(QueryExpr::MakeNot(term));
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(double_not.Evaluate(table, r), term.Evaluate(table, r));
+  }
+}
+
+TEST(QueryExprTest, DeMorganHoldsUnderKleene) {
+  const Table table = MakeTable();
+  const QueryExpr a = QueryExpr::MakeTerm(0, {2, 4});
+  const QueryExpr b = QueryExpr::MakeTerm(1, {1, 2});
+  const QueryExpr lhs = QueryExpr::MakeNot(QueryExpr::MakeAnd({a, b}));
+  const QueryExpr rhs =
+      QueryExpr::MakeOr({QueryExpr::MakeNot(a), QueryExpr::MakeNot(b)});
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(lhs.Evaluate(table, r), rhs.Evaluate(table, r)) << r;
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,120 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expr_executor.h"
+
+namespace incdb {
+namespace {
+
+Table MakeTable() {
+  auto table =
+      Table::Create(Schema({{"rating", 5}, {"price", 10}, {"region", 8}}))
+          .value();
+  EXPECT_TRUE(table.AppendRow({5, 7, 1}).ok());
+  EXPECT_TRUE(table.AppendRow({3, kMissingValue, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, 2, 3}).ok());
+  EXPECT_TRUE(table.AppendRow({4, 9, kMissingValue}).ok());
+  return table;
+}
+
+std::string ParseToString(const std::string& text, const Table& table) {
+  const auto expr = ParseQuery(text, table);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  return expr.ok() ? expr.value().ToString() : "<error>";
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  const Table table = MakeTable();
+  EXPECT_EQ(ParseToString("rating = 3", table), "A0 in [3,3]");
+  EXPECT_EQ(ParseToString("rating <= 3", table), "A0 in [1,3]");
+  EXPECT_EQ(ParseToString("rating < 3", table), "A0 in [1,2]");
+  EXPECT_EQ(ParseToString("rating >= 3", table), "A0 in [3,5]");
+  EXPECT_EQ(ParseToString("rating > 3", table), "A0 in [4,5]");
+  EXPECT_EQ(ParseToString("price IN [2,7]", table), "A1 in [2,7]");
+  EXPECT_EQ(ParseToString("rating != 3", table), "NOT A0 in [3,3]");
+}
+
+TEST(ParserTest, BooleanStructureAndPrecedence) {
+  const Table table = MakeTable();
+  // AND binds tighter than OR; NOT tighter than AND.
+  EXPECT_EQ(ParseToString("rating = 1 OR rating = 2 AND price = 3", table),
+            "(A0 in [1,1] OR (A0 in [2,2] AND A1 in [3,3]))");
+  EXPECT_EQ(ParseToString("NOT rating = 1 AND price = 3", table),
+            "(NOT A0 in [1,1] AND A1 in [3,3])");
+  EXPECT_EQ(
+      ParseToString("(rating = 1 OR rating = 2) AND price = 3", table),
+      "((A0 in [1,1] OR A0 in [2,2]) AND A1 in [3,3])");
+  EXPECT_EQ(ParseToString("NOT (rating = 1 OR price = 2)", table),
+            "NOT (A0 in [1,1] OR A1 in [2,2])");
+  EXPECT_EQ(ParseToString("NOT NOT rating = 1", table),
+            "NOT NOT A0 in [1,1]");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const Table table = MakeTable();
+  EXPECT_EQ(ParseToString("rating = 1 and not price in [1,2]", table),
+            "(A0 in [1,1] AND NOT A1 in [1,2])");
+}
+
+TEST(ParserTest, WhitespaceIsFlexible) {
+  const Table table = MakeTable();
+  EXPECT_EQ(ParseToString("  rating=1   AND price  IN[ 2 , 7 ]", table),
+            "(A0 in [1,1] AND A1 in [2,7])");
+}
+
+TEST(ParserTest, ParsedQueryExecutesCorrectly) {
+  const Table table = MakeTable();
+  const auto expr =
+      ParseQuery("rating >= 4 AND NOT region = 2", table);
+  ASSERT_TRUE(expr.ok());
+  // Row 0: (5,·,1) T∧T = T. Row 1: rating 3 → F. Row 2: rating ? → U∧(NOT F
+  // = T) = U. Row 3: (4,·,?) T∧U = U.
+  const auto certain =
+      ExecuteExprScan(table, expr.value(), MissingSemantics::kNoMatch);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain.value().ToIndices(), (std::vector<uint32_t>{0}));
+  const auto possible =
+      ExecuteExprScan(table, expr.value(), MissingSemantics::kMatch);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible.value().ToIndices(), (std::vector<uint32_t>{0, 2, 3}));
+}
+
+TEST(ParserTest, RejectsUnknownAttribute) {
+  const Table table = MakeTable();
+  const auto result = ParseQuery("bogus = 1", table);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsOutOfDomainValues) {
+  const Table table = MakeTable();
+  EXPECT_FALSE(ParseQuery("rating = 9", table).ok());
+  EXPECT_FALSE(ParseQuery("rating > 5", table).ok());   // empty interval
+  EXPECT_FALSE(ParseQuery("rating < 1", table).ok());   // empty interval
+  EXPECT_FALSE(ParseQuery("price IN [7,2]", table).ok());
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  const Table table = MakeTable();
+  EXPECT_FALSE(ParseQuery("", table).ok());
+  EXPECT_FALSE(ParseQuery("rating", table).ok());
+  EXPECT_FALSE(ParseQuery("rating =", table).ok());
+  EXPECT_FALSE(ParseQuery("rating = 1 AND", table).ok());
+  EXPECT_FALSE(ParseQuery("(rating = 1", table).ok());
+  EXPECT_FALSE(ParseQuery("rating = 1)", table).ok());
+  EXPECT_FALSE(ParseQuery("rating IN [1 2]", table).ok());
+  EXPECT_FALSE(ParseQuery("rating # 1", table).ok());
+  EXPECT_FALSE(ParseQuery("rating ! 1", table).ok());
+  EXPECT_FALSE(ParseQuery("AND rating = 1", table).ok());
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  const Table table = MakeTable();
+  const auto result = ParseQuery("rating = 1 AND #", table);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("position 15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incdb

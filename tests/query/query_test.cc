@@ -1,0 +1,141 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Table MakeTable() {
+  auto table = Table::Create(Schema({{"a", 10}, {"b", 5}})).value();
+  // row 0: (3, 2)   row 1: (?, 2)   row 2: (7, ?)   row 3: (?, ?)
+  EXPECT_TRUE(table.AppendRow({3, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({7, kMissingValue}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, kMissingValue}).ok());
+  return table;
+}
+
+TEST(IntervalTest, Basics) {
+  const Interval iv{2, 5};
+  EXPECT_FALSE(iv.IsPoint());
+  EXPECT_EQ(iv.Width(), 4u);
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_FALSE(iv.Contains(6));
+  EXPECT_TRUE((Interval{3, 3}).IsPoint());
+}
+
+TEST(RangeQueryTest, PointQueryDetection) {
+  RangeQuery q;
+  q.terms = {{0, {2, 2}}, {1, {4, 4}}};
+  EXPECT_TRUE(q.IsPointQuery());
+  q.terms[1].interval.hi = 5;
+  EXPECT_FALSE(q.IsPointQuery());
+}
+
+TEST(RangeQueryTest, ToStringMentionsSemanticsAndTerms) {
+  RangeQuery q;
+  q.semantics = MissingSemantics::kNoMatch;
+  q.terms = {{0, {1, 3}}, {2, {5, 5}}};
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("no-match"), std::string::npos);
+  EXPECT_NE(s.find("A0 in [1,3]"), std::string::npos);
+  EXPECT_NE(s.find("A2 in [5,5]"), std::string::npos);
+}
+
+TEST(ValidateQueryTest, AcceptsValid) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.terms = {{0, {1, 10}}, {1, {2, 3}}};
+  EXPECT_TRUE(ValidateQuery(q, table).ok());
+}
+
+TEST(ValidateQueryTest, RejectsEmpty) {
+  const Table table = MakeTable();
+  EXPECT_FALSE(ValidateQuery(RangeQuery{}, table).ok());
+}
+
+TEST(ValidateQueryTest, RejectsBadAttribute) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.terms = {{5, {1, 1}}};
+  EXPECT_EQ(ValidateQuery(q, table).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ValidateQueryTest, RejectsDuplicateAttribute) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.terms = {{0, {1, 1}}, {0, {2, 2}}};
+  EXPECT_EQ(ValidateQuery(q, table).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateQueryTest, RejectsIntervalOutsideDomain) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.terms = {{1, {1, 6}}};  // cardinality of b is 5
+  EXPECT_EQ(ValidateQuery(q, table).code(), StatusCode::kInvalidArgument);
+  q.terms = {{1, {0, 3}}};
+  EXPECT_EQ(ValidateQuery(q, table).code(), StatusCode::kInvalidArgument);
+  q.terms = {{1, {4, 2}}};  // lo > hi
+  EXPECT_EQ(ValidateQuery(q, table).code(), StatusCode::kInvalidArgument);
+}
+
+// The paper's two semantics (§3), on the canonical 4-row example.
+TEST(RowMatchesTest, MissingIsMatchSemantics) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.semantics = MissingSemantics::kMatch;
+  q.terms = {{0, {2, 4}}, {1, {1, 2}}};
+  EXPECT_TRUE(RowMatches(table, 0, q));   // 3 in [2,4], 2 in [1,2]
+  EXPECT_TRUE(RowMatches(table, 1, q));   // missing a counts as match
+  EXPECT_FALSE(RowMatches(table, 2, q));  // 7 not in [2,4]
+  EXPECT_TRUE(RowMatches(table, 3, q));   // both missing
+}
+
+TEST(RowMatchesTest, MissingNotMatchSemantics) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.semantics = MissingSemantics::kNoMatch;
+  q.terms = {{0, {2, 4}}, {1, {1, 2}}};
+  EXPECT_TRUE(RowMatches(table, 0, q));
+  EXPECT_FALSE(RowMatches(table, 1, q));  // missing disqualifies
+  EXPECT_FALSE(RowMatches(table, 2, q));
+  EXPECT_FALSE(RowMatches(table, 3, q));
+}
+
+TEST(RowMatchesTest, SingleAttributeQueries) {
+  const Table table = MakeTable();
+  RangeQuery q;
+  q.semantics = MissingSemantics::kMatch;
+  q.terms = {{1, {2, 2}}};
+  EXPECT_TRUE(RowMatches(table, 0, q));
+  EXPECT_TRUE(RowMatches(table, 1, q));
+  EXPECT_TRUE(RowMatches(table, 2, q));  // missing b
+  q.semantics = MissingSemantics::kNoMatch;
+  EXPECT_FALSE(RowMatches(table, 2, q));
+}
+
+// DESIGN.md invariant 6: match-result = no-match-result plus the rows with
+// a missing search-key attribute that match on their present attributes.
+TEST(RowMatchesTest, SemanticsAlgebra) {
+  const Table table = MakeTable();
+  RangeQuery match_query;
+  match_query.semantics = MissingSemantics::kMatch;
+  match_query.terms = {{0, {2, 7}}, {1, {2, 5}}};
+  RangeQuery nomatch_query = match_query;
+  nomatch_query.semantics = MissingSemantics::kNoMatch;
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    if (RowMatches(table, r, nomatch_query)) {
+      EXPECT_TRUE(RowMatches(table, r, match_query));
+    }
+  }
+}
+
+TEST(MissingSemanticsTest, Names) {
+  EXPECT_EQ(MissingSemanticsToString(MissingSemantics::kMatch), "match");
+  EXPECT_EQ(MissingSemanticsToString(MissingSemantics::kNoMatch), "no-match");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,96 @@
+#include "query/selectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace incdb {
+namespace {
+
+TEST(SelectivityTest, TermProbabilityMatchSemantics) {
+  // GS formula term (paper §5.3): (1 - Pm) * AS + Pm.
+  EXPECT_DOUBLE_EQ(
+      TermMatchProbability(0.5, 0.2, MissingSemantics::kMatch),
+      0.8 * 0.5 + 0.2);
+  EXPECT_DOUBLE_EQ(TermMatchProbability(1.0, 0.3, MissingSemantics::kMatch),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TermMatchProbability(0.0, 0.3, MissingSemantics::kMatch),
+                   0.3);
+}
+
+TEST(SelectivityTest, TermProbabilityNoMatchSemantics) {
+  EXPECT_DOUBLE_EQ(
+      TermMatchProbability(0.5, 0.2, MissingSemantics::kNoMatch), 0.4);
+  EXPECT_DOUBLE_EQ(
+      TermMatchProbability(1.0, 0.3, MissingSemantics::kNoMatch), 0.7);
+}
+
+TEST(SelectivityTest, GlobalSelectivityPower) {
+  const double gs =
+      PredictGlobalSelectivity(0.5, 0.2, 3, MissingSemantics::kMatch);
+  EXPECT_NEAR(gs, std::pow(0.6, 3), 1e-12);
+}
+
+TEST(SelectivityTest, SolveInvertsPredictMatch) {
+  for (double gs : {0.01, 0.1, 0.5}) {
+    for (double pm : {0.0, 0.1, 0.3}) {
+      for (size_t k : {size_t{1}, size_t{4}, size_t{8}}) {
+        const double as =
+            SolveAttributeSelectivity(gs, pm, k, MissingSemantics::kMatch);
+        if (as > 0.0 && as < 1.0) {
+          EXPECT_NEAR(
+              PredictGlobalSelectivity(as, pm, k, MissingSemantics::kMatch),
+              gs, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(SelectivityTest, SolveInvertsPredictNoMatch) {
+  const double as =
+      SolveAttributeSelectivity(0.01, 0.2, 4, MissingSemantics::kNoMatch);
+  EXPECT_NEAR(
+      PredictGlobalSelectivity(as, 0.2, 4, MissingSemantics::kNoMatch), 0.01,
+      1e-12);
+}
+
+TEST(SelectivityTest, SolveClampsWhenMissingRateExceedsTarget) {
+  // With Pm = 0.5 and 8 dims, GS^(1/8) ≈ 0.56 for GS = 1%; AS is small but
+  // positive. With Pm = 0.9, missing alone exceeds the target → clamp to 0.
+  const double as =
+      SolveAttributeSelectivity(0.01, 0.9, 8, MissingSemantics::kMatch);
+  EXPECT_DOUBLE_EQ(as, 0.0);
+}
+
+TEST(SelectivityTest, SolveClampsToOne) {
+  // A high GS target at high missing rates can demand AS > 1 → clamp.
+  const double as =
+      SolveAttributeSelectivity(0.99, 0.0, 1, MissingSemantics::kNoMatch);
+  EXPECT_LE(as, 1.0);
+  const double clamped =
+      SolveAttributeSelectivity(0.9, 0.5, 1, MissingSemantics::kNoMatch);
+  EXPECT_DOUBLE_EQ(clamped, 1.0);
+}
+
+TEST(SelectivityTest, FullyMissingAttribute) {
+  EXPECT_DOUBLE_EQ(
+      SolveAttributeSelectivity(0.01, 1.0, 2, MissingSemantics::kMatch), 0.0);
+  EXPECT_DOUBLE_EQ(
+      SolveAttributeSelectivity(0.01, 1.0, 2, MissingSemantics::kNoMatch),
+      0.0);
+}
+
+// Paper §5.3 worked relationship: fixing GS and raising Pm lowers AS.
+TEST(SelectivityTest, AttributeSelectivityDecreasesWithMissingRate) {
+  double prev = 1.0;
+  for (double pm : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const double as =
+        SolveAttributeSelectivity(0.01, pm, 8, MissingSemantics::kMatch);
+    EXPECT_LT(as, prev);
+    prev = as;
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,83 @@
+#include "query/seq_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Table MakeTable() {
+  auto table = Table::Create(Schema({{"a", 10}, {"b", 5}})).value();
+  EXPECT_TRUE(table.AppendRow({3, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, 2}).ok());
+  EXPECT_TRUE(table.AppendRow({7, kMissingValue}).ok());
+  EXPECT_TRUE(table.AppendRow({kMissingValue, kMissingValue}).ok());
+  EXPECT_TRUE(table.AppendRow({2, 5}).ok());
+  return table;
+}
+
+TEST(SequentialScanTest, MatchSemantics) {
+  const Table table = MakeTable();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.semantics = MissingSemantics::kMatch;
+  q.terms = {{0, {2, 4}}, {1, {1, 2}}};
+  const auto rows = scan.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{0, 1, 3}));
+}
+
+TEST(SequentialScanTest, NoMatchSemantics) {
+  const Table table = MakeTable();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.semantics = MissingSemantics::kNoMatch;
+  q.terms = {{0, {2, 4}}, {1, {1, 2}}};
+  const auto rows = scan.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{0}));
+}
+
+TEST(SequentialScanTest, BitVectorAgreesWithRowList) {
+  const Table table = GenerateTable(UniformSpec(1000, 8, 0.3, 4, 21)).value();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.semantics = MissingSemantics::kMatch;
+  q.terms = {{0, {2, 5}}, {2, {1, 4}}};
+  const auto rows = scan.Execute(q);
+  const auto bits = scan.ExecuteToBitVector(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits.value().ToIndices(), rows.value());
+}
+
+TEST(SequentialScanTest, ValidatesQuery) {
+  const Table table = MakeTable();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.terms = {{9, {1, 1}}};
+  EXPECT_FALSE(scan.Execute(q).ok());
+  EXPECT_FALSE(scan.ExecuteToBitVector(q).ok());
+}
+
+TEST(SequentialScanTest, WholeDomainQueryMatchesEverythingUnderMatch) {
+  const Table table = MakeTable();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.semantics = MissingSemantics::kMatch;
+  q.terms = {{0, {1, 10}}};
+  EXPECT_EQ(scan.Execute(q).value().size(), 5u);
+}
+
+TEST(SequentialScanTest, WholeDomainQueryExcludesMissingUnderNoMatch) {
+  const Table table = MakeTable();
+  SequentialScan scan(table);
+  RangeQuery q;
+  q.semantics = MissingSemantics::kNoMatch;
+  q.terms = {{0, {1, 10}}};
+  EXPECT_EQ(scan.Execute(q).value(), (std::vector<uint32_t>{0, 2, 4}));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,153 @@
+#include "query/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/seq_scan.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Table MakeUniform(uint64_t rows, uint32_t cardinality, double missing,
+                  size_t attrs, uint64_t seed = 42) {
+  return GenerateTable(UniformSpec(rows, cardinality, missing, attrs, seed))
+      .value();
+}
+
+TEST(WorkloadTest, GeneratesRequestedCountAndDims) {
+  const Table table = MakeUniform(100, 10, 0.1, 12);
+  WorkloadParams params;
+  params.num_queries = 25;
+  params.dims = 6;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries.value().size(), 25u);
+  for (const RangeQuery& q : queries.value()) {
+    EXPECT_EQ(q.dimensionality(), 6u);
+  }
+}
+
+TEST(WorkloadTest, QueriesAreValidAndAttributesDistinct) {
+  const Table table = MakeUniform(100, 7, 0.2, 10);
+  WorkloadParams params;
+  params.num_queries = 50;
+  params.dims = 5;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : queries.value()) {
+    EXPECT_TRUE(ValidateQuery(q, table).ok());
+    std::set<size_t> attrs;
+    for (const QueryTerm& term : q.terms) attrs.insert(term.attribute);
+    EXPECT_EQ(attrs.size(), q.terms.size());
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const Table table = MakeUniform(100, 10, 0.1, 8);
+  WorkloadParams params;
+  params.seed = 1234;
+  const auto a = GenerateWorkload(table, params);
+  const auto b = GenerateWorkload(table, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].ToString(), b.value()[i].ToString());
+  }
+}
+
+TEST(WorkloadTest, RespectsAttributePool) {
+  const Table table = MakeUniform(100, 10, 0.1, 10);
+  WorkloadParams params;
+  params.dims = 2;
+  params.attribute_pool = {3, 5, 7};
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : queries.value()) {
+    for (const QueryTerm& term : q.terms) {
+      EXPECT_TRUE(term.attribute == 3 || term.attribute == 5 ||
+                  term.attribute == 7);
+    }
+  }
+}
+
+TEST(WorkloadTest, PointQueries) {
+  const Table table = MakeUniform(100, 10, 0.1, 8);
+  WorkloadParams params;
+  params.point_queries = true;
+  params.dims = 3;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : queries.value()) {
+    EXPECT_TRUE(q.IsPointQuery());
+  }
+}
+
+TEST(WorkloadTest, FixedAttributeSelectivityControlsWidth) {
+  const Table table = MakeUniform(100, 50, 0.0, 4);
+  WorkloadParams params;
+  params.attribute_selectivity = 0.2;  // the census experiment's 20% ranges
+  params.dims = 2;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  for (const RangeQuery& q : queries.value()) {
+    for (const QueryTerm& term : q.terms) {
+      EXPECT_EQ(term.interval.Width(), 10u);  // 0.2 * 50
+    }
+  }
+}
+
+TEST(WorkloadTest, RejectsBadDims) {
+  const Table table = MakeUniform(10, 5, 0.0, 3);
+  WorkloadParams params;
+  params.dims = 0;
+  EXPECT_FALSE(GenerateWorkload(table, params).ok());
+  params.dims = 4;  // more than the 3 attributes
+  EXPECT_FALSE(GenerateWorkload(table, params).ok());
+}
+
+TEST(WorkloadTest, RejectsBadPoolEntry) {
+  const Table table = MakeUniform(10, 5, 0.0, 3);
+  WorkloadParams params;
+  params.dims = 1;
+  params.attribute_pool = {9};
+  EXPECT_EQ(GenerateWorkload(table, params).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WorkloadTest, RejectsBadGlobalSelectivity) {
+  const Table table = MakeUniform(10, 5, 0.0, 3);
+  WorkloadParams params;
+  params.dims = 1;
+  params.global_selectivity = 0.0;
+  EXPECT_FALSE(GenerateWorkload(table, params).ok());
+  params.global_selectivity = 1.5;
+  EXPECT_FALSE(GenerateWorkload(table, params).ok());
+}
+
+// DESIGN.md invariant 7: realized selectivity tracks the GS model. The
+// paper targets 1% and observes up to ~3% realized; we allow the same slop.
+TEST(WorkloadTest, RealizedSelectivityTracksTarget) {
+  const Table table = MakeUniform(20000, 20, 0.2, 10, 77);
+  WorkloadParams params;
+  params.num_queries = 40;
+  params.dims = 4;
+  params.global_selectivity = 0.01;
+  params.semantics = MissingSemantics::kMatch;
+  const auto queries = GenerateWorkload(table, params);
+  ASSERT_TRUE(queries.ok());
+  SequentialScan scan(table);
+  uint64_t matches = 0;
+  for (const RangeQuery& q : queries.value()) {
+    matches += scan.Execute(q).value().size();
+  }
+  const double realized = static_cast<double>(matches) /
+                          (40.0 * static_cast<double>(table.num_rows()));
+  EXPECT_GT(realized, 0.002);
+  EXPECT_LT(realized, 0.04);
+}
+
+}  // namespace
+}  // namespace incdb

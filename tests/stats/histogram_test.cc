@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "query/seq_scan.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Column MakeColumn(const std::vector<Value>& values, uint32_t cardinality) {
+  Column col(cardinality);
+  for (Value v : values) EXPECT_TRUE(col.Append(v).ok());
+  return col;
+}
+
+TEST(AttributeHistogramTest, CountsAndMissing) {
+  const Column col = MakeColumn({1, 1, 3, kMissingValue, 3, 3}, 4);
+  const AttributeHistogram hist = AttributeHistogram::FromColumn(col);
+  EXPECT_EQ(hist.total_rows(), 6u);
+  EXPECT_EQ(hist.missing_count(), 1u);
+  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(2), 0u);
+  EXPECT_EQ(hist.count(3), 3u);
+  EXPECT_NEAR(hist.MissingRate(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(AttributeHistogramTest, TermSelectivityIsExact) {
+  const Table table = GenerateTable(UniformSpec(5000, 10, 0.25, 1, 911)).value();
+  const AttributeHistogram hist =
+      AttributeHistogram::FromColumn(table.column(0));
+  SequentialScan scan(table);
+  for (Value lo : {1, 3, 7}) {
+    for (Value hi : {lo, std::min(lo + 4, 10)}) {
+      for (MissingSemantics semantics :
+           {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+        RangeQuery q;
+        q.terms = {{0, {lo, hi}}};
+        q.semantics = semantics;
+        const double actual =
+            static_cast<double>(scan.Execute(q).value().size()) / 5000.0;
+        EXPECT_NEAR(hist.EstimateTermSelectivity({lo, hi}, semantics), actual,
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(AttributeHistogramTest, SkewOfUniformIsNearOne) {
+  const Table table = GenerateTable(UniformSpec(20000, 10, 0.1, 1, 913)).value();
+  const AttributeHistogram hist =
+      AttributeHistogram::FromColumn(table.column(0));
+  EXPECT_LT(hist.Skew(), 1.2);
+}
+
+TEST(AttributeHistogramTest, SkewOfZipfIsLarge) {
+  DatasetSpec spec = UniformSpec(20000, 50, 0.1, 1, 915);
+  spec.attributes[0].zipf_theta = 1.3;
+  const Table table = GenerateTable(spec).value();
+  const AttributeHistogram hist =
+      AttributeHistogram::FromColumn(table.column(0));
+  EXPECT_GT(hist.Skew(), 5.0);
+}
+
+TEST(AttributeHistogramTest, BitDensity) {
+  const Column col = MakeColumn({2, 2, 2, 1, kMissingValue}, 3);
+  const AttributeHistogram hist = AttributeHistogram::FromColumn(col);
+  EXPECT_DOUBLE_EQ(hist.BitDensity(2), 0.6);
+  EXPECT_DOUBLE_EQ(hist.BitDensity(3), 0.0);
+}
+
+TEST(AttributeHistogramTest, EmptyColumn) {
+  const Column col = MakeColumn({}, 5);
+  const AttributeHistogram hist = AttributeHistogram::FromColumn(col);
+  EXPECT_DOUBLE_EQ(hist.MissingRate(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      hist.EstimateTermSelectivity({1, 5}, MissingSemantics::kMatch), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Skew(), 1.0);
+}
+
+}  // namespace
+}  // namespace incdb

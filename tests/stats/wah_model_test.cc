@@ -1,0 +1,54 @@
+#include "stats/wah_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compression/wah_bitvector.h"
+
+namespace incdb {
+namespace {
+
+TEST(WahModelTest, ZeroBits) {
+  EXPECT_DOUBLE_EQ(ExpectedWahWords(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedWahBytes(0, 0.5), 0.0);
+}
+
+TEST(WahModelTest, ExtremeDensitiesCompressToAlmostNothing) {
+  EXPECT_LT(ExpectedWahBytes(1000000, 0.0), 8.0);
+  EXPECT_LT(ExpectedWahBytes(1000000, 1.0), 8.0);
+}
+
+TEST(WahModelTest, HalfDensityIsIncompressible) {
+  const double words = ExpectedWahWords(31000, 0.5);
+  EXPECT_NEAR(words, 1000.0, 10.0);  // every group a literal
+}
+
+TEST(WahModelTest, MonotoneInDensityBelowHalf) {
+  double prev = 0.0;
+  for (double d : {0.0001, 0.001, 0.01, 0.1, 0.5}) {
+    const double words = ExpectedWahWords(1000000, d);
+    EXPECT_GE(words, prev);
+    prev = words;
+  }
+}
+
+// The model must track measured WAH sizes for independent bits.
+TEST(WahModelTest, MatchesMeasuredSizesWithin25Percent) {
+  Rng rng(917);
+  const uint64_t n = 500000;
+  for (double density : {0.001, 0.005, 0.02, 0.1, 0.3, 0.5}) {
+    BitVector bits(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(density)) bits.Set(i);
+    }
+    const double measured =
+        static_cast<double>(WahBitVector::Compress(bits).SizeInBytes());
+    const double predicted = ExpectedWahBytes(n, density);
+    EXPECT_NEAR(predicted / measured, 1.0, 0.25)
+        << "density " << density << ": predicted " << predicted
+        << " measured " << measured;
+  }
+}
+
+}  // namespace
+}  // namespace incdb

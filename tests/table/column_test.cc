@@ -1,0 +1,78 @@
+#include "table/column.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(ColumnTest, AppendAndGet) {
+  Column col(5);
+  EXPECT_TRUE(col.Append(1).ok());
+  EXPECT_TRUE(col.Append(5).ok());
+  EXPECT_TRUE(col.Append(kMissingValue).ok());
+  EXPECT_EQ(col.num_rows(), 3u);
+  EXPECT_EQ(col.Get(0), 1);
+  EXPECT_EQ(col.Get(1), 5);
+  EXPECT_TRUE(col.IsMissingAt(2));
+  EXPECT_FALSE(col.IsMissingAt(0));
+}
+
+TEST(ColumnTest, RejectsOutOfDomain) {
+  Column col(5);
+  EXPECT_EQ(col.Append(6).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(col.Append(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(col.num_rows(), 0u);  // failed appends do not mutate
+}
+
+TEST(ColumnTest, MissingStats) {
+  Column col(3);
+  ASSERT_TRUE(col.Append(1).ok());
+  ASSERT_TRUE(col.Append(kMissingValue).ok());
+  ASSERT_TRUE(col.Append(kMissingValue).ok());
+  ASSERT_TRUE(col.Append(2).ok());
+  EXPECT_EQ(col.MissingCount(), 2u);
+  EXPECT_DOUBLE_EQ(col.MissingRate(), 0.5);
+}
+
+TEST(ColumnTest, MissingRateOfEmptyColumnIsZero) {
+  Column col(3);
+  EXPECT_DOUBLE_EQ(col.MissingRate(), 0.0);
+}
+
+TEST(ColumnTest, Histogram) {
+  Column col(3);
+  for (Value v : {1, 1, 2, kMissingValue, 3, 3, 3}) {
+    ASSERT_TRUE(col.Append(v).ok());
+  }
+  const std::vector<uint64_t> hist = col.Histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 1u);  // missing
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 3u);
+}
+
+TEST(ColumnTest, DistinctCount) {
+  Column col(10);
+  for (Value v : {1, 1, 5, kMissingValue, 5}) {
+    ASSERT_TRUE(col.Append(v).ok());
+  }
+  EXPECT_EQ(col.DistinctCount(), 2u);
+}
+
+TEST(ColumnTest, NonMissingMean) {
+  Column col(10);
+  for (Value v : {2, 4, kMissingValue, 6}) {
+    ASSERT_TRUE(col.Append(v).ok());
+  }
+  EXPECT_DOUBLE_EQ(col.NonMissingMean(), 4.0);
+}
+
+TEST(ColumnTest, NonMissingMeanAllMissing) {
+  Column col(10);
+  ASSERT_TRUE(col.Append(kMissingValue).ok());
+  EXPECT_DOUBLE_EQ(col.NonMissingMean(), 0.0);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,96 @@
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    path_ = ::testing::TempDir() + "/" + name;
+    return path_;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  const Table original = GenerateTable(UniformSpec(200, 9, 0.25, 3, 7)).value();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& copy = loaded.value();
+  ASSERT_EQ(copy.num_rows(), original.num_rows());
+  ASSERT_EQ(copy.num_attributes(), original.num_attributes());
+  EXPECT_TRUE(copy.schema() == original.schema());
+  for (uint64_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_attributes(); ++c) {
+      EXPECT_EQ(copy.Get(r, c), original.Get(r, c));
+    }
+  }
+}
+
+TEST_F(CsvTest, MissingCellsAreQuestionMarks) {
+  auto table = Table::Create(Schema({{"x", 3}})).value();
+  ASSERT_TRUE(table.AppendRow({kMissingValue}).ok());
+  const std::string path = TempPath("missing.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x:3");
+  EXPECT_EQ(row, "?");
+}
+
+TEST_F(CsvTest, ReadRejectsMissingFile) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, ReadRejectsHeaderWithoutCardinality) {
+  const std::string path = TempPath("badheader.csv");
+  std::ofstream(path) << "a,b\n1,2\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ReadRejectsWrongFieldCount) {
+  const std::string path = TempPath("badrow.csv");
+  std::ofstream(path) << "a:3,b:3\n1\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ReadRejectsOutOfDomainValue) {
+  const std::string path = TempPath("outofdomain.csv");
+  std::ofstream(path) << "a:3\n7\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CsvTest, ReadRejectsNonNumericValue) {
+  const std::string path = TempPath("nonnumeric.csv");
+  std::ofstream(path) << "a:3\nxyz\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  std::ofstream(path) << "a:3\n1\n\n2\n";
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace incdb

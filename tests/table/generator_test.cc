@@ -1,0 +1,116 @@
+#include "table/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const DatasetSpec spec = UniformSpec(500, 10, 0.2, 3, /*seed=*/99);
+  const Table a = GenerateTable(spec).value();
+  const Table b = GenerateTable(spec).value();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (uint64_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_attributes(); ++c) {
+      EXPECT_EQ(a.Get(r, c), b.Get(r, c));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Table a = GenerateTable(UniformSpec(500, 10, 0.2, 1, 1)).value();
+  const Table b = GenerateTable(UniformSpec(500, 10, 0.2, 1, 2)).value();
+  int differing = 0;
+  for (uint64_t r = 0; r < 500; ++r) {
+    if (a.Get(r, 0) != b.Get(r, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(GeneratorTest, MissingRateIsRespected) {
+  const Table table = GenerateTable(UniformSpec(20000, 10, 0.3, 1, 5)).value();
+  EXPECT_NEAR(table.column(0).MissingRate(), 0.3, 0.02);
+}
+
+TEST(GeneratorTest, ZeroMissingRate) {
+  const Table table = GenerateTable(UniformSpec(1000, 10, 0.0, 1, 5)).value();
+  EXPECT_EQ(table.column(0).MissingCount(), 0u);
+}
+
+TEST(GeneratorTest, ValuesStayInDomain) {
+  const Table table = GenerateTable(UniformSpec(5000, 7, 0.1, 2, 3)).value();
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      const Value v = table.Get(r, c);
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 7);
+    }
+  }
+}
+
+TEST(GeneratorTest, UniformValuesAreUniform) {
+  const Table table = GenerateTable(UniformSpec(50000, 5, 0.0, 1, 11)).value();
+  const std::vector<uint64_t> hist = table.column(0).Histogram();
+  for (int v = 1; v <= 5; ++v) {
+    EXPECT_NEAR(static_cast<double>(hist[v]), 10000.0, 500.0);
+  }
+}
+
+TEST(GeneratorTest, RejectsBadMissingRate) {
+  DatasetSpec spec = UniformSpec(10, 5, 0.0, 1);
+  spec.attributes[0].missing_rate = 1.5;
+  EXPECT_FALSE(GenerateTable(spec).ok());
+}
+
+TEST(GeneratorTest, ZipfSkewsDistribution) {
+  DatasetSpec spec = UniformSpec(20000, 50, 0.0, 1, 13);
+  spec.attributes[0].zipf_theta = 1.2;
+  const Table table = GenerateTable(spec).value();
+  const std::vector<uint64_t> hist = table.column(0).Histogram();
+  // Rank 1 must dominate the tail under heavy skew.
+  EXPECT_GT(hist[1], 10 * hist[50] + 1);
+  EXPECT_GT(hist[1], 2000u);
+}
+
+// Paper Table 7 (left): 450 columns, 90 per missing-rate level, with the
+// documented per-cardinality counts.
+TEST(GeneratorTest, PaperSyntheticSpecShape) {
+  const DatasetSpec spec = PaperSyntheticSpec(100, 1);
+  EXPECT_EQ(spec.attributes.size(), 450u);
+  int card2 = 0;
+  int missing30 = 0;
+  for (const GeneratedAttribute& attr : spec.attributes) {
+    if (attr.cardinality == 2) ++card2;
+    if (attr.missing_rate == 0.30) ++missing30;
+    EXPECT_EQ(attr.zipf_theta, 0.0);  // synthetic data is uniform
+  }
+  EXPECT_EQ(card2, 50);
+  EXPECT_EQ(missing30, 90);
+}
+
+// Paper Table 7 (right): 48 attributes; 20 complete, 8 above 90% missing;
+// cardinalities within 2..165.
+TEST(GeneratorTest, CensusLikeSpecShape) {
+  const DatasetSpec spec = CensusLikeSpec(100, 1);
+  EXPECT_EQ(spec.attributes.size(), 48u);
+  int complete = 0;
+  int heavy_missing = 0;
+  for (const GeneratedAttribute& attr : spec.attributes) {
+    EXPECT_GE(attr.cardinality, 2u);
+    EXPECT_LE(attr.cardinality, 165u);
+    EXPECT_GT(attr.zipf_theta, 0.0);  // census-like data is skewed
+    if (attr.missing_rate == 0.0) ++complete;
+    if (attr.missing_rate > 0.9) ++heavy_missing;
+  }
+  EXPECT_EQ(complete, 20);
+  EXPECT_EQ(heavy_missing, 8);
+}
+
+TEST(GeneratorTest, CensusLikeGeneratesRequestedRows) {
+  const Table table = GenerateTable(CensusLikeSpec(2000, 3)).value();
+  EXPECT_EQ(table.num_rows(), 2000u);
+  EXPECT_EQ(table.num_attributes(), 48u);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,53 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  Schema schema;
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.num_attributes(), 0u);
+}
+
+TEST(SchemaTest, ValidSchema) {
+  Schema schema({{"age", 100}, {"sex", 2}});
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  EXPECT_EQ(schema.attribute(0).name, "age");
+  EXPECT_EQ(schema.attribute(1).cardinality, 2u);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  Schema schema({{"", 10}});
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsZeroCardinality) {
+  Schema schema({{"x", 0}});
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema schema({{"x", 5}, {"x", 7}});
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema({{"a", 1}, {"b", 2}, {"c", 3}});
+  ASSERT_TRUE(schema.IndexOf("b").ok());
+  EXPECT_EQ(schema.IndexOf("b").value(), 1u);
+  EXPECT_EQ(schema.IndexOf("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", 5}});
+  Schema b({{"x", 5}});
+  Schema c({{"x", 6}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,63 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Table MakeSmallTable() {
+  auto table = Table::Create(Schema({{"a", 5}, {"b", 3}}));
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+TEST(TableTest, CreateValidatesSchema) {
+  EXPECT_FALSE(Table::Create(Schema({{"", 5}})).ok());
+  EXPECT_TRUE(Table::Create(Schema({{"x", 5}})).ok());
+}
+
+TEST(TableTest, AppendRowAndGet) {
+  Table table = MakeSmallTable();
+  ASSERT_TRUE(table.AppendRow({3, kMissingValue}).ok());
+  ASSERT_TRUE(table.AppendRow({kMissingValue, 2}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.Get(0, 0), 3);
+  EXPECT_TRUE(table.IsMissingAt(0, 1));
+  EXPECT_TRUE(table.IsMissingAt(1, 0));
+  EXPECT_EQ(table.Get(1, 1), 2);
+}
+
+TEST(TableTest, AppendRowRejectsWrongArity) {
+  Table table = MakeSmallTable();
+  EXPECT_EQ(table.AppendRow({1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.AppendRow({1, 2, 3}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendRowRejectsOutOfDomainAtomically) {
+  Table table = MakeSmallTable();
+  // Second value is out of range; the whole row must be rejected and no
+  // column may grow.
+  EXPECT_EQ(table.AppendRow({1, 9}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.column(0).num_rows(), 0u);
+  EXPECT_EQ(table.column(1).num_rows(), 0u);
+}
+
+TEST(TableTest, DataSizeInBytes) {
+  Table table = MakeSmallTable();
+  ASSERT_TRUE(table.AppendRow({1, 1}).ok());
+  ASSERT_TRUE(table.AppendRow({2, 2}).ok());
+  EXPECT_EQ(table.DataSizeInBytes(), 2u * 2u * sizeof(Value));
+}
+
+TEST(TableTest, SummaryMentionsShape) {
+  Table table = MakeSmallTable();
+  ASSERT_TRUE(table.AppendRow({1, kMissingValue}).ok());
+  const std::string summary = table.Summary();
+  EXPECT_NE(summary.find("rows=1"), std::string::npos);
+  EXPECT_NE(summary.find("attrs=2"), std::string::npos);
+  EXPECT_NE(summary.find("50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incdb

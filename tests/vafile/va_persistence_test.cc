@@ -1,0 +1,146 @@
+// Save/Load and incremental AppendRow for the VA-file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/executor.h"
+#include "query/workload.h"
+#include "table/generator.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace {
+
+class VaPersistenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string TempPath(const std::string& name) {
+    path_ = ::testing::TempDir() + "/" + name;
+    return path_;
+  }
+  std::string path_;
+};
+
+TEST_F(VaPersistenceTest, SaveLoadRoundTrip) {
+  const Table table = GenerateTable(UniformSpec(1200, 20, 0.2, 4, 301)).value();
+  for (VaQuantization quantization :
+       {VaQuantization::kUniform, VaQuantization::kEquiDepth}) {
+    for (int bits : {0, 3}) {
+      const VaFile original =
+          VaFile::Build(table, {quantization, bits}).value();
+      const std::string path = TempPath("va.idx");
+      ASSERT_TRUE(original.Save(path).ok());
+      const auto loaded = VaFile::Load(path, table);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_EQ(loaded->Name(), original.Name());
+      EXPECT_EQ(loaded->SizeInBytes(), original.SizeInBytes());
+      for (uint64_t r = 0; r < 50; ++r) {
+        for (size_t a = 0; a < 4; ++a) {
+          EXPECT_EQ(loaded->StoredCode(r, a), original.StoredCode(r, a));
+        }
+      }
+      WorkloadParams params;
+      params.num_queries = 15;
+      params.dims = 2;
+      params.global_selectivity = 0.05;
+      const auto queries = GenerateWorkload(table, params);
+      ASSERT_TRUE(queries.ok());
+      EXPECT_TRUE(
+          VerifyAgainstOracle(loaded.value(), table, queries.value()).ok());
+    }
+  }
+}
+
+TEST_F(VaPersistenceTest, LoadRejectsMismatchedTable) {
+  const Table table = GenerateTable(UniformSpec(500, 20, 0.2, 4, 303)).value();
+  const VaFile original = VaFile::Build(table).value();
+  const std::string path = TempPath("va_mismatch.idx");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  // Wrong attribute count.
+  const Table narrow = GenerateTable(UniformSpec(500, 20, 0.2, 3, 303)).value();
+  EXPECT_FALSE(VaFile::Load(path, narrow).ok());
+  // Wrong cardinality.
+  const Table different =
+      GenerateTable(UniformSpec(500, 21, 0.2, 4, 303)).value();
+  EXPECT_FALSE(VaFile::Load(path, different).ok());
+  // Fewer rows than the approximation covers.
+  const Table short_table =
+      GenerateTable(UniformSpec(100, 20, 0.2, 4, 303)).value();
+  EXPECT_FALSE(VaFile::Load(path, short_table).ok());
+}
+
+TEST_F(VaPersistenceTest, LoadRejectsGarbage) {
+  const Table table = GenerateTable(UniformSpec(10, 5, 0.0, 1, 305)).value();
+  const std::string path = TempPath("va_garbage.idx");
+  std::ofstream(path, std::ios::binary) << "nonsense";
+  EXPECT_FALSE(VaFile::Load(path, table).ok());
+}
+
+TEST(VaAppendTest, IncrementalEqualsBatchForUniformBins) {
+  const Table table = GenerateTable(UniformSpec(600, 15, 0.3, 3, 307)).value();
+  auto half = Table::Create(table.schema()).value();
+  std::vector<Value> row(3);
+  for (uint64_t r = 0; r < 300; ++r) {
+    for (size_t a = 0; a < 3; ++a) row[a] = table.Get(r, a);
+    ASSERT_TRUE(half.AppendRow(row).ok());
+  }
+  // Note: the incremental VA-file refines against `table` (which already
+  // holds all rows), so building over `half`'s prefix then appending must
+  // match the batch build bit for bit.
+  VaFile incremental = VaFile::Build(table, {}).value();  // bins from full
+  VaFile batch = VaFile::Build(table, {}).value();
+  // Rebuild incremental's payload from scratch via appends.
+  VaFile empty_built = VaFile::Build(half, {}).value();
+  for (uint64_t r = 300; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < 3; ++a) row[a] = table.Get(r, a);
+    ASSERT_TRUE(empty_built.AppendRow(row).ok());
+  }
+  ASSERT_EQ(empty_built.num_rows(), table.num_rows());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t a = 0; a < 3; ++a) {
+      EXPECT_EQ(empty_built.StoredCode(r, a), batch.StoredCode(r, a))
+          << "row " << r << " attr " << a;
+    }
+  }
+}
+
+TEST(VaAppendTest, RejectsBadRows) {
+  const Table table = GenerateTable(UniformSpec(100, 5, 0.1, 2, 309)).value();
+  VaFile va = VaFile::Build(table).value();
+  EXPECT_FALSE(va.AppendRow({1}).ok());
+  EXPECT_FALSE(va.AppendRow({1, 9}).ok());
+  EXPECT_EQ(va.num_rows(), 100u);
+}
+
+TEST(VaAppendTest, ExecuteRequiresTableToKeepUp) {
+  // Appending to the index beyond the table must be caught at query time
+  // (refinement would read rows the table does not have).
+  const Table table = GenerateTable(UniformSpec(50, 5, 0.1, 2, 311)).value();
+  VaFile va = VaFile::Build(table).value();
+  ASSERT_TRUE(va.AppendRow({2, 3}).ok());
+  RangeQuery q;
+  q.terms = {{0, {1, 5}}};
+  EXPECT_EQ(va.Execute(q).status().code(), StatusCode::kInternal);
+}
+
+TEST(VaAppendTest, AppendedRowsAreQueryable) {
+  auto table = Table::Create(Schema({{"x", 8}})).value();
+  for (Value v : {1, 5, kMissingValue}) {
+    ASSERT_TRUE(table.AppendRow({v}).ok());
+  }
+  VaFile va = VaFile::Build(table).value();
+  ASSERT_TRUE(table.AppendRow({7}).ok());
+  ASSERT_TRUE(va.AppendRow({7}).ok());
+  RangeQuery q;
+  q.terms = {{0, {6, 8}}};
+  q.semantics = MissingSemantics::kNoMatch;
+  EXPECT_EQ(va.Execute(q).value().ToIndices(), (std::vector<uint32_t>{3}));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,230 @@
+// incdb_cli — query incomplete CSV datasets from the command line.
+//
+// Usage:
+//   incdb_cli <data.csv> [--index=KIND] [--semantics=match|no-match]
+//             [--count] [--limit=N] "<predicate>"
+//   incdb_cli <data.csv> --stats
+//   incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] [--point]
+//
+// The CSV header must be `name:cardinality` per column; missing cells are
+// `?` (the format written by incdb::WriteCsv). Predicates use the grammar
+// of query/parser.h, e.g.:
+//
+//   incdb_cli census.csv "age IN [3,5] AND NOT income = 1"
+//
+// With no --index the cost-based advisor picks the structure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/database.h"
+#include "query/parser.h"
+#include "stats/histogram.h"
+#include "table/csv.h"
+
+namespace incdb {
+namespace {
+
+struct CliOptions {
+  std::string csv_path;
+  std::string query_text;
+  std::string index = "auto";
+  MissingSemantics semantics = MissingSemantics::kMatch;
+  bool count_only = false;
+  bool stats = false;
+  bool advise = false;
+  size_t limit = 20;
+  // advisor profile knobs
+  size_t dims = 4;
+  double selectivity = 0.1;
+  bool point = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: incdb_cli <data.csv> [--index=bee|bre|bie|bsl|va|va+|scan]\n"
+      "                 [--semantics=match|no-match] [--count] [--limit=N]\n"
+      "                 \"<predicate>\"\n"
+      "       incdb_cli <data.csv> --stats\n"
+      "       incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] "
+      "[--point]\n");
+  return 2;
+}
+
+Result<IndexKind> ParseIndexKind(const std::string& name) {
+  if (name == "bee") return IndexKind::kBitmapEquality;
+  if (name == "bre") return IndexKind::kBitmapRange;
+  if (name == "bie") return IndexKind::kBitmapInterval;
+  if (name == "bsl") return IndexKind::kBitmapBitSliced;
+  if (name == "va") return IndexKind::kVaFile;
+  if (name == "va+") return IndexKind::kVaPlusFile;
+  if (name == "scan") return IndexKind::kSequentialScan;
+  return Status::InvalidArgument("unknown index kind '" + name + "'");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--index=", 0) == 0) {
+      options->index = arg.substr(8);
+    } else if (arg.rfind("--semantics=", 0) == 0) {
+      const std::string value = arg.substr(12);
+      if (value == "match") {
+        options->semantics = MissingSemantics::kMatch;
+      } else if (value == "no-match") {
+        options->semantics = MissingSemantics::kNoMatch;
+      } else {
+        return false;
+      }
+    } else if (arg == "--count") {
+      options->count_only = true;
+    } else if (arg == "--stats") {
+      options->stats = true;
+    } else if (arg == "--advise") {
+      options->advise = true;
+    } else if (arg == "--point") {
+      options->point = true;
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      options->limit = static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--dims=", 0) == 0) {
+      options->dims = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--selectivity=", 0) == 0) {
+      options->selectivity = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) return false;
+  options->csv_path = positional[0];
+  if (positional.size() > 1) options->query_text = positional[1];
+  if (positional.size() > 2) return false;
+  if (options->query_text.empty() && !options->stats && !options->advise) {
+    return false;
+  }
+  return true;
+}
+
+int PrintStats(const Table& table) {
+  std::printf("%s\n", table.Summary().c_str());
+  std::printf("%-20s %12s %12s %10s %8s\n", "attribute", "cardinality",
+              "distinct", "missing%", "skew");
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const AttributeHistogram hist =
+        AttributeHistogram::FromColumn(table.column(a));
+    std::printf("%-20s %12u %12u %9.1f%% %8.1f\n",
+                table.schema().attribute(a).name.c_str(), hist.cardinality(),
+                table.column(a).DistinctCount(), hist.MissingRate() * 100.0,
+                hist.Skew());
+  }
+  return 0;
+}
+
+int PrintAdvice(const Table& table, const CliOptions& options) {
+  const IndexAdvisor advisor(table);
+  WorkloadProfile profile;
+  profile.dims = std::min(options.dims, table.num_attributes());
+  profile.attribute_selectivity = options.selectivity;
+  profile.point_queries = options.point;
+  profile.semantics = options.semantics;
+  std::printf("%-22s %16s %14s\n", "index", "predicted_cost",
+              "predicted_MB");
+  for (const IndexCostEstimate& estimate : advisor.Rank(profile, 1e18)) {
+    std::printf("%-22s %16.0f %14.3f\n",
+                std::string(IndexKindToString(estimate.kind)).c_str(),
+                estimate.query_cost,
+                estimate.size_bytes / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+
+  auto table = ReadCsv(options.csv_path);
+  if (!table.ok()) {
+    std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  if (options.stats) return PrintStats(table.value());
+  if (options.advise) return PrintAdvice(table.value(), options);
+
+  auto db = Database::FromTable(std::move(table).value());
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.index == "auto") {
+    const IndexAdvisor advisor(db->table());
+    WorkloadProfile profile;
+    profile.dims = std::min<size_t>(4, db->table().num_attributes());
+    profile.semantics = options.semantics;
+    const IndexKind pick = advisor.Recommend(profile);
+    if (pick != IndexKind::kSequentialScan) {
+      const Status status = db->BuildIndex(pick);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  } else if (options.index != "scan") {
+    const auto kind = ParseIndexKind(options.index);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+      return Usage();
+    }
+    const Status status = db->BuildIndex(kind.value());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::string chosen;
+  const auto rows =
+      db->QueryText(options.query_text, options.semantics, &chosen);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# %zu match(es) via %s [%s]\n", rows.value().size(),
+               chosen.c_str(),
+               std::string(MissingSemanticsToString(options.semantics)).c_str());
+  if (options.count_only) {
+    std::printf("%zu\n", rows.value().size());
+    return 0;
+  }
+  const Table& data = db->table();
+  size_t printed = 0;
+  for (uint32_t r : rows.value()) {
+    if (printed++ == options.limit) {
+      std::printf("... (%zu more)\n", rows.value().size() - options.limit);
+      break;
+    }
+    std::printf("%u:", r);
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      const Value v = data.Get(r, a);
+      if (IsMissing(v)) {
+        std::printf(" ?");
+      } else {
+        std::printf(" %d", v);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::Main(argc, argv); }

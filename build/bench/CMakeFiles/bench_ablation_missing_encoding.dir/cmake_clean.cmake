@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_missing_encoding.dir/bench_ablation_missing_encoding.cc.o"
+  "CMakeFiles/bench_ablation_missing_encoding.dir/bench_ablation_missing_encoding.cc.o.d"
+  "bench_ablation_missing_encoding"
+  "bench_ablation_missing_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_missing_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_reordering.cc" "bench/CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/incdb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/incdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/incdb_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/vafile/CMakeFiles/incdb_vafile.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/incdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/incdb_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/incdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/incdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/incdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/incdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/incdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

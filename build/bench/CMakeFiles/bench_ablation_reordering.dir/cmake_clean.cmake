@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o"
+  "CMakeFiles/bench_ablation_reordering.dir/bench_ablation_reordering.cc.o.d"
+  "bench_ablation_reordering"
+  "bench_ablation_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

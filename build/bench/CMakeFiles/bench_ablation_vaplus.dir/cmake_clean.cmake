@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vaplus.dir/bench_ablation_vaplus.cc.o"
+  "CMakeFiles/bench_ablation_vaplus.dir/bench_ablation_vaplus.cc.o.d"
+  "bench_ablation_vaplus"
+  "bench_ablation_vaplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vaplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

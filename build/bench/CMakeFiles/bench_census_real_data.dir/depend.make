@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_census_real_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rtree_degradation.dir/bench_fig1_rtree_degradation.cc.o"
+  "CMakeFiles/bench_fig1_rtree_degradation.dir/bench_fig1_rtree_degradation.cc.o.d"
+  "bench_fig1_rtree_degradation"
+  "bench_fig1_rtree_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rtree_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_full.dir/bench_table7_full.cc.o"
+  "CMakeFiles/bench_table7_full.dir/bench_table7_full.cc.o.d"
+  "bench_table7_full"
+  "bench_table7_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wah_ops.dir/bench_wah_ops.cc.o"
+  "CMakeFiles/bench_wah_ops.dir/bench_wah_ops.cc.o.d"
+  "bench_wah_ops"
+  "bench_wah_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wah_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/incdb_bench_common.dir/bench_common.cc.o.d"
+  "libincdb_bench_common.a"
+  "libincdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libincdb_bench_common.a"
+)

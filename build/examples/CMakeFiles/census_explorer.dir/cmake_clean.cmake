@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_explorer.dir/census_explorer.cpp.o"
+  "CMakeFiles/census_explorer.dir/census_explorer.cpp.o.d"
+  "census_explorer"
+  "census_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_lifecycle.dir/index_lifecycle.cpp.o"
+  "CMakeFiles/index_lifecycle.dir/index_lifecycle.cpp.o.d"
+  "index_lifecycle"
+  "index_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

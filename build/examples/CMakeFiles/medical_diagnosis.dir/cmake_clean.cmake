@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_diagnosis.dir/medical_diagnosis.cpp.o"
+  "CMakeFiles/medical_diagnosis.dir/medical_diagnosis.cpp.o.d"
+  "medical_diagnosis"
+  "medical_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

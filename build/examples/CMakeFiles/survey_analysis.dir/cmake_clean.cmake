@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_analysis.dir/survey_analysis.cpp.o"
+  "CMakeFiles/survey_analysis.dir/survey_analysis.cpp.o.d"
+  "survey_analysis"
+  "survey_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("bitvector")
+subdirs("compression")
+subdirs("table")
+subdirs("query")
+subdirs("stats")
+subdirs("bitmap")
+subdirs("vafile")
+subdirs("btree")
+subdirs("rtree")
+subdirs("baselines")
+subdirs("core")

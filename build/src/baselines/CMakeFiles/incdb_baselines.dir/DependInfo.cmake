@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bitstring_augmented.cc" "src/baselines/CMakeFiles/incdb_baselines.dir/bitstring_augmented.cc.o" "gcc" "src/baselines/CMakeFiles/incdb_baselines.dir/bitstring_augmented.cc.o.d"
+  "/root/repo/src/baselines/mosaic.cc" "src/baselines/CMakeFiles/incdb_baselines.dir/mosaic.cc.o" "gcc" "src/baselines/CMakeFiles/incdb_baselines.dir/mosaic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btree/CMakeFiles/incdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/incdb_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/incdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/incdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

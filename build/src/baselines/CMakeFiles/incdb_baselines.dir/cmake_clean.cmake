@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_baselines.dir/bitstring_augmented.cc.o"
+  "CMakeFiles/incdb_baselines.dir/bitstring_augmented.cc.o.d"
+  "CMakeFiles/incdb_baselines.dir/mosaic.cc.o"
+  "CMakeFiles/incdb_baselines.dir/mosaic.cc.o.d"
+  "libincdb_baselines.a"
+  "libincdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_bitmap.dir/bitmap_index.cc.o"
+  "CMakeFiles/incdb_bitmap.dir/bitmap_index.cc.o.d"
+  "libincdb_bitmap.a"
+  "libincdb_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_bitvector.dir/bitvector.cc.o"
+  "CMakeFiles/incdb_bitvector.dir/bitvector.cc.o.d"
+  "libincdb_bitvector.a"
+  "libincdb_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

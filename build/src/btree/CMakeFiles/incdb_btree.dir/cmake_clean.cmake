@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/incdb_btree.dir/bplus_tree.cc.o.d"
+  "libincdb_btree.a"
+  "libincdb_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_common.dir/io.cc.o"
+  "CMakeFiles/incdb_common.dir/io.cc.o.d"
+  "CMakeFiles/incdb_common.dir/rng.cc.o"
+  "CMakeFiles/incdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/incdb_common.dir/status.cc.o"
+  "CMakeFiles/incdb_common.dir/status.cc.o.d"
+  "libincdb_common.a"
+  "libincdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/bbc_bitvector.cc" "src/compression/CMakeFiles/incdb_compression.dir/bbc_bitvector.cc.o" "gcc" "src/compression/CMakeFiles/incdb_compression.dir/bbc_bitvector.cc.o.d"
+  "/root/repo/src/compression/wah_bitvector.cc" "src/compression/CMakeFiles/incdb_compression.dir/wah_bitvector.cc.o" "gcc" "src/compression/CMakeFiles/incdb_compression.dir/wah_bitvector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

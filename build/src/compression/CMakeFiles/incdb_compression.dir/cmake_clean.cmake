@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_compression.dir/bbc_bitvector.cc.o"
+  "CMakeFiles/incdb_compression.dir/bbc_bitvector.cc.o.d"
+  "CMakeFiles/incdb_compression.dir/wah_bitvector.cc.o"
+  "CMakeFiles/incdb_compression.dir/wah_bitvector.cc.o.d"
+  "libincdb_compression.a"
+  "libincdb_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

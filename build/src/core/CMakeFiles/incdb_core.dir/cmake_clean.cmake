@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_core.dir/advisor.cc.o"
+  "CMakeFiles/incdb_core.dir/advisor.cc.o.d"
+  "CMakeFiles/incdb_core.dir/database.cc.o"
+  "CMakeFiles/incdb_core.dir/database.cc.o.d"
+  "CMakeFiles/incdb_core.dir/executor.cc.o"
+  "CMakeFiles/incdb_core.dir/executor.cc.o.d"
+  "CMakeFiles/incdb_core.dir/expr_executor.cc.o"
+  "CMakeFiles/incdb_core.dir/expr_executor.cc.o.d"
+  "CMakeFiles/incdb_core.dir/index_factory.cc.o"
+  "CMakeFiles/incdb_core.dir/index_factory.cc.o.d"
+  "libincdb_core.a"
+  "libincdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

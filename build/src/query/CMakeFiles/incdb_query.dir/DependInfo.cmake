@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/incdb_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/incdb_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/incdb_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/query.cc.o.d"
+  "/root/repo/src/query/selectivity.cc" "src/query/CMakeFiles/incdb_query.dir/selectivity.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/selectivity.cc.o.d"
+  "/root/repo/src/query/seq_scan.cc" "src/query/CMakeFiles/incdb_query.dir/seq_scan.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/seq_scan.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/query/CMakeFiles/incdb_query.dir/workload.cc.o" "gcc" "src/query/CMakeFiles/incdb_query.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/incdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_query.dir/expr.cc.o"
+  "CMakeFiles/incdb_query.dir/expr.cc.o.d"
+  "CMakeFiles/incdb_query.dir/parser.cc.o"
+  "CMakeFiles/incdb_query.dir/parser.cc.o.d"
+  "CMakeFiles/incdb_query.dir/query.cc.o"
+  "CMakeFiles/incdb_query.dir/query.cc.o.d"
+  "CMakeFiles/incdb_query.dir/selectivity.cc.o"
+  "CMakeFiles/incdb_query.dir/selectivity.cc.o.d"
+  "CMakeFiles/incdb_query.dir/seq_scan.cc.o"
+  "CMakeFiles/incdb_query.dir/seq_scan.cc.o.d"
+  "CMakeFiles/incdb_query.dir/workload.cc.o"
+  "CMakeFiles/incdb_query.dir/workload.cc.o.d"
+  "libincdb_query.a"
+  "libincdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

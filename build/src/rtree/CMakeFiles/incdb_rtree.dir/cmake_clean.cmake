@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_rtree.dir/rtree.cc.o"
+  "CMakeFiles/incdb_rtree.dir/rtree.cc.o.d"
+  "libincdb_rtree.a"
+  "libincdb_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

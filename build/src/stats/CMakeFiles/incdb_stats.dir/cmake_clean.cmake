@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_stats.dir/histogram.cc.o"
+  "CMakeFiles/incdb_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/incdb_stats.dir/wah_model.cc.o"
+  "CMakeFiles/incdb_stats.dir/wah_model.cc.o.d"
+  "libincdb_stats.a"
+  "libincdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/table/CMakeFiles/incdb_table.dir/column.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/table/CMakeFiles/incdb_table.dir/csv.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/csv.cc.o.d"
+  "/root/repo/src/table/generator.cc" "src/table/CMakeFiles/incdb_table.dir/generator.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/generator.cc.o.d"
+  "/root/repo/src/table/reorder.cc" "src/table/CMakeFiles/incdb_table.dir/reorder.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/reorder.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/table/CMakeFiles/incdb_table.dir/schema.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/incdb_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/incdb_table.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_table.dir/column.cc.o"
+  "CMakeFiles/incdb_table.dir/column.cc.o.d"
+  "CMakeFiles/incdb_table.dir/csv.cc.o"
+  "CMakeFiles/incdb_table.dir/csv.cc.o.d"
+  "CMakeFiles/incdb_table.dir/generator.cc.o"
+  "CMakeFiles/incdb_table.dir/generator.cc.o.d"
+  "CMakeFiles/incdb_table.dir/reorder.cc.o"
+  "CMakeFiles/incdb_table.dir/reorder.cc.o.d"
+  "CMakeFiles/incdb_table.dir/schema.cc.o"
+  "CMakeFiles/incdb_table.dir/schema.cc.o.d"
+  "CMakeFiles/incdb_table.dir/table.cc.o"
+  "CMakeFiles/incdb_table.dir/table.cc.o.d"
+  "libincdb_table.a"
+  "libincdb_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_vafile.dir/va_file.cc.o"
+  "CMakeFiles/incdb_vafile.dir/va_file.cc.o.d"
+  "libincdb_vafile.a"
+  "libincdb_vafile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_vafile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

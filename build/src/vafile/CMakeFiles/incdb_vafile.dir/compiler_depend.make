@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for incdb_vafile.
+# This may be replaced when dependencies are built.

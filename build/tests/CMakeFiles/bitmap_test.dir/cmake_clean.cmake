@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_aggregate_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_aggregate_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_bitsliced_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_bitsliced_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_count_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_count_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_group_count_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_group_count_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_index_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_index_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_interval_encoding_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_interval_encoding_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_paper_examples_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_paper_examples_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_persistence_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_persistence_test.cc.o.d"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_property_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap/bitmap_property_test.cc.o.d"
+  "bitmap_test"
+  "bitmap_test.pdb"
+  "bitmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compression/bbc_bitvector_test.cc" "tests/CMakeFiles/compression_test.dir/compression/bbc_bitvector_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/bbc_bitvector_test.cc.o.d"
+  "/root/repo/tests/compression/wah_bitvector_test.cc" "tests/CMakeFiles/compression_test.dir/compression/wah_bitvector_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/wah_bitvector_test.cc.o.d"
+  "/root/repo/tests/compression/wah_edge_test.cc" "tests/CMakeFiles/compression_test.dir/compression/wah_edge_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/wah_edge_test.cc.o.d"
+  "/root/repo/tests/compression/wah_property_test.cc" "tests/CMakeFiles/compression_test.dir/compression/wah_property_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/wah_property_test.cc.o.d"
+  "/root/repo/tests/compression/wah_serialization_test.cc" "tests/CMakeFiles/compression_test.dir/compression/wah_serialization_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/wah_serialization_test.cc.o.d"
+  "/root/repo/tests/compression/wah_word_size_test.cc" "tests/CMakeFiles/compression_test.dir/compression/wah_word_size_test.cc.o" "gcc" "tests/CMakeFiles/compression_test.dir/compression/wah_word_size_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compression/CMakeFiles/incdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_test.dir/compression/bbc_bitvector_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/bbc_bitvector_test.cc.o.d"
+  "CMakeFiles/compression_test.dir/compression/wah_bitvector_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/wah_bitvector_test.cc.o.d"
+  "CMakeFiles/compression_test.dir/compression/wah_edge_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/wah_edge_test.cc.o.d"
+  "CMakeFiles/compression_test.dir/compression/wah_property_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/wah_property_test.cc.o.d"
+  "CMakeFiles/compression_test.dir/compression/wah_serialization_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/wah_serialization_test.cc.o.d"
+  "CMakeFiles/compression_test.dir/compression/wah_word_size_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression/wah_word_size_test.cc.o.d"
+  "compression_test"
+  "compression_test.pdb"
+  "compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

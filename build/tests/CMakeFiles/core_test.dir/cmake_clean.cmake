@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/database_delete_test.cc.o"
+  "CMakeFiles/core_test.dir/core/database_delete_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/database_test.cc.o"
+  "CMakeFiles/core_test.dir/core/database_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/database_text_test.cc.o"
+  "CMakeFiles/core_test.dir/core/database_text_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/differential_test.cc.o"
+  "CMakeFiles/core_test.dir/core/differential_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/executor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/executor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/expr_executor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/expr_executor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/index_factory_test.cc.o"
+  "CMakeFiles/core_test.dir/core/index_factory_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/semantics_algebra_test.cc.o"
+  "CMakeFiles/core_test.dir/core/semantics_algebra_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_test.dir/query/expr_test.cc.o"
+  "CMakeFiles/query_test.dir/query/expr_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/parser_test.cc.o"
+  "CMakeFiles/query_test.dir/query/parser_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/query_test.cc.o"
+  "CMakeFiles/query_test.dir/query/query_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/selectivity_test.cc.o"
+  "CMakeFiles/query_test.dir/query/selectivity_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/seq_scan_test.cc.o"
+  "CMakeFiles/query_test.dir/query/seq_scan_test.cc.o.d"
+  "CMakeFiles/query_test.dir/query/workload_test.cc.o"
+  "CMakeFiles/query_test.dir/query/workload_test.cc.o.d"
+  "query_test"
+  "query_test.pdb"
+  "query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

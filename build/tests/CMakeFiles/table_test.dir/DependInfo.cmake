@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table/column_test.cc" "tests/CMakeFiles/table_test.dir/table/column_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/column_test.cc.o.d"
+  "/root/repo/tests/table/csv_test.cc" "tests/CMakeFiles/table_test.dir/table/csv_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/csv_test.cc.o.d"
+  "/root/repo/tests/table/generator_test.cc" "tests/CMakeFiles/table_test.dir/table/generator_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/generator_test.cc.o.d"
+  "/root/repo/tests/table/reorder_test.cc" "tests/CMakeFiles/table_test.dir/table/reorder_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/reorder_test.cc.o.d"
+  "/root/repo/tests/table/schema_test.cc" "tests/CMakeFiles/table_test.dir/table/schema_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/schema_test.cc.o.d"
+  "/root/repo/tests/table/table_test.cc" "tests/CMakeFiles/table_test.dir/table/table_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/incdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/incdb_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/incdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/incdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/incdb_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/incdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

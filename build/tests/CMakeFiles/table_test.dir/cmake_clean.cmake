@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_test.dir/table/column_test.cc.o"
+  "CMakeFiles/table_test.dir/table/column_test.cc.o.d"
+  "CMakeFiles/table_test.dir/table/csv_test.cc.o"
+  "CMakeFiles/table_test.dir/table/csv_test.cc.o.d"
+  "CMakeFiles/table_test.dir/table/generator_test.cc.o"
+  "CMakeFiles/table_test.dir/table/generator_test.cc.o.d"
+  "CMakeFiles/table_test.dir/table/reorder_test.cc.o"
+  "CMakeFiles/table_test.dir/table/reorder_test.cc.o.d"
+  "CMakeFiles/table_test.dir/table/schema_test.cc.o"
+  "CMakeFiles/table_test.dir/table/schema_test.cc.o.d"
+  "CMakeFiles/table_test.dir/table/table_test.cc.o"
+  "CMakeFiles/table_test.dir/table/table_test.cc.o.d"
+  "table_test"
+  "table_test.pdb"
+  "table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

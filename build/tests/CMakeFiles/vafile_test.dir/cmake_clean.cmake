@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafile_test.dir/vafile/va_file_test.cc.o"
+  "CMakeFiles/vafile_test.dir/vafile/va_file_test.cc.o.d"
+  "CMakeFiles/vafile_test.dir/vafile/va_persistence_test.cc.o"
+  "CMakeFiles/vafile_test.dir/vafile/va_persistence_test.cc.o.d"
+  "CMakeFiles/vafile_test.dir/vafile/va_property_test.cc.o"
+  "CMakeFiles/vafile_test.dir/vafile/va_property_test.cc.o.d"
+  "vafile_test"
+  "vafile_test.pdb"
+  "vafile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

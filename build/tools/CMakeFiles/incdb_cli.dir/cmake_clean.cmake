@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incdb_cli.dir/incdb_cli.cc.o"
+  "CMakeFiles/incdb_cli.dir/incdb_cli.cc.o.d"
+  "incdb_cli"
+  "incdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

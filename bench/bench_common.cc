@@ -2,9 +2,85 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 namespace incdb {
 namespace bench {
+
+namespace {
+
+struct JsonEntry {
+  std::string bench;
+  std::string config;
+  double millis;
+  uint64_t bytes;
+};
+
+std::string g_json_path;                 // NOLINT: bench-process lifetime
+std::vector<JsonEntry>* g_json_entries;  // NOLINT
+
+// Benchmark names/configs are plain identifiers, but escape defensively so
+// the output is always valid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
+      if (g_json_entries == nullptr) g_json_entries = new std::vector<JsonEntry>;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+void RecordResult(const std::string& bench, const std::string& config,
+                  double millis, uint64_t bytes) {
+  if (g_json_entries == nullptr) return;
+  g_json_entries->push_back({bench, config, millis, bytes});
+}
+
+void WriteJson() {
+  if (g_json_path.empty()) return;
+  std::ofstream out(g_json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n",
+                 g_json_path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"results\": [";
+  const std::vector<JsonEntry>& entries = *g_json_entries;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    char millis[64];
+    std::snprintf(millis, sizeof(millis), "%.4f", entries[i].millis);
+    out << "    {\"bench\": \"" << JsonEscape(entries[i].bench)
+        << "\", \"config\": \"" << JsonEscape(entries[i].config)
+        << "\", \"millis\": " << millis
+        << ", \"bytes\": " << entries[i].bytes << "}";
+  }
+  out << "\n  ]\n}\n";
+}
 
 uint64_t BenchRows(uint64_t fallback) {
   const char* env = std::getenv("INCDB_BENCH_ROWS");

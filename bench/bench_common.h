@@ -13,6 +13,23 @@
 namespace incdb {
 namespace bench {
 
+/// Parses benchmark command-line flags. Currently supported:
+///   --json <path>   record machine-readable results; WriteJson() then
+///                   writes them to <path> (the BENCH_*.json perf
+///                   trajectory files CI archives).
+/// Unknown flags abort with a usage message.
+void Init(int argc, char** argv);
+
+/// Records one benchmark measurement for the JSON trajectory file. No-op
+/// unless --json was passed to Init.
+void RecordResult(const std::string& bench, const std::string& config,
+                  double millis, uint64_t bytes);
+
+/// Writes every recorded measurement to the --json path as
+/// {"results": [{"bench","config","millis","bytes"}, ...]}. No-op without
+/// --json. Call once at the end of main.
+void WriteJson();
+
 /// Number of rows benchmarks use, honoring the INCDB_BENCH_ROWS environment
 /// variable (default `fallback`, the paper-scale value unless noted).
 uint64_t BenchRows(uint64_t fallback);

@@ -24,8 +24,8 @@ constexpr IndexKind kIndexKinds[] = {IndexKind::kBitmapEquality,
                                      IndexKind::kVaFile,
                                      IndexKind::kSequentialScan};
 
-void RunConfig(const char* sweep_value, const Table& table, size_t dims,
-               MissingSemantics semantics) {
+void RunConfig(const char* figure, const char* sweep_value, const Table& table,
+               size_t dims, MissingSemantics semantics) {
   WorkloadParams params;
   params.num_queries = bench::BenchQueries();
   params.dims = dims;
@@ -43,12 +43,17 @@ void RunConfig(const char* sweep_value, const Table& table, size_t dims,
         bench::MustRunWorkload(*index, queries, table.num_rows());
     row.push_back(bench::FormatDouble(result.total_millis, 2));
     realized = result.realized_selectivity;
+    bench::RecordResult(figure,
+                        std::string(IndexKindToString(kind)) + "/" +
+                            sweep_value,
+                        result.total_millis, index->SizeInBytes());
   }
   row.push_back(bench::FormatDouble(realized * 100.0, 2));
   bench::PrintRow(row);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::Init(argc, argv);
   const uint64_t rows = bench::BenchRows(100000);
   const std::vector<std::string> header = {
       "sweep", "bee_wah_ms", "bre_wah_ms", "va_file_ms", "seq_scan_ms",
@@ -62,8 +67,8 @@ int Main() {
   for (uint32_t cardinality : {2u, 5u, 10u, 20u, 50u, 100u}) {
     const Table table =
         GenerateTable(UniformSpec(rows, cardinality, 0.10, 10, 42)).value();
-    RunConfig(std::to_string(cardinality).c_str(), table, 8,
-              MissingSemantics::kMatch);
+    RunConfig("fig5a_cardinality", std::to_string(cardinality).c_str(),
+              table, 8, MissingSemantics::kMatch);
   }
 
   std::printf("\n# Fig. 5(b): query time vs %% missing "
@@ -74,7 +79,7 @@ int Main() {
     const Table table =
         GenerateTable(UniformSpec(rows, 10, missing_pct / 100.0, 10, 42))
             .value();
-    RunConfig(std::to_string(missing_pct).c_str(), table, 8,
+    RunConfig("fig5b_missing", std::to_string(missing_pct).c_str(), table, 8,
               MissingSemantics::kMatch);
   }
 
@@ -86,7 +91,7 @@ int Main() {
     const Table table =
         GenerateTable(UniformSpec(rows, 10, 0.30, 12, 42)).value();
     for (size_t dims : {2u, 4u, 6u, 8u, 10u}) {
-      RunConfig(std::to_string(dims).c_str(), table, dims,
+      RunConfig("fig5c_dims", std::to_string(dims).c_str(), table, dims,
                 MissingSemantics::kMatch);
     }
   }
@@ -99,13 +104,14 @@ int Main() {
     const Table table =
         GenerateTable(UniformSpec(rows, 10, missing_pct / 100.0, 10, 42))
             .value();
-    RunConfig(std::to_string(missing_pct).c_str(), table, 8,
+    RunConfig("fig5b_nomatch", std::to_string(missing_pct).c_str(), table, 8,
               MissingSemantics::kNoMatch);
   }
+  bench::WriteJson();
   return 0;
 }
 
 }  // namespace
 }  // namespace incdb
 
-int main() { return incdb::Main(); }
+int main(int argc, char** argv) { return incdb::Main(argc, argv); }

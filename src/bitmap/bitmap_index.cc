@@ -282,29 +282,47 @@ WahBitVector BitmapIndex::EvaluateIntervalEncoded(
   const Value width = hi - lo + 1;
   auto bitmap = [&](Value j) -> const WahBitVector& {
     INCDB_DCHECK(j >= 1 && j <= n);
-    if (stats != nullptr) ++stats->bitvectors_accessed;
-    return ab.values[static_cast<size_t>(j) - 1];
+    const WahBitVector& vec = ab.values[static_cast<size_t>(j) - 1];
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return vec;
+  };
+  auto missing_bitmap = [&]() -> const WahBitVector& {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += ab.missing->NumWords();
+    }
+    return *ab.missing;
   };
   auto count_op = [&]() {
     if (stats != nullptr) ++stats->bitvector_ops;
   };
+  const bool or_in_missing =
+      semantics == MissingSemantics::kMatch && ab.missing.has_value();
 
   if (width == cardinality) {
     if (semantics == MissingSemantics::kMatch || !ab.missing.has_value()) {
       return WahBitVector::Fill(num_rows_, true);
     }
-    if (stats != nullptr) ++stats->bitvectors_accessed;
     count_op();
-    return ab.missing->Not();
+    return missing_bitmap().Not();
+  }
+
+  // The union-shaped cases fuse every operand (including B_{i,0} under
+  // match semantics) into one OrMany pass.
+  if (width >= m) {
+    std::vector<const WahBitVector*> ops;
+    ops.push_back(&bitmap(lo));
+    if (width > m) ops.push_back(&bitmap(hi - m + 1));
+    if (or_in_missing) ops.push_back(&missing_bitmap());
+    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
+    return WahBitVector::OrMany(ops);
   }
 
   WahBitVector result;
-  if (width == m) {
-    result = bitmap(lo);
-  } else if (width > m) {
-    result = bitmap(lo).Or(bitmap(hi - m + 1));
-    count_op();
-  } else if (hi < m) {
+  if (hi < m) {
     result = bitmap(lo).AndNot(bitmap(hi + 1));
     count_op();
   } else if (lo > n) {
@@ -314,9 +332,8 @@ WahBitVector BitmapIndex::EvaluateIntervalEncoded(
     result = bitmap(lo).And(bitmap(hi - m + 1));
     count_op();
   }
-  if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
-    if (stats != nullptr) ++stats->bitvectors_accessed;
-    result = result.Or(*ab.missing);
+  if (or_in_missing) {
+    result = result.Or(missing_bitmap());
     count_op();
   }
   return result;
@@ -329,33 +346,45 @@ WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
   const uint32_t cardinality = ab.cardinality;
   const Value lo = interval.lo;
   const Value hi = interval.hi;
-  auto access = [&](const WahBitVector& bitmap) -> const WahBitVector& {
-    if (stats != nullptr) ++stats->bitvectors_accessed;
-    return bitmap;
-  };
-  auto fold_or = [&](Value from, Value to) -> WahBitVector {
-    // OR of B_{i,from} .. B_{i,to}; zero fill when the range is empty.
-    if (from > to) return WahBitVector::Fill(num_rows_, false);
-    WahBitVector acc = access(ab.values[static_cast<size_t>(from) - 1]);
-    for (Value j = from + 1; j <= to; ++j) {
-      acc = acc.Or(access(ab.values[static_cast<size_t>(j) - 1]));
-      if (stats != nullptr) ++stats->bitvector_ops;
+  auto access = [&](const WahBitVector& bitmap) -> const WahBitVector* {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += bitmap.NumWords();
     }
-    return acc;
+    return &bitmap;
+  };
+  // Collects B_{i,from} .. B_{i,to} as operands for one fused OrMany.
+  auto collect = [&](std::vector<const WahBitVector*>& ops, Value from,
+                     Value to) {
+    for (Value j = from; j <= to; ++j) {
+      ops.push_back(access(ab.values[static_cast<size_t>(j) - 1]));
+    }
+  };
+  // Single-pass k-way union; zero fill when there is nothing to unite.
+  auto fused_or = [&](const std::vector<const WahBitVector*>& ops)
+      -> WahBitVector {
+    if (ops.empty()) return WahBitVector::Fill(num_rows_, false);
+    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
+    return WahBitVector::OrMany(ops);
   };
 
   // Paper Fig. 2: use the direct OR when the interval covers at most half
   // the domain, otherwise complement the OR of the outside bitmaps. We pick
   // the side with fewer bitmaps, which realizes the paper's worst-case
-  // bound of min(AS, 1-AS) * C + 1 bitvector accesses.
+  // bound of min(AS, 1-AS) * C + 1 bitvector accesses. Either side is one
+  // fused OrMany pass instead of a pairwise fold.
   const Value width = hi - lo + 1;
   const bool narrow = width <= static_cast<Value>(cardinality) - width;
+  std::vector<const WahBitVector*> ops;
+  ops.reserve(static_cast<size_t>(
+      (narrow ? width : static_cast<Value>(cardinality) - width) + 1));
 
   if (options_.missing_strategy == MissingStrategy::kAllZeros) {
     // Rejected alternative: missing rows appear in no bitmap, so the
     // complement path would resurrect them; every interval must be answered
     // by the direct OR (the performance drawback the ablation shows).
-    return fold_or(lo, hi);
+    collect(ops, lo, hi);
+    return fused_or(ops);
   }
 
   if (options_.missing_strategy == MissingStrategy::kAllOnes) {
@@ -363,15 +392,17 @@ WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
     // every bitmap, so the direct OR already includes them; the complement
     // path must recover them by ANDing two value bitmaps (only missing rows
     // are set in more than one).
-    if (narrow) return fold_or(lo, hi);
-    WahBitVector outside =
-        fold_or(1, lo - 1).Or(fold_or(hi + 1, static_cast<Value>(cardinality)));
-    if (stats != nullptr) ++stats->bitvector_ops;
-    WahBitVector result = outside.Not();
+    if (narrow) {
+      collect(ops, lo, hi);
+      return fused_or(ops);
+    }
+    collect(ops, 1, lo - 1);
+    collect(ops, hi + 1, static_cast<Value>(cardinality));
+    WahBitVector result = fused_or(ops).Not();
     if (stats != nullptr) ++stats->bitvector_ops;
     if (cardinality >= 2) {
       WahBitVector missing_rows =
-          access(ab.values[0]).And(access(ab.values[1]));
+          access(ab.values[0])->And(*access(ab.values[1]));
       result = result.Or(missing_rows);
       if (stats != nullptr) stats->bitvector_ops += 2;
     }
@@ -380,41 +411,45 @@ WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
 
   // kExtraBitmap — the paper's design (Fig. 2).
   if (narrow) {
-    WahBitVector acc = fold_or(lo, hi);
+    // One fused pass over the inside bitmaps plus B_{i,0} when missing rows
+    // count as matches.
+    collect(ops, lo, hi);
     if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
-      acc = acc.Or(access(*ab.missing));
-      if (stats != nullptr) ++stats->bitvector_ops;
+      ops.push_back(access(*ab.missing));
     }
-    return acc;
+    return fused_or(ops);
   }
-  WahBitVector outside =
-      fold_or(1, lo - 1).Or(fold_or(hi + 1, static_cast<Value>(cardinality)));
-  if (stats != nullptr) ++stats->bitvector_ops;
+  collect(ops, 1, lo - 1);
+  collect(ops, hi + 1, static_cast<Value>(cardinality));
   if (semantics == MissingSemantics::kNoMatch && ab.missing.has_value()) {
     // NOT(outside OR B_0): the complement alone would admit missing rows.
-    outside = outside.Or(access(*ab.missing));
-    if (stats != nullptr) ++stats->bitvector_ops;
+    ops.push_back(access(*ab.missing));
   }
-  WahBitVector result = outside.Not();
+  WahBitVector result = fused_or(ops).Not();
   if (stats != nullptr) ++stats->bitvector_ops;
   return result;
 }
 
-WahBitVector BitmapIndex::RangeLE(const AttributeBitmaps& ab, Value j,
-                                  QueryStats* stats) const {
+BitmapIndex::BitmapRef BitmapIndex::RangeLE(const AttributeBitmaps& ab,
+                                            Value j,
+                                            QueryStats* stats) const {
+  auto borrow = [&](const WahBitVector& vec) -> BitmapRef {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return BitmapRef{std::nullopt, &vec};
+  };
   if (j <= 0) {
     // "value <= 0" = the missing rows (missing is encoded as value 0).
-    if (ab.missing.has_value()) {
-      if (stats != nullptr) ++stats->bitvectors_accessed;
-      return *ab.missing;
-    }
-    return WahBitVector::Fill(num_rows_, false);
+    if (ab.missing.has_value()) return borrow(*ab.missing);
+    return BitmapRef{WahBitVector::Fill(num_rows_, false), nullptr};
   }
   if (static_cast<uint32_t>(j) >= ab.cardinality) {
-    return WahBitVector::Fill(num_rows_, true);  // the dropped all-ones B_C
+    // The dropped all-ones B_C.
+    return BitmapRef{WahBitVector::Fill(num_rows_, true), nullptr};
   }
-  if (stats != nullptr) ++stats->bitvectors_accessed;
-  return ab.values[static_cast<size_t>(j) - 1];
+  return borrow(ab.values[static_cast<size_t>(j) - 1]);
 }
 
 WahBitVector BitmapIndex::EvaluateRange(const AttributeBitmaps& ab,
@@ -427,19 +462,24 @@ WahBitVector BitmapIndex::EvaluateRange(const AttributeBitmaps& ab,
   auto count_op = [&](int n = 1) {
     if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
   };
+  auto access_missing = [&]() -> const WahBitVector& {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += ab.missing->NumWords();
+    }
+    return *ab.missing;
+  };
   auto or_missing = [&](WahBitVector r) -> WahBitVector {
     if (ab.missing.has_value()) {
-      if (stats != nullptr) ++stats->bitvectors_accessed;
       count_op();
-      return r.Or(*ab.missing);
+      return r.Or(access_missing());
     }
     return r;
   };
   auto xor_missing = [&](WahBitVector r) -> WahBitVector {
     if (ab.missing.has_value()) {
-      if (stats != nullptr) ++stats->bitvectors_accessed;
       count_op();
-      return r.Xor(*ab.missing);
+      return r.Xor(access_missing());
     }
     return r;
   };
@@ -448,60 +488,59 @@ WahBitVector BitmapIndex::EvaluateRange(const AttributeBitmaps& ab,
     // Paper Fig. 3(a).
     if (cardinality == 1) return WahBitVector::Fill(num_rows_, true);
     if (lo == hi) {
-      if (lo == 1) return RangeLE(ab, 1, stats);
+      if (lo == 1) return RangeLE(ab, 1, stats).get();
       if (lo == cardinality) {
         count_op();
-        return or_missing(RangeLE(ab, lo - 1, stats).Not());
+        return or_missing(RangeLE(ab, lo - 1, stats).get().Not());
       }
       count_op();
       return or_missing(
-          RangeLE(ab, lo, stats).Xor(RangeLE(ab, lo - 1, stats)));
+          RangeLE(ab, lo, stats).get().Xor(RangeLE(ab, lo - 1, stats).get()));
     }
     if (lo == 1 && hi == cardinality) {
       return WahBitVector::Fill(num_rows_, true);
     }
-    if (lo == 1) return RangeLE(ab, hi, stats);
+    if (lo == 1) return RangeLE(ab, hi, stats).get();
     if (hi == cardinality) {
       count_op();
-      return or_missing(RangeLE(ab, lo - 1, stats).Not());
+      return or_missing(RangeLE(ab, lo - 1, stats).get().Not());
     }
     count_op();
-    return or_missing(RangeLE(ab, hi, stats).Xor(RangeLE(ab, lo - 1, stats)));
+    return or_missing(
+        RangeLE(ab, hi, stats).get().Xor(RangeLE(ab, lo - 1, stats).get()));
   }
 
   // Paper Fig. 3(b) — missing is not a match.
   if (cardinality == 1) {
     if (ab.missing.has_value()) {
-      if (stats != nullptr) ++stats->bitvectors_accessed;
       count_op();
-      return ab.missing->Not();
+      return access_missing().Not();
     }
     return WahBitVector::Fill(num_rows_, true);
   }
   if (lo == hi) {
-    if (lo == 1) return xor_missing(RangeLE(ab, 1, stats));
+    if (lo == 1) return xor_missing(RangeLE(ab, 1, stats).get());
     if (lo == cardinality) {
       count_op();
-      return RangeLE(ab, lo - 1, stats).Not();
+      return RangeLE(ab, lo - 1, stats).get().Not();
     }
     count_op();
-    return RangeLE(ab, lo, stats).Xor(RangeLE(ab, lo - 1, stats));
+    return RangeLE(ab, lo, stats).get().Xor(RangeLE(ab, lo - 1, stats).get());
   }
   if (lo == 1 && hi == cardinality) {
     if (ab.missing.has_value()) {
-      if (stats != nullptr) ++stats->bitvectors_accessed;
       count_op();
-      return ab.missing->Not();
+      return access_missing().Not();
     }
     return WahBitVector::Fill(num_rows_, true);
   }
-  if (lo == 1) return xor_missing(RangeLE(ab, hi, stats));
+  if (lo == 1) return xor_missing(RangeLE(ab, hi, stats).get());
   if (hi == cardinality) {
     count_op();
-    return RangeLE(ab, lo - 1, stats).Not();
+    return RangeLE(ab, lo - 1, stats).get().Not();
   }
   count_op();
-  return RangeLE(ab, hi, stats).Xor(RangeLE(ab, lo - 1, stats));
+  return RangeLE(ab, hi, stats).get().Xor(RangeLE(ab, lo - 1, stats).get());
 }
 
 WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
@@ -525,19 +564,26 @@ WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
   const Value hi = interval.hi;
   const int num_slices = static_cast<int>(ab.values.size());
   auto slice = [&](int k) -> const WahBitVector& {
-    if (stats != nullptr) ++stats->bitvectors_accessed;
-    return ab.values[static_cast<size_t>(k)];
+    const WahBitVector& vec = ab.values[static_cast<size_t>(k)];
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return vec;
   };
   auto count_op = [&](int n = 1) {
     if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
   };
   auto equals = [&](Value v) -> WahBitVector {
-    WahBitVector eq = WahBitVector::Fill(num_rows_, true);
+    // One fused pass of AND_k (bit k set ? S_k : NOT S_k) — the per-operand
+    // complement never materializes NOT S_k.
+    std::vector<WahBitVector::Operand> ops;
+    ops.reserve(static_cast<size_t>(num_slices));
     for (int k = num_slices - 1; k >= 0; --k) {
-      eq = ((v >> k) & 1) ? eq.And(slice(k)) : eq.AndNot(slice(k));
-      count_op();
+      ops.push_back({&slice(k), ((v >> k) & 1) == 0});
     }
-    return eq;
+    count_op(num_slices);
+    return WahBitVector::AndMany(std::span<const WahBitVector::Operand>(ops));
   };
   auto less_equal = [&](Value v) -> WahBitVector {
     WahBitVector blt = WahBitVector::Fill(num_rows_, false);
@@ -558,7 +604,10 @@ WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
   };
   auto missing_rows = [&]() -> WahBitVector {
     if (!ab.missing.has_value()) return WahBitVector::Fill(num_rows_, false);
-    if (stats != nullptr) ++stats->bitvectors_accessed;
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += ab.missing->NumWords();
+    }
     return *ab.missing;
   };
 
@@ -575,34 +624,76 @@ WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
     count_op();
   }
   if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
-    if (stats != nullptr) ++stats->bitvectors_accessed;
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += ab.missing->NumWords();
+    }
     base = base.Or(*ab.missing);
     count_op();
   }
   return base;
 }
 
-Result<WahBitVector> BitmapIndex::ExecuteCompressed(const RangeQuery& query,
-                                                    QueryStats* stats) const {
+Result<std::vector<WahBitVector>> BitmapIndex::EvaluateTerms(
+    const RangeQuery& query, QueryStats* stats) const {
   if (query.terms.empty()) {
     return Status::InvalidArgument("query must have at least one term");
   }
-  WahBitVector acc;
-  bool first = true;
+  std::vector<WahBitVector> terms;
+  terms.reserve(query.terms.size());
   for (const QueryTerm& term : query.terms) {
     INCDB_ASSIGN_OR_RETURN(
         WahBitVector term_result,
         EvaluateInterval(term.attribute, term.interval, query.semantics,
                          stats));
-    if (first) {
-      acc = std::move(term_result);
-      first = false;
-    } else {
-      acc = acc.And(term_result);
-      if (stats != nullptr) ++stats->bitvector_ops;
-    }
+    terms.push_back(std::move(term_result));
   }
-  return acc;
+  return terms;
+}
+
+namespace {
+
+std::vector<const WahBitVector*> Pointers(
+    const std::vector<WahBitVector>& vecs) {
+  std::vector<const WahBitVector*> ptrs;
+  ptrs.reserve(vecs.size());
+  for (const WahBitVector& vec : vecs) ptrs.push_back(&vec);
+  return ptrs;
+}
+
+// Bit-sliced "count of rows matching `query result` AND value == v": one
+// fused AndManyCount over the accumulator and the (optionally complemented)
+// slices — neither the equality bitvector nor the conjunction is ever
+// materialized.
+uint64_t FusedSlicedValueCount(const WahBitVector& acc,
+                               const std::vector<WahBitVector>& slices,
+                               uint32_t v, QueryStats* stats) {
+  std::vector<WahBitVector::Operand> ops;
+  ops.reserve(slices.size() + 1);
+  ops.push_back({&acc, false});
+  for (size_t k = 0; k < slices.size(); ++k) {
+    ops.push_back({&slices[k], ((v >> k) & 1) == 0});
+  }
+  if (stats != nullptr) {
+    stats->bitvectors_accessed += slices.size();
+    stats->bitvector_ops += slices.size();
+    stats->words_touched += acc.NumWords();
+    for (const WahBitVector& s : slices) stats->words_touched += s.NumWords();
+  }
+  return WahBitVector::AndManyCount(
+      std::span<const WahBitVector::Operand>(ops));
+}
+
+}  // namespace
+
+Result<WahBitVector> BitmapIndex::ExecuteCompressed(const RangeQuery& query,
+                                                    QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(std::vector<WahBitVector> terms,
+                         EvaluateTerms(query, stats));
+  if (terms.size() == 1) return std::move(terms.front());
+  // Cross-attribute conjunction as one fused k-way AND.
+  if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
+  return WahBitVector::AndMany(Pointers(terms));
 }
 
 Result<BitVector> BitmapIndex::Execute(const RangeQuery& query,
@@ -626,55 +717,66 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
     // rows that appear in at least one slice... cheaper: total matches
     // minus the missing ones (code 0 is absent from every slice, but so is
     // no real value, since values start at 1 and always have some bit set).
+    // Every popcount runs through the fused AndCount kernel.
     for (size_t k = 0; k < ab.values.size(); ++k) {
       if (stats != nullptr) {
         ++stats->bitvectors_accessed;
         ++stats->bitvector_ops;
+        stats->words_touched += acc.NumWords() + ab.values[k].NumWords();
       }
-      aggregate.sum += (uint64_t{1} << k) * acc.And(ab.values[k]).Count();
+      aggregate.sum +=
+          (uint64_t{1} << k) * WahBitVector::AndCount(acc, ab.values[k]);
     }
     if (ab.missing.has_value()) {
       if (stats != nullptr) {
         ++stats->bitvectors_accessed;
         ++stats->bitvector_ops;
+        stats->words_touched += acc.NumWords() + ab.missing->NumWords();
       }
-      aggregate.missing_count = acc.And(*ab.missing).Count();
+      aggregate.missing_count = WahBitVector::AndCount(acc, *ab.missing);
     }
     aggregate.count = acc.Count() - aggregate.missing_count;
-    // Min/max still need the per-value walk; reuse the generic path below
-    // only for the extremes (early-exit from each end).
+    // Min/max still need the per-value walk (early-exit from each end);
+    // each probe is one fused count over acc and the slices.
     for (uint32_t v = 1; v <= ab.cardinality && aggregate.count > 0; ++v) {
-      INCDB_ASSIGN_OR_RETURN(
-          WahBitVector group,
-          EvaluateInterval(agg_attr,
-                           {static_cast<Value>(v), static_cast<Value>(v)},
-                           MissingSemantics::kNoMatch, stats));
-      if (acc.And(group).Count() > 0) {
+      if (FusedSlicedValueCount(acc, ab.values, v, stats) > 0) {
         aggregate.min = static_cast<Value>(v);
         break;
       }
     }
     for (uint32_t v = ab.cardinality; v >= 1 && aggregate.count > 0; --v) {
-      INCDB_ASSIGN_OR_RETURN(
-          WahBitVector group,
-          EvaluateInterval(agg_attr,
-                           {static_cast<Value>(v), static_cast<Value>(v)},
-                           MissingSemantics::kNoMatch, stats));
-      if (acc.And(group).Count() > 0) {
+      if (FusedSlicedValueCount(acc, ab.values, v, stats) > 0) {
         aggregate.max = static_cast<Value>(v);
         break;
       }
     }
   } else {
-    // Generic path: per-value counts (as in ExecuteGroupCount).
+    // Generic path: per-value fused counts (as in ExecuteGroupCount).
+    const bool equality_direct =
+        options_.encoding == BitmapEncoding::kEquality &&
+        options_.missing_strategy != MissingStrategy::kAllOnes;
     for (uint32_t v = 1; v <= ab.cardinality; ++v) {
-      INCDB_ASSIGN_OR_RETURN(
-          WahBitVector group,
-          EvaluateInterval(agg_attr,
-                           {static_cast<Value>(v), static_cast<Value>(v)},
-                           MissingSemantics::kNoMatch, stats));
-      const uint64_t count = acc.And(group).Count();
-      if (stats != nullptr) ++stats->bitvector_ops;
+      uint64_t count = 0;
+      if (equality_direct) {
+        const WahBitVector& group = ab.values[v - 1];
+        if (stats != nullptr) {
+          ++stats->bitvectors_accessed;
+          ++stats->bitvector_ops;
+          stats->words_touched += acc.NumWords() + group.NumWords();
+        }
+        count = WahBitVector::AndCount(acc, group);
+      } else {
+        INCDB_ASSIGN_OR_RETURN(
+            WahBitVector group,
+            EvaluateInterval(agg_attr,
+                             {static_cast<Value>(v), static_cast<Value>(v)},
+                             MissingSemantics::kNoMatch, stats));
+        count = WahBitVector::AndCount(acc, group);
+        if (stats != nullptr) {
+          ++stats->bitvector_ops;
+          stats->words_touched += acc.NumWords() + group.NumWords();
+        }
+      }
       if (count == 0) continue;
       if (aggregate.count == 0) aggregate.min = static_cast<Value>(v);
       aggregate.max = static_cast<Value>(v);
@@ -693,8 +795,12 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
 
 Result<uint64_t> BitmapIndex::ExecuteCount(const RangeQuery& query,
                                            QueryStats* stats) const {
-  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
-  return acc.Count();
+  INCDB_ASSIGN_OR_RETURN(std::vector<WahBitVector> terms,
+                         EvaluateTerms(query, stats));
+  // Fused count over the term conjunction: the AND result itself is never
+  // materialized (for a single term this degenerates to Count()).
+  if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
+  return WahBitVector::AndManyCount(Pointers(terms));
 }
 
 Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
@@ -707,16 +813,38 @@ Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
   const AttributeBitmaps& ab = attributes_[group_attr];
   std::vector<uint64_t> counts(ab.cardinality + 1, 0);
   uint64_t grouped = 0;
+  // Every per-group count runs through a fused count kernel; no result
+  // vector is ever materialized per group.
+  const bool equality_direct =
+      options_.encoding == BitmapEncoding::kEquality &&
+      options_.missing_strategy != MissingStrategy::kAllOnes;
   for (uint32_t v = 1; v <= ab.cardinality; ++v) {
-    // The per-value bitvector falls out of the interval evaluator for any
-    // encoding: a no-match point query is exactly "value == v".
-    INCDB_ASSIGN_OR_RETURN(
-        WahBitVector group,
-        EvaluateInterval(group_attr,
-                         {static_cast<Value>(v), static_cast<Value>(v)},
-                         MissingSemantics::kNoMatch, stats));
-    counts[v] = acc.And(group).Count();
-    if (stats != nullptr) ++stats->bitvector_ops;
+    if (equality_direct) {
+      // "value == v" is the stored bitmap itself; count acc AND B_{i,v}
+      // straight off index storage.
+      const WahBitVector& group = ab.values[v - 1];
+      if (stats != nullptr) {
+        ++stats->bitvectors_accessed;
+        ++stats->bitvector_ops;
+        stats->words_touched += acc.NumWords() + group.NumWords();
+      }
+      counts[v] = WahBitVector::AndCount(acc, group);
+    } else if (options_.encoding == BitmapEncoding::kBitSliced) {
+      counts[v] = FusedSlicedValueCount(acc, ab.values, v, stats);
+    } else {
+      // The per-value bitvector falls out of the interval evaluator for any
+      // encoding: a no-match point query is exactly "value == v".
+      INCDB_ASSIGN_OR_RETURN(
+          WahBitVector group,
+          EvaluateInterval(group_attr,
+                           {static_cast<Value>(v), static_cast<Value>(v)},
+                           MissingSemantics::kNoMatch, stats));
+      counts[v] = WahBitVector::AndCount(acc, group);
+      if (stats != nullptr) {
+        ++stats->bitvector_ops;
+        stats->words_touched += acc.NumWords() + group.NumWords();
+      }
+    }
     grouped += counts[v];
   }
   // Missing-group bucket = matches not in any value group.

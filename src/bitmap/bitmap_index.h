@@ -192,14 +192,30 @@ class BitmapIndex : public IncompleteIndex {
                                  MissingSemantics semantics,
                                  QueryStats* stats) const;
 
+  // A bitvector either borrowed from index storage or synthesized on the
+  // fly. Lets RangeLE hand out stored bitmaps without copying their
+  // compressed payload (the old hot-path cost of every BRE query).
+  struct BitmapRef {
+    std::optional<WahBitVector> owned;
+    const WahBitVector* borrowed = nullptr;
+
+    const WahBitVector& get() const {
+      return owned.has_value() ? *owned : *borrowed;
+    }
+  };
+
   // Range encoding: bitvector for "value <= j" (j in [0, C]); j = 0 is the
   // missing bitmap (zero fill when the attribute is complete), j = C the
   // dropped all-ones bitmap.
-  WahBitVector RangeLE(const AttributeBitmaps& ab, Value j,
-                       QueryStats* stats) const;
+  BitmapRef RangeLE(const AttributeBitmaps& ab, Value j,
+                    QueryStats* stats) const;
 
-  // Shared query path: per-term interval evaluation folded with compressed
-  // ANDs; Execute decompresses it, ExecuteCount counts it in place.
+  // Shared query path: evaluates every search-key term to a compressed
+  // bitvector. ExecuteCompressed fuses them with a k-way AndMany (Execute
+  // decompresses that); ExecuteCount feeds them to the fused AndManyCount
+  // kernel and never materializes the conjunction at all.
+  Result<std::vector<WahBitVector>> EvaluateTerms(const RangeQuery& query,
+                                                  QueryStats* stats) const;
   Result<WahBitVector> ExecuteCompressed(const RangeQuery& query,
                                          QueryStats* stats) const;
 

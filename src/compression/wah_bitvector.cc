@@ -10,86 +10,8 @@ namespace incdb {
 
 namespace {
 
-// Per-word-type constants. With W = bits per word: the top bit flags a
-// fill, the next bit is the fill value, the remaining W-2 bits count fill
-// groups of W-1 bits each.
 template <typename WordT>
-struct WahTraits {
-  static constexpr int kWordBits = static_cast<int>(sizeof(WordT) * 8);
-  static constexpr int kGroupBits = kWordBits - 1;
-  static constexpr WordT kFillFlag = WordT{1} << (kWordBits - 1);
-  static constexpr WordT kFillBitFlag = WordT{1} << (kWordBits - 2);
-  static constexpr WordT kFillCountMask = kFillBitFlag - 1;
-  static constexpr uint64_t kMaxFillGroups = kFillCountMask;
-  static constexpr WordT kFullLiteral = kFillFlag - 1;
-
-  static bool IsFill(WordT word) { return (word & kFillFlag) != 0; }
-  static bool FillBit(WordT word) { return (word & kFillBitFlag) != 0; }
-  static uint64_t FillGroups(WordT word) { return word & kFillCountMask; }
-  static WordT MakeFill(bool bit, uint64_t groups) {
-    return kFillFlag | (bit ? kFillBitFlag : WordT{0}) |
-           static_cast<WordT>(groups & kFillCountMask);
-  }
-};
-
-// Sequential decoder over the full (group-aligned) part of a WAH vector.
-// Presents the stream as a sequence of runs; a literal is a run of one
-// group.
-template <typename WordT>
-class Decoder {
-  using Traits = WahTraits<WordT>;
-
- public:
-  explicit Decoder(const std::vector<WordT>& words) : words_(words), pos_(0) {
-    Load();
-  }
-
-  bool done() const { return groups_left_ == 0 && pos_ >= words_.size(); }
-
-  bool is_fill() const { return is_fill_; }
-  bool fill_bit() const { return fill_bit_; }
-  uint64_t groups_left() const { return groups_left_; }
-
-  // The current run viewed as a literal word (fills expand to 0/all-ones).
-  WordT LiteralView() const {
-    if (!is_fill_) return literal_;
-    return fill_bit_ ? Traits::kFullLiteral : WordT{0};
-  }
-
-  // Consumes n groups from the current run (n <= groups_left()).
-  void Consume(uint64_t n) {
-    INCDB_DCHECK(n <= groups_left_);
-    groups_left_ -= n;
-    if (groups_left_ == 0) Load();
-  }
-
- private:
-  void Load() {
-    while (pos_ < words_.size()) {
-      const WordT w = words_[pos_++];
-      if (Traits::IsFill(w)) {
-        const uint64_t n = Traits::FillGroups(w);
-        if (n == 0) continue;  // defensive: skip empty fills
-        is_fill_ = true;
-        fill_bit_ = Traits::FillBit(w);
-        groups_left_ = n;
-        return;
-      }
-      is_fill_ = false;
-      literal_ = w;
-      groups_left_ = 1;
-      return;
-    }
-    groups_left_ = 0;
-  }
-
-  const std::vector<WordT>& words_;
-  size_t pos_;
-  bool is_fill_ = false;
-  bool fill_bit_ = false;
-  WordT literal_ = 0;
-  uint64_t groups_left_ = 0;
-};
+using Traits = wah_internal::WahTraits<WordT>;
 
 template <typename WordT>
 WordT ApplyOp(WordT a, WordT b, int op) {
@@ -101,8 +23,100 @@ WordT ApplyOp(WordT a, WordT b, int op) {
     case 2:
       return a ^ b;
     default:
-      return a & (~b & WahTraits<WordT>::kFullLiteral);
+      return a & (~b & Traits<WordT>::kFullLiteral);
   }
+}
+
+// The k-way fusion engine: walks all operands' run streams in lockstep and
+// calls `emit(view, n)` for each maximal stretch of n groups over which the
+// result is the constant literal view `view` (n > 1 only for fill output).
+// Returns the total number of groups emitted.
+//
+// Fast paths:
+//  * absorbing fill (a 1-fill under OR, a 0-fill under AND): the result is
+//    the absorbing value for that operand's entire remaining run, so the
+//    output leaps over the whole run and every other operand just skips —
+//    no per-group work, no operator applications;
+//  * absorbing accumulator: once the group accumulator reaches the
+//    absorbing value mid-scan, the remaining operands are not consulted;
+//  * all-fill alignment: when every operand sits in a fill, the shortest
+//    remaining run length is processed as one output fill.
+template <typename WordT, typename EmitFn>
+uint64_t FuseMany(
+    std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
+    bool is_or, EmitFn&& emit) {
+  const WordT kFull = Traits<WordT>::kFullLiteral;
+  const WordT absorbing = is_or ? kFull : WordT{0};
+  const WordT identity = is_or ? WordT{0} : kFull;
+  std::vector<BasicWahRunIterator<WordT>> its;
+  its.reserve(ops.size());
+  for (const auto& op : ops) its.emplace_back(*op.vec);
+  uint64_t groups_emitted = 0;
+  while (!its[0].done()) {
+    WordT acc = identity;
+    uint64_t n_min = UINT64_MAX;
+    uint64_t absorb = 0;
+    bool all_fill = true;
+    for (size_t i = 0; i < its.size(); ++i) {
+      const BasicWahRunIterator<WordT>& it = its[i];
+      WordT view = it.LiteralView();
+      if (ops[i].negate) view = ~view & kFull;
+      if (it.is_fill()) {
+        if (view == absorbing) absorb = std::max(absorb, it.groups_left());
+      } else {
+        all_fill = false;
+      }
+      if (it.groups_left() < n_min) n_min = it.groups_left();
+      acc = is_or ? static_cast<WordT>(acc | view)
+                  : static_cast<WordT>(acc & view);
+      if (acc == absorbing) break;  // remaining operands cannot change it
+    }
+    uint64_t n;
+    if (acc == absorbing) {
+      n = absorb > 0 ? absorb : 1;
+    } else {
+      n = all_fill ? n_min : 1;
+    }
+    emit(acc, n);
+    for (auto& it : its) it.Skip(n);
+    groups_emitted += n;
+  }
+  for (const auto& it : its) INCDB_CHECK(it.done());
+  return groups_emitted;
+}
+
+// Per-operand view of the partial trailing group.
+template <typename WordT>
+WordT ActiveView(const typename BasicWahBitVector<WordT>::Operand& op,
+                 WordT active_word, WordT mask) {
+  const WordT v = op.negate ? static_cast<WordT>(~active_word) : active_word;
+  return v & mask;
+}
+
+// ORs one operand's code words into a verbatim group accumulator (one WordT
+// per W-1-bit group; bits above kFullLiteral stay zero). This is the k-way
+// OR strategy: OR's absorbing runs are 1-fills, which sparse bitmap-index
+// operands rarely contain, so the run-merging engine degrades to O(k) work
+// per group. A single O(k * compressed words) scatter followed by one
+// recompression pass touches each operand word exactly once instead.
+template <typename WordT>
+void ScatterOrWords(std::span<const WordT> words, bool negate,
+                    std::vector<WordT>& buf) {
+  uint64_t pos = 0;
+  for (WordT w : words) {
+    if (Traits<WordT>::IsFill(w)) {
+      const uint64_t n = Traits<WordT>::FillGroups(w);
+      if (Traits<WordT>::FillBit(w) != negate) {
+        std::fill_n(buf.begin() + static_cast<ptrdiff_t>(pos), n,
+                    Traits<WordT>::kFullLiteral);
+      }
+      pos += n;
+    } else {
+      buf[pos++] |= negate ? static_cast<WordT>(~w & Traits<WordT>::kFullLiteral)
+                           : w;
+    }
+  }
+  INCDB_DCHECK(pos == buf.size());
 }
 
 // Word-width-dispatched scalar I/O for serialization.
@@ -122,7 +136,6 @@ Status ReadWord(BinaryReader& reader, uint64_t* word) {
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Compress(
     const BitVector& bits) {
-  using Traits = WahTraits<WordT>;
   BasicWahBitVector out;
   const uint64_t n = bits.size();
   const std::vector<uint64_t>& words = bits.words();
@@ -140,7 +153,7 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Compress(
         static_cast<WordT>(chunk & bitutil::LowBitsMask(kGroupBits));
     if (literal == 0) {
       out.EmitFill(false, 1);
-    } else if (literal == Traits::kFullLiteral) {
+    } else if (literal == Traits<WordT>::kFullLiteral) {
       out.EmitFill(true, 1);
     } else {
       out.EmitLiteral(literal);
@@ -191,11 +204,10 @@ void BasicWahBitVector<WordT>::AppendRun(bool bit, uint64_t count) {
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::FlushActiveGroup() {
-  using Traits = WahTraits<WordT>;
   INCDB_DCHECK(active_bits_ == kGroupBits);
   if (active_word_ == 0) {
     EmitFill(false, 1);
-  } else if (active_word_ == Traits::kFullLiteral) {
+  } else if (active_word_ == Traits<WordT>::kFullLiteral) {
     EmitFill(true, 1);
   } else {
     EmitLiteral(active_word_);
@@ -206,37 +218,38 @@ void BasicWahBitVector<WordT>::FlushActiveGroup() {
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::EmitFill(bool bit, uint64_t groups) {
-  using Traits = WahTraits<WordT>;
   while (groups > 0) {
-    if (!words_.empty() && Traits::IsFill(words_.back()) &&
-        Traits::FillBit(words_.back()) == bit) {
-      const uint64_t have = Traits::FillGroups(words_.back());
-      const uint64_t take = std::min(groups, Traits::kMaxFillGroups - have);
+    if (!words_.empty() && Traits<WordT>::IsFill(words_.back()) &&
+        Traits<WordT>::FillBit(words_.back()) == bit) {
+      const uint64_t have = Traits<WordT>::FillGroups(words_.back());
+      const uint64_t take =
+          std::min(groups, Traits<WordT>::kMaxFillGroups - have);
       if (take > 0) {
-        words_.back() = Traits::MakeFill(bit, have + take);
+        words_.back() = Traits<WordT>::MakeFill(bit, have + take);
         groups -= take;
         continue;
       }
     }
-    const uint64_t take = std::min(groups, Traits::kMaxFillGroups);
-    words_.push_back(Traits::MakeFill(bit, take));
+    const uint64_t take = std::min(groups, Traits<WordT>::kMaxFillGroups);
+    words_.push_back(Traits<WordT>::MakeFill(bit, take));
     groups -= take;
   }
 }
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::EmitLiteral(WordT literal) {
-  INCDB_DCHECK((literal & WahTraits<WordT>::kFillFlag) == 0);
+  INCDB_DCHECK((literal & Traits<WordT>::kFillFlag) == 0);
   words_.push_back(literal);
 }
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::Count() const {
-  using Traits = WahTraits<WordT>;
   uint64_t count = 0;
   for (WordT w : words_) {
-    if (Traits::IsFill(w)) {
-      if (Traits::FillBit(w)) count += Traits::FillGroups(w) * kGroupBits;
+    if (Traits<WordT>::IsFill(w)) {
+      if (Traits<WordT>::FillBit(w)) {
+        count += Traits<WordT>::FillGroups(w) * kGroupBits;
+      }
     } else {
       count += static_cast<uint64_t>(std::popcount(w));
     }
@@ -247,7 +260,6 @@ uint64_t BasicWahBitVector<WordT>::Count() const {
 
 template <typename WordT>
 BitVector BasicWahBitVector<WordT>::Decompress() const {
-  using Traits = WahTraits<WordT>;
   BitVector out(size_);
   uint64_t bit_pos = 0;
   auto write_literal = [&](WordT lit) {
@@ -257,9 +269,9 @@ BitVector BasicWahBitVector<WordT>::Decompress() const {
     bit_pos += kGroupBits;
   };
   for (WordT w : words_) {
-    if (Traits::IsFill(w)) {
-      const uint64_t groups = Traits::FillGroups(w);
-      if (Traits::FillBit(w)) {
+    if (Traits<WordT>::IsFill(w)) {
+      const uint64_t groups = Traits<WordT>::FillGroups(w);
+      if (Traits<WordT>::FillBit(w)) {
         for (uint64_t i = 0; i < groups * kGroupBits; ++i) {
           out.Set(bit_pos + i);
         }
@@ -277,15 +289,14 @@ BitVector BasicWahBitVector<WordT>::Decompress() const {
 
 template <typename WordT>
 bool BasicWahBitVector<WordT>::Get(uint64_t index) const {
-  using Traits = WahTraits<WordT>;
   INCDB_CHECK(index < size_);
   uint64_t bit_pos = 0;
   for (WordT w : words_) {
-    const uint64_t span = Traits::IsFill(w)
-                              ? Traits::FillGroups(w) * kGroupBits
+    const uint64_t span = Traits<WordT>::IsFill(w)
+                              ? Traits<WordT>::FillGroups(w) * kGroupBits
                               : static_cast<uint64_t>(kGroupBits);
     if (index < bit_pos + span) {
-      if (Traits::IsFill(w)) return Traits::FillBit(w);
+      if (Traits<WordT>::IsFill(w)) return Traits<WordT>::FillBit(w);
       return (w >> (index - bit_pos)) & 1;
     }
     bit_pos += span;
@@ -332,20 +343,17 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndNot(
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::BinaryOp(
     const BasicWahBitVector& other, OpKind op) const {
-  using Traits = WahTraits<WordT>;
   INCDB_CHECK(size_ == other.size_);
   const int op_code = static_cast<int>(op);
   BasicWahBitVector out;
-  Decoder<WordT> a(words_);
-  Decoder<WordT> b(other.words_);
+  BasicWahRunIterator<WordT> a(*this);
+  BasicWahRunIterator<WordT> b(other);
   uint64_t groups_emitted = 0;
   while (!a.done() && !b.done()) {
     if (a.is_fill() && b.is_fill()) {
       const uint64_t n = std::min(a.groups_left(), b.groups_left());
-      const WordT va = a.fill_bit() ? Traits::kFullLiteral : WordT{0};
-      const WordT vb = b.fill_bit() ? Traits::kFullLiteral : WordT{0};
-      const WordT r = ApplyOp(va, vb, op_code);
-      out.EmitFill(r == Traits::kFullLiteral, n);
+      const WordT r = ApplyOp(a.LiteralView(), b.LiteralView(), op_code);
+      out.EmitFill(r == Traits<WordT>::kFullLiteral, n);
       groups_emitted += n;
       a.Consume(n);
       b.Consume(n);
@@ -354,7 +362,7 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::BinaryOp(
       const WordT r = ApplyOp(a.LiteralView(), b.LiteralView(), op_code);
       if (r == 0) {
         out.EmitFill(false, 1);
-      } else if (r == Traits::kFullLiteral) {
+      } else if (r == Traits<WordT>::kFullLiteral) {
         out.EmitFill(true, 1);
       } else {
         out.EmitLiteral(r);
@@ -380,17 +388,196 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::BinaryOp(
 }
 
 template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
+    std::span<const Operand> operands, bool is_or) {
+  INCDB_CHECK(!operands.empty());
+  const BasicWahBitVector& first = *operands[0].vec;
+  for (const Operand& op : operands) {
+    INCDB_CHECK(op.vec != nullptr && op.vec->size_ == first.size_);
+  }
+  if (operands.size() == 1 && !operands[0].negate) return first;
+  if (operands.size() == 2 && !operands[0].negate && !operands[1].negate) {
+    // The tight two-way merge; the k-way machinery has nothing to add.
+    return is_or ? first.Or(*operands[1].vec) : first.And(*operands[1].vec);
+  }
+  BasicWahBitVector out;
+  if (is_or) {
+    // Scatter every operand into a verbatim group accumulator, then
+    // compress the accumulator once (rationale at ScatterOrWords).
+    const uint64_t groups =
+        (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
+    std::vector<WordT> buf(groups, WordT{0});
+    for (const Operand& op : operands) {
+      ScatterOrWords<WordT>(std::span<const WordT>(op.vec->words_), op.negate,
+                            buf);
+    }
+    uint64_t i = 0;
+    while (i < groups) {
+      const WordT v = buf[i];
+      if (v == 0 || v == Traits<WordT>::kFullLiteral) {
+        uint64_t j = i + 1;
+        while (j < groups && buf[j] == v) ++j;
+        out.EmitFill(v != 0, j - i);
+        i = j;
+      } else {
+        out.EmitLiteral(v);
+        ++i;
+      }
+    }
+    out.size_ = groups * static_cast<uint64_t>(kGroupBits);
+    if (first.active_bits_ > 0) {
+      const WordT mask =
+          static_cast<WordT>(bitutil::LowBitsMask(first.active_bits_));
+      WordT acc = 0;
+      for (const Operand& op : operands) {
+        acc |= ActiveView<WordT>(op, op.vec->active_word_, mask);
+      }
+      out.active_word_ = acc;
+      out.active_bits_ = first.active_bits_;
+      out.size_ += static_cast<uint64_t>(first.active_bits_);
+    }
+    INCDB_CHECK(out.size_ == first.size_);
+    return out;
+  }
+  const uint64_t groups = FuseMany<WordT>(
+      operands, is_or, [&out](WordT view, uint64_t n) {
+        if (view == 0) {
+          out.EmitFill(false, n);
+        } else if (view == Traits<WordT>::kFullLiteral) {
+          out.EmitFill(true, n);
+        } else {
+          INCDB_DCHECK(n == 1);
+          out.EmitLiteral(view);
+        }
+      });
+  out.size_ = groups * static_cast<uint64_t>(kGroupBits);
+  if (first.active_bits_ > 0) {
+    const WordT mask =
+        static_cast<WordT>(bitutil::LowBitsMask(first.active_bits_));
+    WordT acc = is_or ? WordT{0} : mask;
+    for (const Operand& op : operands) {
+      const WordT v = ActiveView<WordT>(op, op.vec->active_word_, mask);
+      acc = is_or ? static_cast<WordT>(acc | v) : static_cast<WordT>(acc & v);
+    }
+    out.active_word_ = acc;
+    out.active_bits_ = first.active_bits_;
+    out.size_ += static_cast<uint64_t>(first.active_bits_);
+  }
+  INCDB_CHECK(out.size_ == first.size_);
+  return out;
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::FuseToCount(
+    std::span<const Operand> operands, bool is_or) {
+  INCDB_CHECK(!operands.empty());
+  const BasicWahBitVector& first = *operands[0].vec;
+  for (const Operand& op : operands) {
+    INCDB_CHECK(op.vec != nullptr && op.vec->size_ == first.size_);
+  }
+  uint64_t count = 0;
+  if (is_or && operands.size() > 2) {
+    // Same verbatim-accumulator strategy as the OR vector kernel, with a
+    // popcount pass in place of recompression.
+    const uint64_t groups =
+        (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
+    std::vector<WordT> buf(groups, WordT{0});
+    for (const Operand& op : operands) {
+      ScatterOrWords<WordT>(std::span<const WordT>(op.vec->words_), op.negate,
+                            buf);
+    }
+    for (WordT v : buf) count += static_cast<uint64_t>(std::popcount(v));
+  } else {
+    FuseMany<WordT>(operands, is_or, [&count](WordT view, uint64_t n) {
+      count += static_cast<uint64_t>(std::popcount(view)) * n;
+    });
+  }
+  if (first.active_bits_ > 0) {
+    const WordT mask =
+        static_cast<WordT>(bitutil::LowBitsMask(first.active_bits_));
+    WordT acc = is_or ? WordT{0} : mask;
+    for (const Operand& op : operands) {
+      const WordT v = ActiveView<WordT>(op, op.vec->active_word_, mask);
+      acc = is_or ? static_cast<WordT>(acc | v) : static_cast<WordT>(acc & v);
+    }
+    count += static_cast<uint64_t>(std::popcount(acc));
+  }
+  return count;
+}
+
+namespace {
+
+template <typename WordT>
+std::vector<typename BasicWahBitVector<WordT>::Operand> PlainOperands(
+    std::span<const BasicWahBitVector<WordT>* const> operands) {
+  std::vector<typename BasicWahBitVector<WordT>::Operand> ops;
+  ops.reserve(operands.size());
+  for (const BasicWahBitVector<WordT>* vec : operands) {
+    ops.push_back({vec, false});
+  }
+  return ops;
+}
+
+}  // namespace
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::OrMany(
+    std::span<const BasicWahBitVector* const> operands) {
+  const auto ops = PlainOperands<WordT>(operands);
+  return FuseToVector(ops, /*is_or=*/true);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndMany(
+    std::span<const BasicWahBitVector* const> operands) {
+  const auto ops = PlainOperands<WordT>(operands);
+  return FuseToVector(ops, /*is_or=*/false);
+}
+
+template <typename WordT>
+BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndMany(
+    std::span<const Operand> operands) {
+  return FuseToVector(operands, /*is_or=*/false);
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::OrManyCount(
+    std::span<const BasicWahBitVector* const> operands) {
+  const auto ops = PlainOperands<WordT>(operands);
+  return FuseToCount(ops, /*is_or=*/true);
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::AndManyCount(
+    std::span<const BasicWahBitVector* const> operands) {
+  const auto ops = PlainOperands<WordT>(operands);
+  return FuseToCount(ops, /*is_or=*/false);
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::AndManyCount(
+    std::span<const Operand> operands) {
+  return FuseToCount(operands, /*is_or=*/false);
+}
+
+template <typename WordT>
+uint64_t BasicWahBitVector<WordT>::AndCount(const BasicWahBitVector& a,
+                                            const BasicWahBitVector& b) {
+  const Operand ops[] = {{&a, false}, {&b, false}};
+  return FuseToCount(ops, /*is_or=*/false);
+}
+
+template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Not() const {
-  using Traits = WahTraits<WordT>;
   BasicWahBitVector out;
   for (WordT w : words_) {
-    if (Traits::IsFill(w)) {
-      out.EmitFill(!Traits::FillBit(w), Traits::FillGroups(w));
+    if (Traits<WordT>::IsFill(w)) {
+      out.EmitFill(!Traits<WordT>::FillBit(w), Traits<WordT>::FillGroups(w));
     } else {
-      const WordT lit = ~w & Traits::kFullLiteral;
+      const WordT lit = ~w & Traits<WordT>::kFullLiteral;
       if (lit == 0) {
         out.EmitFill(false, 1);
-      } else if (lit == Traits::kFullLiteral) {
+      } else if (lit == Traits<WordT>::kFullLiteral) {
         out.EmitFill(true, 1);
       } else {
         out.EmitLiteral(lit);
@@ -409,13 +596,12 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Not() const {
 
 template <typename WordT>
 std::string BasicWahBitVector<WordT>::DebugString() const {
-  using Traits = WahTraits<WordT>;
   std::string out;
   for (WordT w : words_) {
-    if (Traits::IsFill(w)) {
+    if (Traits<WordT>::IsFill(w)) {
       out += "F";
-      out += Traits::FillBit(w) ? '1' : '0';
-      out += "x" + std::to_string(Traits::FillGroups(w)) + " ";
+      out += Traits<WordT>::FillBit(w) ? '1' : '0';
+      out += "x" + std::to_string(Traits<WordT>::FillGroups(w)) + " ";
     } else {
       out += "L:";
       for (int i = 0; i < kGroupBits; ++i) {
@@ -445,7 +631,6 @@ void BasicWahBitVector<WordT>::SaveTo(BinaryWriter& writer) const {
 template <typename WordT>
 Result<BasicWahBitVector<WordT>> BasicWahBitVector<WordT>::LoadFrom(
     BinaryReader& reader) {
-  using Traits = WahTraits<WordT>;
   BasicWahBitVector out;
   INCDB_ASSIGN_OR_RETURN(out.size_, reader.ReadU64());
   INCDB_ASSIGN_OR_RETURN(uint32_t active_bits, reader.ReadU32());
@@ -470,7 +655,7 @@ Result<BasicWahBitVector<WordT>> BasicWahBitVector<WordT>::LoadFrom(
   // Cross-check the declared size against the decoded group count.
   uint64_t groups = 0;
   for (WordT w : out.words_) {
-    groups += Traits::IsFill(w) ? Traits::FillGroups(w) : 1;
+    groups += Traits<WordT>::IsFill(w) ? Traits<WordT>::FillGroups(w) : 1;
   }
   if (groups * kGroupBits + static_cast<uint64_t>(out.active_bits_) !=
       out.size_) {

@@ -1,7 +1,9 @@
 #ifndef INCDB_COMPRESSION_WAH_BITVECTOR_H_
 #define INCDB_COMPRESSION_WAH_BITVECTOR_H_
 
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,108 @@
 #include "common/io.h"
 
 namespace incdb {
+
+namespace wah_internal {
+
+/// Per-word-type constants and code-word accessors. With W = bits per word:
+/// the top bit flags a fill, the next bit is the fill value, the remaining
+/// W-2 bits count fill groups of W-1 bits each.
+template <typename WordT>
+struct WahTraits {
+  static constexpr int kWordBits = static_cast<int>(sizeof(WordT) * 8);
+  static constexpr int kGroupBits = kWordBits - 1;
+  static constexpr WordT kFillFlag = WordT{1} << (kWordBits - 1);
+  static constexpr WordT kFillBitFlag = WordT{1} << (kWordBits - 2);
+  static constexpr WordT kFillCountMask = kFillBitFlag - 1;
+  static constexpr uint64_t kMaxFillGroups = kFillCountMask;
+  static constexpr WordT kFullLiteral = kFillFlag - 1;
+
+  static bool IsFill(WordT word) { return (word & kFillFlag) != 0; }
+  static bool FillBit(WordT word) { return (word & kFillBitFlag) != 0; }
+  static uint64_t FillGroups(WordT word) { return word & kFillCountMask; }
+  static WordT MakeFill(bool bit, uint64_t groups) {
+    return kFillFlag | (bit ? kFillBitFlag : WordT{0}) |
+           static_cast<WordT>(groups & kFillCountMask);
+  }
+};
+
+}  // namespace wah_internal
+
+template <typename WordT>
+class BasicWahBitVector;
+
+/// Cursor over the group-aligned part of a compressed vector, yielding runs
+/// in O(1) per code word: a fill word is one run of FillGroups groups, a
+/// literal word a run of one group. The shared decoding primitive for the
+/// pairwise ops, the fused multi-operand kernels, and any external consumer
+/// that wants to walk the compressed form without decompressing.
+///
+/// The partial trailing group (the vector's `active` word) is NOT part of
+/// the run stream; callers that need it must handle it separately.
+template <typename WordT>
+class BasicWahRunIterator {
+  using Traits = wah_internal::WahTraits<WordT>;
+
+ public:
+  explicit BasicWahRunIterator(const BasicWahBitVector<WordT>& vec);
+
+  /// True once every group-aligned run has been consumed.
+  bool done() const { return groups_left_ == 0; }
+
+  bool is_fill() const { return is_fill_; }
+  bool fill_bit() const { return fill_bit_; }
+  /// Groups remaining in the current run (>= 1 unless done).
+  uint64_t groups_left() const { return groups_left_; }
+
+  /// The current run viewed as a literal word (fills expand to 0/all-ones).
+  WordT LiteralView() const {
+    if (!is_fill_) return literal_;
+    return fill_bit_ ? Traits::kFullLiteral : WordT{0};
+  }
+
+  /// Consumes n groups from the current run (n <= groups_left()).
+  void Consume(uint64_t n) {
+    groups_left_ -= n;
+    if (groups_left_ == 0) Load();
+  }
+
+  /// Consumes n groups, crossing run boundaries as needed. Used by the
+  /// fused kernels' fill fast paths to leap over absorbed stretches.
+  void Skip(uint64_t n) {
+    while (n > 0) {
+      const uint64_t take = n < groups_left_ ? n : groups_left_;
+      Consume(take);
+      n -= take;
+    }
+  }
+
+ private:
+  void Load() {
+    while (pos_ < words_.size()) {
+      const WordT w = words_[pos_++];
+      if (Traits::IsFill(w)) {
+        const uint64_t n = Traits::FillGroups(w);
+        if (n == 0) continue;  // defensive: skip empty fills
+        is_fill_ = true;
+        fill_bit_ = Traits::FillBit(w);
+        groups_left_ = n;
+        return;
+      }
+      is_fill_ = false;
+      literal_ = w;
+      groups_left_ = 1;
+      return;
+    }
+    groups_left_ = 0;
+  }
+
+  std::span<const WordT> words_;
+  size_t pos_ = 0;
+  bool is_fill_ = false;
+  bool fill_bit_ = false;
+  WordT literal_ = 0;
+  uint64_t groups_left_ = 0;
+};
 
 /// Word-Aligned Hybrid (WAH) compressed bitvector (Wu, Otoo, Shoshani),
 /// parameterized on the machine word type.
@@ -30,7 +134,9 @@ namespace incdb {
 ///
 /// Logical operations (And/Or/Xor/Not) consume and produce compressed
 /// vectors without decompressing; fills are processed in O(1) per run,
-/// which is the source of the speedups the paper reports.
+/// which is the source of the speedups the paper reports. The fused
+/// multi-operand kernels (OrMany/AndMany and the *Count variants) fold k
+/// operands in a single pass, re-compressing once instead of k-1 times.
 template <typename WordT>
 class BasicWahBitVector {
  public:
@@ -62,8 +168,37 @@ class BasicWahBitVector {
   /// Expands to a verbatim bitvector.
   BitVector Decompress() const;
 
-  /// Value of bit `index` (O(words) scan; intended for tests/spot checks).
+  /// Value of bit `index`. This is an O(words) scan from the start of the
+  /// compressed form — fine for spot checks, but quadratic when called for
+  /// every position in a loop. Batch readers should use ForEachSetBit (one
+  /// pass over set bits) or Decompress (one pass, verbatim form) instead.
   bool Get(uint64_t index) const;
+
+  /// Calls `fn(uint64_t index)` for every set bit, in ascending order, in a
+  /// single pass over the compressed form: O(words + set bits) total, versus
+  /// O(words) *per call* for Get.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    using Traits = wah_internal::WahTraits<WordT>;
+    uint64_t bit_pos = 0;
+    for (WordT w : words_) {
+      if (Traits::IsFill(w)) {
+        const uint64_t span_bits = Traits::FillGroups(w) * kGroupBits;
+        if (Traits::FillBit(w)) {
+          for (uint64_t i = 0; i < span_bits; ++i) fn(bit_pos + i);
+        }
+        bit_pos += span_bits;
+      } else {
+        for (WordT v = w; v != 0; v &= v - 1) {
+          fn(bit_pos + static_cast<uint64_t>(std::countr_zero(v)));
+        }
+        bit_pos += kGroupBits;
+      }
+    }
+    for (int i = 0; i < active_bits_; ++i) {
+      if ((active_word_ >> i) & 1) fn(bit_pos + static_cast<uint64_t>(i));
+    }
+  }
 
   /// Compressed payload size in bytes (code words plus the active word).
   uint64_t SizeInBytes() const;
@@ -83,6 +218,40 @@ class BasicWahBitVector {
   BasicWahBitVector AndNot(const BasicWahBitVector& other) const;
   /// Bitwise complement.
   BasicWahBitVector Not() const;
+
+  /// One operand of a fused multi-way kernel: a vector, optionally read
+  /// through a complement (`negate`) without ever materializing NOT(vec).
+  struct Operand {
+    const BasicWahBitVector* vec = nullptr;
+    bool negate = false;
+  };
+
+  /// Fused k-way OR / AND: a single pass over all operands accumulating
+  /// one (W-1)-bit group at a time, re-compressing once at the end instead
+  /// of k-1 times as the pairwise fold does. Fill fast paths: an absorbing
+  /// fill run (1-fill for OR, 0-fill for AND) short-circuits the remaining
+  /// operands and leaps the output over the whole run in O(1) per operand.
+  /// Operands must be non-empty and of equal size().
+  static BasicWahBitVector OrMany(
+      std::span<const BasicWahBitVector* const> operands);
+  static BasicWahBitVector AndMany(
+      std::span<const BasicWahBitVector* const> operands);
+  /// AND with per-operand complement, e.g. the bit-sliced equality circuit
+  /// AND_k (bit k set ? S_k : NOT S_k) in one fused pass.
+  static BasicWahBitVector AndMany(std::span<const Operand> operands);
+
+  /// Fused count kernels: identical walks to OrMany/AndMany that produce
+  /// only the popcount of the result — no result vector is materialized.
+  /// The workhorses of ExecuteCount / ExecuteGroupCount / ExecuteAggregate.
+  static uint64_t OrManyCount(
+      std::span<const BasicWahBitVector* const> operands);
+  static uint64_t AndManyCount(
+      std::span<const BasicWahBitVector* const> operands);
+  static uint64_t AndManyCount(std::span<const Operand> operands);
+  /// Count of a AND b without materializing it (the per-group kernel of
+  /// GROUP BY / aggregates).
+  static uint64_t AndCount(const BasicWahBitVector& a,
+                           const BasicWahBitVector& b);
 
   bool operator==(const BasicWahBitVector& other) const {
     return size_ == other.size_ && active_bits_ == other.active_bits_ &&
@@ -104,6 +273,13 @@ class BasicWahBitVector {
   static Result<BasicWahBitVector> LoadFrom(BinaryReader& reader);
 
  private:
+  friend class BasicWahRunIterator<WordT>;
+
+  // Shared single-pass engines behind the public fused kernels.
+  static BasicWahBitVector FuseToVector(std::span<const Operand> operands,
+                                        bool is_or);
+  static uint64_t FuseToCount(std::span<const Operand> operands, bool is_or);
+
   // Emits into words_ only (no size_ accounting), merging adjacent fills
   // and converting all-zero / all-one literals to fills.
   void EmitFill(bool bit, uint64_t groups);
@@ -119,10 +295,20 @@ class BasicWahBitVector {
   uint64_t size_ = 0;      // total bits
 };
 
+template <typename WordT>
+BasicWahRunIterator<WordT>::BasicWahRunIterator(
+    const BasicWahBitVector<WordT>& vec)
+    : words_(vec.words_) {
+  Load();
+}
+
 /// The paper's (and FastBit's) canonical 32-bit WAH.
 using WahBitVector = BasicWahBitVector<uint32_t>;
 /// 64-bit-word WAH for the word-size ablation.
 using Wah64BitVector = BasicWahBitVector<uint64_t>;
+
+using WahRunIterator = BasicWahRunIterator<uint32_t>;
+using Wah64RunIterator = BasicWahRunIterator<uint64_t>;
 
 extern template class BasicWahBitVector<uint32_t>;
 extern template class BasicWahBitVector<uint64_t>;

@@ -73,6 +73,7 @@ Result<WorkloadResult> RunWorkloadParallel(
     result.total_matches += state.matches;
     result.stats.bitvectors_accessed += state.stats.bitvectors_accessed;
     result.stats.bitvector_ops += state.stats.bitvector_ops;
+    result.stats.words_touched += state.stats.words_touched;
     result.stats.candidates += state.stats.candidates;
     result.stats.false_positives += state.stats.false_positives;
     result.stats.nodes_accessed += state.stats.nodes_accessed;

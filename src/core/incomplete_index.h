@@ -17,7 +17,14 @@ struct QueryStats {
   /// paper's primary cost model for BEE/BRE).
   uint64_t bitvectors_accessed = 0;
   /// Bitmap indexes: number of logical operations (AND/OR/XOR/NOT) executed.
+  /// A fused k-way kernel counts as k-1 operations, keeping the counter
+  /// comparable with the pairwise fold it replaces.
   uint64_t bitvector_ops = 0;
+  /// Bitmap indexes: compressed code words read from operand bitvectors.
+  /// Under the fused kernels each operand is scanned exactly once, so this
+  /// tracks real memory traffic; the pairwise fold re-scans intermediates,
+  /// which this counter deliberately does not credit.
+  uint64_t words_touched = 0;
   /// VA-file: approximate candidates surviving the filter step.
   uint64_t candidates = 0;
   /// VA-file: candidates eliminated by the exact refinement step.

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# One-command sanitizer gate: configure + build the ASan+UBSan preset and
+# run the full test suite under it. Usage: tools/check.sh [extra ctest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"

@@ -1,0 +1,129 @@
+// Concurrent query serving through the snapshot facade: throughput of
+// Database::RunBatch versus reader-thread count, with and without a
+// concurrent writer publishing new epochs (Insert churn) for the whole
+// measurement. Every configuration starts from a freshly indexed copy of
+// the same table and runs the same query mix, so the sweep isolates
+// (a) fan-out scaling and (b) the cost readers pay for writer churn —
+// which under epoch snapshots should be near zero: a reader only ever
+// contends on one shared_ptr copy.
+//
+// Interpreting the numbers requires the machine context: on a single-core
+// container every configuration time-slices one CPU and the sweep measures
+// isolation overhead, not parallel speedup. The JSON records wall time and
+// total matches per configuration either way.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "core/database.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+std::vector<QueryRequest> MakeRequests(const Table& table,
+                                       const std::vector<RangeQuery>& queries) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const RangeQuery& query : queries) {
+    std::vector<NamedTerm> terms;
+    terms.reserve(query.terms.size());
+    for (const QueryTerm& term : query.terms) {
+      terms.push_back({table.schema().attribute(term.attribute).name,
+                       term.interval.lo, term.interval.hi});
+    }
+    requests.push_back(QueryRequest::Terms(std::move(terms), query.semantics));
+  }
+  return requests;
+}
+
+void RunConfig(const Table& base, const std::vector<QueryRequest>& requests,
+               size_t readers, bool with_writer) {
+  Database db = Database::FromTable(Table(base)).value();
+  if (!db.BuildIndex(IndexKind::kBitmapEquality).ok() ||
+      !db.BuildIndex(IndexKind::kBitmapRange).ok()) {
+    std::fprintf(stderr, "FATAL: BuildIndex failed\n");
+    std::exit(1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&db, &stop]() {
+      const size_t dims = db.table().num_attributes();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<Value> row(dims);
+        for (size_t a = 0; a < dims; ++a) {
+          row[a] = static_cast<Value>(1 + (i * 7 + a * 3) % 10);
+        }
+        if (!db.Insert(row).ok()) break;
+        ++i;
+        // Throttled churn (~10k epochs/s): the point is continuous epoch
+        // publication, not saturating the one writer core.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  const BatchResult batch = db.RunBatch(requests, readers);
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+
+  uint64_t errors = 0;
+  for (const auto& result : batch.results) {
+    if (!result.ok()) ++errors;
+  }
+  const double qps = batch.wall_millis > 0.0
+                         ? 1000.0 * static_cast<double>(requests.size()) /
+                               batch.wall_millis
+                         : 0.0;
+  const std::string config = "readers=" + std::to_string(readers) +
+                             ",writer=" + (with_writer ? "on" : "off");
+  bench::PrintRow({std::to_string(readers), with_writer ? "on" : "off",
+                   std::to_string(requests.size()),
+                   bench::FormatDouble(batch.wall_millis, 2),
+                   bench::FormatDouble(qps, 1), std::to_string(errors)});
+  if (errors > 0) {
+    std::fprintf(stderr, "FATAL: %llu failed requests in %s\n",
+                 static_cast<unsigned long long>(errors), config.c_str());
+    std::exit(1);
+  }
+  bench::RecordResult("concurrent_serving", config, batch.wall_millis,
+                      batch.total_matches);
+}
+
+int Main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  const uint64_t rows = bench::BenchRows(50000);
+
+  // Fig. 5(b)-style data: cardinality 10, 4-dim keys, 10% missing.
+  const Table base = GenerateTable(UniformSpec(rows, 10, 0.1, 4, 42)).value();
+
+  WorkloadParams params;
+  params.num_queries = bench::BenchQueries() * 8;  // enough work for 8 threads
+  params.dims = 4;
+  params.global_selectivity = 0.01;
+  params.semantics = MissingSemantics::kMatch;
+  params.seed = 7;
+  const std::vector<QueryRequest> requests =
+      MakeRequests(base, bench::MustGenerateWorkload(base, params));
+
+  bench::PrintHeader(
+      {"readers", "writer", "queries", "wall_ms", "qps", "errors"});
+  for (const bool with_writer : {false, true}) {
+    for (const size_t readers : {1, 2, 4, 8}) {
+      RunConfig(base, requests, readers, with_writer);
+    }
+  }
+  bench::WriteJson();
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::Main(argc, argv); }

@@ -1,6 +1,7 @@
 // Index lifecycle tour: build → persist to disk → reload → append new
 // records incrementally → run boolean (AND/OR/NOT) queries under both
-// missing-data semantics via the Database facade.
+// missing-data semantics via the Database facade — including the snapshot
+// model that lets readers keep serving while a writer mutates.
 //
 //   ./build/examples/index_lifecycle
 
@@ -72,14 +73,52 @@ int main() {
   const QueryExpr expr = QueryExpr::MakeAnd(
       {QueryExpr::MakeTerm(1, {4, 5}), QueryExpr::MakeTerm(2, {1, 2}),
        QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {7, 7}))});
-  std::string chosen;
   const auto certain =
-      db.QueryExpression(expr, MissingSemantics::kNoMatch, &chosen);
-  const auto maybe = db.QueryExpression(expr, MissingSemantics::kMatch);
+      db.Run(QueryRequest::Expression(expr, MissingSemantics::kNoMatch));
+  const auto maybe =
+      db.Run(QueryRequest::Expression(expr, MissingSemantics::kMatch));
   if (!certain.ok() || !maybe.ok()) return 1;
-  std::printf("%s\n  served by %s: %zu certain answers, %zu possible\n",
-              expr.ToString().c_str(), chosen.c_str(),
-              certain.value().size(), maybe.value().size());
+  std::printf("%s\n  served by %s: %llu certain answers, %llu possible\n",
+              expr.ToString().c_str(), certain->chosen_index.c_str(),
+              static_cast<unsigned long long>(certain->count),
+              static_cast<unsigned long long>(maybe->count));
+
+  // --- snapshot isolation: readers pin an epoch, writers publish new ones ---
+  // A pinned snapshot is a consistent (watermark, index set, deletion mask)
+  // triple: later Inserts/Deletes are invisible to it, and queries routed
+  // through it keep using indexes even after they are dropped.
+  const Snapshot pinned = db.GetSnapshot();
+  if (!db.Insert({7, 5, 1}).ok() || !db.Delete(0).ok()) return 1;
+  const QueryRequest severe_req =
+      QueryRequest::Terms({{"severity", 4, 5}}, MissingSemantics::kNoMatch)
+          .CountOnly();
+  const auto then = RunOnSnapshot(pinned, severe_req);
+  const auto now = db.Run(severe_req);
+  if (!then.ok() || !now.ok()) return 1;
+  std::printf(
+      "snapshot isolation: epoch %llu saw %llu rows / %llu severe;\n"
+      "  epoch %llu (after 1 insert + 1 delete) sees %llu rows / %llu\n",
+      static_cast<unsigned long long>(then->epoch),
+      static_cast<unsigned long long>(then->visible_rows),
+      static_cast<unsigned long long>(then->count),
+      static_cast<unsigned long long>(now->epoch),
+      static_cast<unsigned long long>(now->visible_rows),
+      static_cast<unsigned long long>(now->count));
+
+  // --- batch serving: one snapshot, many requests, a thread pool ---
+  std::vector<QueryRequest> batch_requests;
+  for (Value region = 1; region <= 8; ++region) {
+    batch_requests.push_back(QueryRequest::Terms(
+        {{"severity", 4, 5}, {"region", region, region}}).CountOnly());
+  }
+  const BatchResult batch = db.RunBatch(batch_requests, 4);
+  std::printf("batch of %zu regional counts on %zu threads in %.2f ms:",
+              batch.results.size(), batch.num_threads, batch.wall_millis);
+  for (const auto& result : batch.results) {
+    if (!result.ok()) return 1;
+    std::printf(" %llu", static_cast<unsigned long long>(result.value().count));
+  }
+  std::printf("\n");
 
   std::remove(path.c_str());
   return 0;

@@ -1,52 +1,26 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
 
-#include "core/scan_index.h"
-#include "query/parser.h"
+#include "common/timer.h"
 #include "table/csv.h"
 
 namespace incdb {
 
-namespace {
-
-// Kinds whose AppendRow keeps them in sync with table inserts.
-bool SupportsAppends(IndexKind kind) {
-  switch (kind) {
-    case IndexKind::kSequentialScan:
-    case IndexKind::kBitmapEquality:
-    case IndexKind::kBitmapRange:
-    case IndexKind::kBitmapInterval:
-    case IndexKind::kBitmapBitSliced:
-    case IndexKind::kVaFile:
-    case IndexKind::kVaPlusFile:
-    case IndexKind::kMosaic:
-    case IndexKind::kBitstringAugmented:
-      return true;
-  }
-  return false;
-}
-
-// Routing preference per query shape (paper §6: BEE optimal for point
-// queries; BRE typically best for range queries; BIE next — two bitmaps
-// per dimension at half BEE's storage; VA-file the fallback index).
-const IndexKind kPointPreference[] = {
-    IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
-    IndexKind::kBitmapInterval, IndexKind::kBitmapBitSliced,
-    IndexKind::kVaFile, IndexKind::kVaPlusFile, IndexKind::kMosaic,
-    IndexKind::kBitstringAugmented};
-const IndexKind kRangePreference[] = {
-    IndexKind::kBitmapRange, IndexKind::kBitmapInterval,
-    IndexKind::kBitmapEquality, IndexKind::kBitmapBitSliced,
-    IndexKind::kVaFile, IndexKind::kVaPlusFile, IndexKind::kMosaic,
-    IndexKind::kBitstringAugmented};
-
-}  // namespace
-
 Database::Database(Table table)
     : table_(std::make_unique<Table>(std::move(table))),
-      scan_(std::make_unique<ScanIndex>(*table_)),
-      deleted_(table_->num_rows()) {}
+      shared_(std::make_unique<Shared>()),
+      registry_(
+          std::make_shared<const std::vector<internal::SnapshotIndexEntry>>()) {
+  missing_counts_.resize(table_->num_attributes());
+  for (size_t attr = 0; attr < table_->num_attributes(); ++attr) {
+    missing_counts_[attr] = table_->column(attr).MissingCount();
+  }
+  Publish();
+}
 
 Result<Database> Database::Create(Schema schema) {
   INCDB_ASSIGN_OR_RETURN(Table table, Table::Create(std::move(schema)));
@@ -62,52 +36,130 @@ Result<Database> Database::FromCsv(const std::string& path) {
   return Database(std::move(table));
 }
 
-Status Database::Insert(const std::vector<Value>& row) {
-  INCDB_RETURN_IF_ERROR(table_->AppendRow(row));
-  for (auto& [kind, index] : indexes_) {
-    INCDB_RETURN_IF_ERROR(index->AppendRow(row));
+void Database::Publish() {
+  auto state = std::make_shared<internal::SnapshotState>();
+  state->table = table_.get();
+  state->epoch = epoch_;
+  state->num_rows = table_->num_rows();
+  state->deleted = deleted_;
+  state->num_deleted = num_deleted_;
+  state->indexes = registry_;
+  state->missing_counts = missing_counts_;
+  std::lock_guard<std::mutex> head_lock(shared_->head_mu);
+  shared_->head = std::move(state);
+}
+
+Snapshot Database::GetSnapshot() const {
+  std::lock_guard<std::mutex> head_lock(shared_->head_mu);
+  return Snapshot(shared_->head);
+}
+
+Result<QueryResult> Database::Run(const QueryRequest& request) const {
+  return RunOnSnapshot(GetSnapshot(), request);
+}
+
+BatchResult Database::RunBatch(const std::vector<QueryRequest>& requests,
+                               size_t num_threads) const {
+  BatchResult batch;
+  if (requests.empty()) return batch;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  deleted_.PushBack(false);
+  num_threads = std::min(num_threads, requests.size());
+  batch.num_threads = num_threads;
+  batch.results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    batch.results.emplace_back(Status::Internal("request not executed"));
+  }
+
+  // One snapshot for the whole batch: every request sees the same epoch.
+  const Snapshot snapshot = GetSnapshot();
+
+  struct WorkerState {
+    uint64_t matches = 0;
+    QueryStats stats;
+  };
+  std::vector<WorkerState> workers(num_threads);
+  std::atomic<size_t> next{0};
+
+  Timer timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t]() {
+        WorkerState& state = workers[t];
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests.size()) break;
+          Result<QueryResult> result = RunOnSnapshot(snapshot, requests[i]);
+          if (result.ok()) {
+            state.matches += result.value().count;
+            state.stats.MergeFrom(result.value().stats);
+          }
+          batch.results[i] = std::move(result);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  batch.wall_millis = timer.ElapsedMillis();
+  for (const WorkerState& state : workers) {
+    batch.total_matches += state.matches;
+    batch.stats.MergeFrom(state.stats);
+  }
+  return batch;
+}
+
+Status Database::Insert(const std::vector<Value>& row) {
+  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  INCDB_RETURN_IF_ERROR(table_->AppendRow(row));
+  for (size_t attr = 0; attr < row.size(); ++attr) {
+    if (row[attr] == kMissingValue) ++missing_counts_[attr];
+  }
+  ++epoch_;
+  Publish();
   return Status::OK();
 }
 
 Status Database::Delete(uint32_t row) {
-  if (row >= table_->num_rows()) {
+  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  const uint64_t watermark = table_->num_rows();
+  if (row >= watermark) {
     return Status::OutOfRange("row " + std::to_string(row) + " out of range");
   }
-  if (deleted_.size() < table_->num_rows()) {
-    deleted_.Resize(table_->num_rows());
-  }
-  if (deleted_.Get(row)) {
+  // Copy-on-write: pinned snapshots keep seeing the old mask.
+  BitVector mask = deleted_ != nullptr ? *deleted_ : BitVector();
+  if (mask.size() < watermark) mask.Resize(watermark);
+  if (mask.Get(row)) {
     return Status::InvalidArgument("row " + std::to_string(row) +
                                    " already deleted");
   }
-  deleted_.Set(row);
+  mask.Set(row);
+  deleted_ = std::make_shared<const BitVector>(std::move(mask));
   ++num_deleted_;
+  ++epoch_;
+  Publish();
   return Status::OK();
 }
 
 bool Database::IsDeleted(uint32_t row) const {
-  return row < deleted_.size() && deleted_.Get(row);
+  return GetSnapshot().IsDeleted(row);
 }
 
-void Database::MaskDeleted(BitVector* result) const {
-  if (num_deleted_ == 0) return;
-  BitVector mask = deleted_;
-  mask.Resize(result->size());
-  mask.Flip();
-  result->AndWith(mask);
+uint64_t Database::num_live_rows() const {
+  return GetSnapshot().num_live_rows();
+}
+
+uint64_t Database::num_deleted_rows() const {
+  return GetSnapshot().num_deleted_rows();
 }
 
 Status Database::BuildIndex(IndexKind kind) {
+  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
   if (kind == IndexKind::kSequentialScan) {
     return Status::InvalidArgument(
         "the sequential scan is always available; no index to build");
-  }
-  if (!SupportsAppends(kind)) {
-    return Status::NotSupported(
-        std::string(IndexKindToString(kind)) +
-        " cannot stay in sync under Database::Insert");
   }
   if (table_->num_rows() == 0) {
     return Status::InvalidArgument(
@@ -115,90 +167,88 @@ Status Database::BuildIndex(IndexKind kind) {
   }
   INCDB_ASSIGN_OR_RETURN(std::unique_ptr<IncompleteIndex> index,
                          CreateIndex(kind, *table_));
-  indexes_[kind] = std::move(index);
+  internal::SnapshotIndexEntry entry;
+  entry.kind = kind;
+  entry.index = std::shared_ptr<const IncompleteIndex>(std::move(index));
+  entry.covered_rows = table_->num_rows();
+  // Copy-on-write registry, kept ascending by kind.
+  auto registry =
+      std::make_shared<std::vector<internal::SnapshotIndexEntry>>(*registry_);
+  auto pos = std::find_if(registry->begin(), registry->end(),
+                          [kind](const internal::SnapshotIndexEntry& e) {
+                            return e.kind >= kind;
+                          });
+  if (pos != registry->end() && pos->kind == kind) {
+    *pos = std::move(entry);
+  } else {
+    registry->insert(pos, std::move(entry));
+  }
+  registry_ = std::move(registry);
+  ++epoch_;
+  Publish();
   return Status::OK();
 }
 
 Status Database::DropIndex(IndexKind kind) {
-  if (indexes_.erase(kind) == 0) {
+  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  auto registry =
+      std::make_shared<std::vector<internal::SnapshotIndexEntry>>(*registry_);
+  auto pos = std::find_if(registry->begin(), registry->end(),
+                          [kind](const internal::SnapshotIndexEntry& e) {
+                            return e.kind == kind;
+                          });
+  if (pos == registry->end()) {
     return Status::NotFound("no " + std::string(IndexKindToString(kind)) +
                             " index registered");
   }
+  registry->erase(pos);
+  registry_ = std::move(registry);
+  ++epoch_;
+  Publish();
   return Status::OK();
 }
 
 bool Database::HasIndex(IndexKind kind) const {
-  return indexes_.count(kind) > 0;
+  return GetSnapshot().HasIndex(kind);
 }
 
 std::vector<IndexKind> Database::Indexes() const {
-  std::vector<IndexKind> kinds;
-  for (const auto& [kind, index] : indexes_) kinds.push_back(kind);
-  return kinds;
-}
-
-const IncompleteIndex& Database::Route(bool is_point_query) const {
-  const auto& preference = is_point_query ? kPointPreference : kRangePreference;
-  for (IndexKind kind : preference) {
-    const auto it = indexes_.find(kind);
-    if (it != indexes_.end()) return *it->second;
-  }
-  return *scan_;
+  return GetSnapshot().Indexes();
 }
 
 Result<QueryTerm> Database::ResolveTerm(const NamedTerm& term) const {
-  INCDB_ASSIGN_OR_RETURN(size_t attr, table_->schema().IndexOf(term.attribute));
-  const uint32_t cardinality = table_->schema().attribute(attr).cardinality;
-  if (term.lo < 1 || term.hi > static_cast<Value>(cardinality) ||
-      term.lo > term.hi) {
-    return Status::InvalidArgument(
-        "interval [" + std::to_string(term.lo) + "," +
-        std::to_string(term.hi) + "] invalid for attribute '" +
-        term.attribute + "' (cardinality " + std::to_string(cardinality) +
-        ")");
-  }
-  return QueryTerm{attr, {term.lo, term.hi}};
+  return ResolveNamedTerm(*table_, term);
 }
 
 Result<std::vector<uint32_t>> Database::Query(
     const std::vector<NamedTerm>& terms, MissingSemantics semantics,
     std::string* chosen) const {
-  RangeQuery query;
-  query.semantics = semantics;
-  for (const NamedTerm& term : terms) {
-    INCDB_ASSIGN_OR_RETURN(QueryTerm resolved, ResolveTerm(term));
-    query.terms.push_back(resolved);
-  }
-  const IncompleteIndex& index = Route(query.IsPointQuery());
-  if (chosen != nullptr) *chosen = index.Name();
-  INCDB_ASSIGN_OR_RETURN(BitVector result, index.Execute(query));
-  MaskDeleted(&result);
-  return result.ToIndices();
+  INCDB_ASSIGN_OR_RETURN(QueryResult result,
+                         Run(QueryRequest::Terms(terms, semantics)));
+  if (chosen != nullptr) *chosen = result.chosen_index;
+  return std::move(result.row_ids);
 }
 
 Result<std::vector<uint32_t>> Database::QueryExpression(
     const QueryExpr& expr, MissingSemantics semantics,
     std::string* chosen) const {
-  INCDB_RETURN_IF_ERROR(expr.Validate(*table_));
-  const IncompleteIndex& index = Route(/*is_point_query=*/false);
-  if (chosen != nullptr) *chosen = index.Name();
-  INCDB_ASSIGN_OR_RETURN(BitVector result,
-                         ExecuteExpr(index, expr, semantics));
-  MaskDeleted(&result);
-  return result.ToIndices();
+  INCDB_ASSIGN_OR_RETURN(QueryResult result,
+                         Run(QueryRequest::Expression(expr, semantics)));
+  if (chosen != nullptr) *chosen = result.chosen_index;
+  return std::move(result.row_ids);
 }
 
 Result<std::vector<uint32_t>> Database::QueryText(
     const std::string& text, MissingSemantics semantics,
     std::string* chosen) const {
-  INCDB_ASSIGN_OR_RETURN(QueryExpr expr, ParseQuery(text, *table_));
-  return QueryExpression(expr, semantics, chosen);
+  INCDB_ASSIGN_OR_RETURN(QueryResult result,
+                         Run(QueryRequest::Text(text, semantics)));
+  if (chosen != nullptr) *chosen = result.chosen_index;
+  return std::move(result.row_ids);
 }
 
 uint64_t Database::IndexSizeInBytes() const {
-  uint64_t total = 0;
-  for (const auto& [kind, index] : indexes_) total += index->SizeInBytes();
-  return total;
+  return GetSnapshot().IndexSizeInBytes();
 }
 
 }  // namespace incdb

@@ -1,33 +1,44 @@
 #ifndef INCDB_CORE_DATABASE_H_
 #define INCDB_CORE_DATABASE_H_
 
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "core/expr_executor.h"
 #include "core/incomplete_index.h"
 #include "core/index_factory.h"
+#include "core/query_api.h"
+#include "core/snapshot.h"
 #include "query/expr.h"
 #include "table/table.h"
 
 namespace incdb {
 
-/// A query term addressed by attribute name (the Database-level API).
-struct NamedTerm {
-  std::string attribute;
-  Value lo = 1;
-  Value hi = 1;
-};
-
-/// Convenience facade bundling an incomplete table with its indexes.
+/// The serving facade: an incomplete table, its indexes, and a unified
+/// query API — safe for any number of concurrent readers plus one mutating
+/// writer at a time.
 ///
-/// Owns the base table, keeps any number of indexes in sync under appends,
-/// and routes each query to the best index available using the paper's
-/// guidance (§6): equality encoding is best for point queries, range
-/// encoding for range queries, the VA-file when memory is tight, and a
-/// sequential scan when nothing else exists. Not thread-safe for writes.
+/// Concurrency model (epoch-versioned snapshots):
+///
+///  * Every read path (Run, RunBatch, GetSnapshot, and the legacy Query*
+///    wrappers) pins an immutable Snapshot — a row-count watermark, an
+///    index-registry version and a deletion-mask version — through one
+///    shared_ptr copy. The pinned view stays consistent for the whole
+///    query no matter what writers do meanwhile.
+///  * Mutators (Insert / Delete / BuildIndex / DropIndex) serialize on a
+///    writer mutex, never touch published state in place, and publish a
+///    fresh epoch: the table is append-only and watermarked, the index
+///    registry and the deletion mask are copy-on-write.
+///  * Indexes are immutable once published; they cover exactly the rows
+///    that existed when BuildIndex ran. Rows appended later are answered
+///    by the executor's delta scan (RowMatches over the uncovered tail)
+///    until a rebuild re-covers them — so Insert stays O(1) per index and
+///    readers never observe a half-updated structure.
+///
+/// Mutating concurrently from two threads is NOT safe-by-design (the
+/// writer mutex serializes them, but the caller loses ordering guarantees);
+/// one logical writer is the intended regime.
 class Database {
  public:
   /// An empty database with the given schema.
@@ -45,46 +56,68 @@ class Database {
   const Table& table() const { return *table_; }
   uint64_t num_rows() const { return table_->num_rows(); }
 
-  /// Appends a row to the table and to every registered index.
+  /// Pins the current epoch. The returned Snapshot is immutable, cheap to
+  /// copy, and valid for as long as the Database (and therefore the shared
+  /// table) is alive.
+  Snapshot GetSnapshot() const;
+
+  /// Executes one request against a freshly pinned snapshot: resolves the
+  /// predicate, routes by predicted cost, executes (index + delta scan),
+  /// strips deleted rows, and returns the answer with the routing decision
+  /// and per-query cost counters. Safe to call from any thread.
+  Result<QueryResult> Run(const QueryRequest& request) const;
+
+  /// Fans a batch of requests across `num_threads` workers (0 = hardware
+  /// concurrency), all pinned to ONE common snapshot so the batch sees a
+  /// single consistent epoch. Per-request results come back in request
+  /// order; per-thread QueryStats are accumulated into BatchResult::stats.
+  BatchResult RunBatch(const std::vector<QueryRequest>& requests,
+                       size_t num_threads = 0) const;
+
+  /// Appends a row and publishes a new epoch. Existing indexes are NOT
+  /// extended (they are immutable); queries cover the new row via the
+  /// delta scan.
   Status Insert(const std::vector<Value>& row);
 
-  /// Logically deletes a row: it stays in the table and the indexes but is
-  /// masked out of every subsequent query result (the standard
-  /// deletion-bitvector technique — bitmap indexes are append-only).
+  /// Logically deletes a row: copy-on-write on the deletion mask, then
+  /// publishes a new epoch. Already-pinned snapshots still see the row.
   /// Deleting a row twice is an error.
   Status Delete(uint32_t row);
 
-  /// True if `row` has been logically deleted.
+  /// True if `row` is logically deleted in the current epoch.
   bool IsDeleted(uint32_t row) const;
 
-  /// Rows inserted minus rows deleted.
-  uint64_t num_live_rows() const { return table_->num_rows() - num_deleted_; }
-  uint64_t num_deleted_rows() const { return num_deleted_; }
+  /// Rows inserted minus rows deleted, in the current epoch.
+  uint64_t num_live_rows() const;
+  uint64_t num_deleted_rows() const;
 
-  /// Builds and registers an index (rebuilding if already present).
-  /// Fails for kinds that cannot stay in sync under Insert.
+  /// Builds an index over all rows visible now and publishes a new epoch
+  /// (rebuilding if already present — a rebuild is also how appended rows
+  /// get re-covered).
   Status BuildIndex(IndexKind kind);
-  /// Removes an index; queries fall back to other indexes or a scan.
+  /// Unregisters an index and publishes a new epoch; queries fall back to
+  /// other indexes or a scan. In-flight readers that pinned the old epoch
+  /// keep the index alive until they finish.
   Status DropIndex(IndexKind kind);
   bool HasIndex(IndexKind kind) const;
-  /// Registered index kinds, in routing-preference order.
+  /// Registered index kinds, ascending.
   std::vector<IndexKind> Indexes() const;
 
-  /// Runs a conjunctive query given by named terms. Returns matching row
-  /// ids ascending. `chosen`, when non-null, receives the name of the
-  /// index that served the query.
+  /// DEPRECATED — thin wrapper over Run(QueryRequest::Terms(...)). Returns
+  /// matching row ids ascending; `chosen`, when non-null, receives the
+  /// serving structure's name. Prefer Run: it also surfaces QueryStats and
+  /// the full RoutingDecision instead of dropping them.
   Result<std::vector<uint32_t>> Query(const std::vector<NamedTerm>& terms,
                                       MissingSemantics semantics,
                                       std::string* chosen = nullptr) const;
 
-  /// Runs a boolean expression query (AND/OR/NOT, Kleene semantics).
+  /// DEPRECATED — thin wrapper over Run(QueryRequest::Expression(...)).
   Result<std::vector<uint32_t>> QueryExpression(
       const QueryExpr& expr, MissingSemantics semantics,
       std::string* chosen = nullptr) const;
 
-  /// Parses and runs a textual predicate, e.g.
-  /// "rating >= 4 AND price IN [1,7] AND NOT region = 3" (see
-  /// query/parser.h for the grammar).
+  /// DEPRECATED — thin wrapper over Run(QueryRequest::Text(...)); see
+  /// query/parser.h for the grammar.
   Result<std::vector<uint32_t>> QueryText(const std::string& text,
                                           MissingSemantics semantics,
                                           std::string* chosen = nullptr) const;
@@ -92,25 +125,41 @@ class Database {
   /// Resolves a named term to an attribute index + validated interval.
   Result<QueryTerm> ResolveTerm(const NamedTerm& term) const;
 
-  /// Total bytes across registered indexes.
+  /// Total bytes across registered indexes in the current epoch.
   uint64_t IndexSizeInBytes() const;
 
  private:
   explicit Database(Table table);
 
-  /// The index that should serve `query` per the paper's guidance.
-  const IncompleteIndex& Route(bool is_point_query) const;
+  /// Builds a SnapshotState from the writer-side fields and swaps the head
+  /// pointer. Caller must hold shared_->writer_mu.
+  void Publish();
 
-  /// Strips logically deleted rows from a result bitvector.
-  void MaskDeleted(BitVector* result) const;
+  /// Mutexes and the head pointer live behind a unique_ptr so the Database
+  /// itself stays movable.
+  struct Shared {
+    /// Serializes all mutators.
+    std::mutex writer_mu;
+    /// Guards `head` (pointer swap/copy only — never held during work).
+    std::mutex head_mu;
+    std::shared_ptr<const internal::SnapshotState> head;
+  };
 
-  // unique_ptr so index back-references to the table stay stable on move.
+  // unique_ptr so snapshot/index back-references to the table stay stable
+  // on move.
   std::unique_ptr<Table> table_;
-  std::unique_ptr<IncompleteIndex> scan_;
-  std::map<IndexKind, std::unique_ptr<IncompleteIndex>> indexes_;
-  /// Deletion mask; bit set = row deleted. Grows lazily with the table.
-  BitVector deleted_;
+  std::unique_ptr<Shared> shared_;
+
+  // Writer-side state, guarded by shared_->writer_mu. Published versions
+  // are immutable; these are the working copies the next epoch is built
+  // from.
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const std::vector<internal::SnapshotIndexEntry>> registry_;
+  std::shared_ptr<const BitVector> deleted_;
   uint64_t num_deleted_ = 0;
+  /// Per-attribute missing-cell counts, maintained incrementally on Insert
+  /// (feeds the router's selectivity model without O(n) rescans).
+  std::vector<uint64_t> missing_counts_;
 };
 
 }  // namespace incdb

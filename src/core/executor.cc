@@ -71,13 +71,7 @@ Result<WorkloadResult> RunWorkloadParallel(
   for (const WorkerState& state : workers) {
     INCDB_RETURN_IF_ERROR(state.status);
     result.total_matches += state.matches;
-    result.stats.bitvectors_accessed += state.stats.bitvectors_accessed;
-    result.stats.bitvector_ops += state.stats.bitvector_ops;
-    result.stats.words_touched += state.stats.words_touched;
-    result.stats.candidates += state.stats.candidates;
-    result.stats.false_positives += state.stats.false_positives;
-    result.stats.nodes_accessed += state.stats.nodes_accessed;
-    result.stats.subqueries += state.stats.subqueries;
+    result.stats.MergeFrom(state.stats);
   }
   if (!queries.empty() && num_rows > 0) {
     result.realized_selectivity =

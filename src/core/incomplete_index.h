@@ -35,6 +35,18 @@ struct QueryStats {
   uint64_t subqueries = 0;
 
   void Reset() { *this = QueryStats(); }
+
+  /// Accumulates another query's counters into this one (batch / per-thread
+  /// aggregation).
+  void MergeFrom(const QueryStats& other) {
+    bitvectors_accessed += other.bitvectors_accessed;
+    bitvector_ops += other.bitvector_ops;
+    words_touched += other.words_touched;
+    candidates += other.candidates;
+    false_positives += other.false_positives;
+    nodes_accessed += other.nodes_accessed;
+    subqueries += other.subqueries;
+  }
 };
 
 /// Common interface for every query-answering structure in incdb: the

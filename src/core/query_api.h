@@ -1,0 +1,138 @@
+#ifndef INCDB_CORE_QUERY_API_H_
+#define INCDB_CORE_QUERY_API_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/incomplete_index.h"
+#include "core/index_factory.h"
+#include "query/expr.h"
+#include "query/query.h"
+
+namespace incdb {
+
+/// A query term addressed by attribute name (the Database-level API).
+struct NamedTerm {
+  std::string attribute;
+  Value lo = 1;
+  Value hi = 1;
+};
+
+/// One query through the unified Database facade. Carries exactly one
+/// predicate form — named conjunctive terms, a boolean expression, or a
+/// textual predicate (query/parser.h grammar) — plus the missing-data
+/// semantics and execution options. Build via the named factories:
+///
+///   Database::Run(QueryRequest::Terms({{"rating", 4, 5}}));
+///   Database::Run(QueryRequest::Text("rating >= 4 AND NOT region = 3",
+///                                    MissingSemantics::kNoMatch)
+///                     .CountOnly());
+struct QueryRequest {
+  enum class Shape { kTerms, kExpression, kText };
+
+  static QueryRequest Terms(
+      std::vector<NamedTerm> terms,
+      MissingSemantics semantics = MissingSemantics::kMatch) {
+    QueryRequest request;
+    request.shape = Shape::kTerms;
+    request.terms = std::move(terms);
+    request.semantics = semantics;
+    return request;
+  }
+
+  static QueryRequest Expression(
+      QueryExpr expr, MissingSemantics semantics = MissingSemantics::kMatch) {
+    QueryRequest request;
+    request.shape = Shape::kExpression;
+    request.expression = std::move(expr);
+    request.semantics = semantics;
+    return request;
+  }
+
+  static QueryRequest Text(
+      std::string text, MissingSemantics semantics = MissingSemantics::kMatch) {
+    QueryRequest request;
+    request.shape = Shape::kText;
+    request.text = std::move(text);
+    request.semantics = semantics;
+    return request;
+  }
+
+  /// Requests COUNT(*) only: QueryResult::count is filled, row_ids stays
+  /// empty, and eligible plans route to the index's compressed ExecuteCount
+  /// path without materializing a result bitvector. Chainable.
+  QueryRequest& CountOnly(bool on = true) {
+    count_only = on;
+    return *this;
+  }
+
+  Shape shape = Shape::kTerms;
+  /// Conjunctive named terms (Shape::kTerms).
+  std::vector<NamedTerm> terms;
+  /// Boolean AND/OR/NOT expression (Shape::kExpression).
+  std::optional<QueryExpr> expression;
+  /// Textual predicate (Shape::kText).
+  std::string text;
+  MissingSemantics semantics = MissingSemantics::kMatch;
+  bool count_only = false;
+};
+
+/// How the router decided to serve a query — recorded in every QueryResult
+/// so callers (and tests) can observe the plan, not just the answer.
+struct RoutingDecision {
+  /// The structure that served the query (kSequentialScan = no index).
+  IndexKind index_kind = IndexKind::kSequentialScan;
+  /// Its display name, e.g. "BEE-WAH" or "SeqScan".
+  std::string index_name = "SeqScan";
+  /// True when every interval of the (resolved) predicate is a point.
+  bool is_point_query = false;
+  /// Predicted fraction of rows answering the query, from the paper's §5.3
+  /// selectivity model with the snapshot's actual per-attribute missing
+  /// rates (query/selectivity.h).
+  double estimated_selectivity = 1.0;
+  /// Predicted cost of the chosen plan, in abstract words touched —
+  /// comparable across index kinds, not wall-clock.
+  double estimated_cost = 0.0;
+};
+
+/// Outcome of one QueryRequest: the answer plus everything the engine knows
+/// about how it was produced. Replaces the old `std::string* chosen`
+/// out-param and surfaces the per-query QueryStats counters (bitvector
+/// ops, words touched, VA candidates, ...) that the three legacy overloads
+/// dropped on the floor.
+struct QueryResult {
+  /// Matching row ids, ascending. Empty when the request was count_only.
+  std::vector<uint32_t> row_ids;
+  /// COUNT(*) of the result — always filled, with or without count_only.
+  uint64_t count = 0;
+  /// Name of the serving structure (== routing.index_name).
+  std::string chosen_index;
+  /// The full routing decision.
+  RoutingDecision routing;
+  /// Per-query cost counters from the serving index.
+  QueryStats stats;
+  /// Epoch of the snapshot that served the query.
+  uint64_t epoch = 0;
+  /// Rows visible to that snapshot (the append watermark).
+  uint64_t visible_rows = 0;
+};
+
+/// Outcome of Database::RunBatch: per-request results in request order plus
+/// batch-level accounting.
+struct BatchResult {
+  std::vector<Result<QueryResult>> results;
+  /// Wall-clock time of the whole fan-out, milliseconds.
+  double wall_millis = 0.0;
+  /// Worker threads actually used.
+  size_t num_threads = 0;
+  /// Summed counts over successful requests.
+  uint64_t total_matches = 0;
+  /// Summed per-query cost counters over successful requests.
+  QueryStats stats;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_QUERY_API_H_

@@ -1,0 +1,135 @@
+#ifndef INCDB_CORE_SNAPSHOT_H_
+#define INCDB_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "core/incomplete_index.h"
+#include "core/index_factory.h"
+#include "core/query_api.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+namespace internal {
+
+/// One registered index inside a snapshot. Indexes are immutable once
+/// published: they cover exactly rows [0, covered_rows) of the table (their
+/// coverage at BuildIndex time); rows appended later are served by the
+/// snapshot executor's delta scan until the next BuildIndex re-covers them.
+struct SnapshotIndexEntry {
+  IndexKind kind = IndexKind::kSequentialScan;
+  std::shared_ptr<const IncompleteIndex> index;
+  uint64_t covered_rows = 0;
+};
+
+/// The immutable state one epoch publishes. Readers pin it through a
+/// shared_ptr; writers never mutate a published state — Insert / Delete /
+/// BuildIndex / DropIndex build a fresh one (copy-on-write for the index
+/// registry and the deletion mask, append-only watermarking for the table)
+/// and swap the Database head pointer.
+struct SnapshotState {
+  /// The shared append-only table. Cells of rows < num_rows are immutable
+  /// and safe to read concurrently with the single writer.
+  const Table* table = nullptr;
+  /// Monotone publication counter.
+  uint64_t epoch = 0;
+  /// Append watermark: this snapshot sees exactly rows [0, num_rows).
+  uint64_t num_rows = 0;
+  /// Set bits among [0, deleted->size()) are logically deleted. Null when
+  /// nothing was ever deleted; may be shorter than num_rows (rows appended
+  /// after the last Delete are live).
+  std::shared_ptr<const BitVector> deleted;
+  uint64_t num_deleted = 0;
+  /// Registered indexes, ascending by kind. Shared (copy-on-write) across
+  /// epochs that did not change the registry.
+  std::shared_ptr<const std::vector<SnapshotIndexEntry>> indexes;
+  /// Per-attribute missing-cell counts among rows [0, num_rows) — feeds the
+  /// router's selectivity model without rescanning columns.
+  std::vector<uint64_t> missing_counts;
+};
+
+}  // namespace internal
+
+/// An immutable, consistent view of a Database: a row watermark, an index
+/// registry, and a deletion-mask version, pinned via shared_ptr. Cheap to
+/// copy; safe to query from any thread while writers keep publishing new
+/// epochs. Obtain one with Database::GetSnapshot() (every Database::Run
+/// pins one internally per request).
+class Snapshot {
+ public:
+  /// An invalid snapshot; RunOnSnapshot rejects it.
+  Snapshot() = default;
+  explicit Snapshot(std::shared_ptr<const internal::SnapshotState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t epoch() const { return state_->epoch; }
+  /// Rows visible to this snapshot (append watermark).
+  uint64_t num_rows() const { return state_->num_rows; }
+  uint64_t num_deleted_rows() const { return state_->num_deleted; }
+  uint64_t num_live_rows() const {
+    return state_->num_rows - state_->num_deleted;
+  }
+  /// True if `row` is logically deleted in this snapshot.
+  bool IsDeleted(uint32_t row) const {
+    return state_->deleted != nullptr && row < state_->deleted->size() &&
+           state_->deleted->Get(row);
+  }
+  /// The shared base table. Only rows [0, num_rows()) may be accessed.
+  const Table& table() const { return *state_->table; }
+  /// Registered index kinds, ascending.
+  std::vector<IndexKind> Indexes() const;
+  bool HasIndex(IndexKind kind) const;
+  /// Total bytes across registered indexes.
+  uint64_t IndexSizeInBytes() const;
+  /// Fraction of missing cells for `attr` among visible rows (paper's P_m).
+  double MissingRate(size_t attr) const;
+
+  /// The underlying state (executor/Database plumbing; not part of the
+  /// stable API).
+  const internal::SnapshotState& state() const { return *state_; }
+
+ private:
+  std::shared_ptr<const internal::SnapshotState> state_;
+};
+
+/// Resolves a named term against a table's schema into an attribute index
+/// plus a validated interval.
+Result<QueryTerm> ResolveNamedTerm(const Table& table, const NamedTerm& term);
+
+/// Picks the cheapest registered structure for a conjunctive range query
+/// using the paper's cost guidance (§6) quantified per query: per-dimension
+/// bitvector accesses for the bitmap family (equality pays the interval
+/// width, range/interval encoding a constant 2), approximation-scan words
+/// plus selectivity-scaled refinement for the VA-file, cell reads for the
+/// scan. The estimated selectivity comes from query/selectivity.h with the
+/// snapshot's actual per-attribute missing rates. Ties fall back to the
+/// paper's preference order (equality first for point queries, range first
+/// otherwise).
+RoutingDecision RouteRangeQuery(const Snapshot& snapshot,
+                                const RangeQuery& query);
+
+/// Routing for a boolean expression: costs are summed over the expression's
+/// leaf terms (each leaf is evaluated under both semantics by the Kleene
+/// executor, hence twice the conjunctive per-term cost); the selectivity
+/// estimate combines term probabilities through the expression structure.
+RoutingDecision RouteExpression(const Snapshot& snapshot,
+                                const QueryExpr& expr,
+                                MissingSemantics semantics);
+
+/// Executes one request against a pinned snapshot: resolve/parse the
+/// predicate, route, execute on the serving index (rows beyond its build
+/// coverage are answered by the row oracle — the delta scan), strip
+/// logically deleted rows, and package the answer with routing decision,
+/// stats, and snapshot identity. This is the one execution path under
+/// Database::Run, RunBatch, and the legacy Query* wrappers.
+Result<QueryResult> RunOnSnapshot(const Snapshot& snapshot,
+                                  const QueryRequest& request);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_SNAPSHOT_H_

@@ -1,8 +1,29 @@
 #include "table/column.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace incdb {
 
 Column::Column(uint32_t cardinality) : cardinality_(cardinality) {}
+
+Column::Column(const Column& other)
+    : cardinality_(other.cardinality_), size_(other.size_) {
+  for (size_t b = 0; b < kNumBlocks; ++b) {
+    if (other.blocks_[b] == nullptr) continue;
+    const uint64_t block_size = kFirstBlockSize << b;
+    const uint64_t first_row = block_size - kFirstBlockSize;
+    const uint64_t used = std::min(block_size, size_ - first_row);
+    blocks_[b] = std::make_unique<Value[]>(block_size);
+    std::memcpy(blocks_[b].get(), other.blocks_[b].get(),
+                used * sizeof(Value));
+  }
+}
+
+Column& Column::operator=(const Column& other) {
+  if (this != &other) *this = Column(other);
+  return *this;
+}
 
 Status Column::Append(Value v) {
   if (v != kMissingValue &&
@@ -11,27 +32,28 @@ Status Column::Append(Value v) {
                               " outside domain [1, " +
                               std::to_string(cardinality_) + "]");
   }
-  values_.push_back(v);
+  AppendUnchecked(v);
   return Status::OK();
 }
 
 uint64_t Column::MissingCount() const {
   uint64_t count = 0;
-  for (Value v : values_) {
-    if (IsMissing(v)) ++count;
+  for (uint64_t r = 0; r < size_; ++r) {
+    if (IsMissing(Get(r))) ++count;
   }
   return count;
 }
 
 double Column::MissingRate() const {
-  if (values_.empty()) return 0.0;
-  return static_cast<double>(MissingCount()) /
-         static_cast<double>(values_.size());
+  if (size_ == 0) return 0.0;
+  return static_cast<double>(MissingCount()) / static_cast<double>(size_);
 }
 
 std::vector<uint64_t> Column::Histogram() const {
   std::vector<uint64_t> hist(cardinality_ + 1, 0);
-  for (Value v : values_) ++hist[static_cast<size_t>(v)];
+  for (uint64_t r = 0; r < size_; ++r) {
+    ++hist[static_cast<size_t>(Get(r))];
+  }
   return hist;
 }
 
@@ -47,7 +69,8 @@ uint32_t Column::DistinctCount() const {
 double Column::NonMissingMean() const {
   uint64_t count = 0;
   double sum = 0.0;
-  for (Value v : values_) {
+  for (uint64_t r = 0; r < size_; ++r) {
+    const Value v = Get(r);
     if (!IsMissing(v)) {
       sum += static_cast<double>(v);
       ++count;

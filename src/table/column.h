@@ -1,7 +1,9 @@
 #ifndef INCDB_TABLE_COLUMN_H_
 #define INCDB_TABLE_COLUMN_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -13,13 +15,30 @@ namespace incdb {
 ///
 /// Stores one Value per row; kMissingValue (0) marks missing cells. The
 /// column knows its declared cardinality and validates appends against it.
+///
+/// Cells live in geometrically growing blocks (1Ki values, then 2Ki, 4Ki,
+/// ...) that are never reallocated or moved once allocated, so the address
+/// of a written cell is stable for the lifetime of the column. This is what
+/// makes the Database's snapshot isolation possible: a single writer may
+/// append rows while concurrent readers access cells of rows below their
+/// snapshot watermark — appends touch only memory no reader looks at, and
+/// the block directory is a fixed-size array that never grows. (Publication
+/// ordering between the writer's cell stores and a reader's first access is
+/// provided by the Database's epoch swap; the column itself does no
+/// synchronization, and concurrent access to the *same* rows being appended
+/// is still a race — see core/snapshot.h.)
 class Column {
  public:
   /// A column for an attribute with domain 1..cardinality.
   explicit Column(uint32_t cardinality);
 
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
+
   uint32_t cardinality() const { return cardinality_; }
-  uint64_t num_rows() const { return values_.size(); }
+  uint64_t num_rows() const { return size_; }
 
   /// Appends a value (kMissingValue allowed). Rejects values outside
   /// [1, cardinality].
@@ -27,12 +46,26 @@ class Column {
 
   /// Appends without validation (generator fast path; caller guarantees
   /// domain membership).
-  void AppendUnchecked(Value v) { values_.push_back(v); }
+  void AppendUnchecked(Value v) {
+    const uint64_t biased = size_ + kFirstBlockSize;
+    const int high_bit = 63 - __builtin_clzll(biased);
+    const size_t block = static_cast<size_t>(high_bit) - kFirstBlockBits;
+    if (blocks_[block] == nullptr) {
+      blocks_[block] = std::make_unique<Value[]>(uint64_t{1} << high_bit);
+    }
+    blocks_[block][biased - (uint64_t{1} << high_bit)] = v;
+    ++size_;
+  }
 
   /// Value at `row` (kMissingValue if the cell is missing).
-  Value Get(uint64_t row) const { return values_[row]; }
+  Value Get(uint64_t row) const {
+    const uint64_t biased = row + kFirstBlockSize;
+    const int high_bit = 63 - __builtin_clzll(biased);
+    return blocks_[static_cast<size_t>(high_bit) - kFirstBlockBits]
+                  [biased - (uint64_t{1} << high_bit)];
+  }
 
-  bool IsMissingAt(uint64_t row) const { return IsMissing(values_[row]); }
+  bool IsMissingAt(uint64_t row) const { return IsMissing(Get(row)); }
 
   /// Number of missing cells.
   uint64_t MissingCount() const;
@@ -51,11 +84,17 @@ class Column {
   /// bitstring-augmented baseline, which maps missing cells to the mean.
   double NonMissingMean() const;
 
-  const std::vector<Value>& values() const { return values_; }
-
  private:
+  /// First block holds 2^kFirstBlockBits values; block i holds twice as
+  /// many as block i-1. 48 blocks cover far more rows than the uint32_t
+  /// row ids used everywhere else.
+  static constexpr int kFirstBlockBits = 10;
+  static constexpr uint64_t kFirstBlockSize = uint64_t{1} << kFirstBlockBits;
+  static constexpr size_t kNumBlocks = 48;
+
   uint32_t cardinality_;
-  std::vector<Value> values_;
+  uint64_t size_ = 0;
+  std::array<std::unique_ptr<Value[]>, kNumBlocks> blocks_;
 };
 
 }  // namespace incdb

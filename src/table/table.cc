@@ -39,7 +39,8 @@ Status Table::AppendRow(const std::vector<Value>& row) {
   for (size_t i = 0; i < row.size(); ++i) {
     columns_[i].AppendUnchecked(row[i]);
   }
-  ++num_rows_;
+  // Release so a reader that observes the new count also observes the cells.
+  num_rows_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -48,16 +49,17 @@ void Table::AppendRowUnchecked(const std::vector<Value>& row) {
   for (size_t i = 0; i < row.size(); ++i) {
     columns_[i].AppendUnchecked(row[i]);
   }
-  ++num_rows_;
+  num_rows_.fetch_add(1, std::memory_order_release);
 }
 
 std::string Table::Summary() const {
   uint64_t missing = 0;
   for (const Column& col : columns_) missing += col.MissingCount();
-  const uint64_t cells = num_rows_ * num_attributes();
+  const uint64_t rows = num_rows();
+  const uint64_t cells = rows * num_attributes();
   char buf[128];
   std::snprintf(buf, sizeof(buf), "rows=%llu attrs=%zu missing=%.1f%%",
-                static_cast<unsigned long long>(num_rows_), num_attributes(),
+                static_cast<unsigned long long>(rows), num_attributes(),
                 cells == 0 ? 0.0 : 100.0 * static_cast<double>(missing) /
                                        static_cast<double>(cells));
   return buf;

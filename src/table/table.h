@@ -1,6 +1,7 @@
 #ifndef INCDB_TABLE_TABLE_H_
 #define INCDB_TABLE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,13 +16,49 @@ namespace incdb {
 /// An in-memory incomplete database: a schema plus columnar storage where
 /// any cell may be missing. This is the substrate every index in incdb is
 /// built over and the ground truth queries are refined against.
+///
+/// Concurrency: the table is append-only and single-writer. Column blocks
+/// never move once allocated and the row counter is atomic, so readers may
+/// access cells of rows they learned about through a Database snapshot (or
+/// any other release/acquire publication) while the writer appends new
+/// rows. Everything else (Summary, histograms, reordering) assumes a
+/// quiescent table.
 class Table {
  public:
   /// Creates an empty table for `schema`. Fails if the schema is invalid.
   static Result<Table> Create(Schema schema);
 
+  Table(const Table& other)
+      : schema_(other.schema_),
+        columns_(other.columns_),
+        num_rows_(other.num_rows_.load(std::memory_order_relaxed)) {}
+  Table& operator=(const Table& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      columns_ = other.columns_;
+      num_rows_.store(other.num_rows_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Table(Table&& other) noexcept
+      : schema_(std::move(other.schema_)),
+        columns_(std::move(other.columns_)),
+        num_rows_(other.num_rows_.load(std::memory_order_relaxed)) {}
+  Table& operator=(Table&& other) noexcept {
+    if (this != &other) {
+      schema_ = std::move(other.schema_);
+      columns_ = std::move(other.columns_);
+      num_rows_.store(other.num_rows_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   const Schema& schema() const { return schema_; }
-  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_rows() const {
+    return num_rows_.load(std::memory_order_acquire);
+  }
   size_t num_attributes() const { return schema_.num_attributes(); }
 
   /// Appends a full row; `row[i]` is the value of attribute i
@@ -39,7 +76,7 @@ class Table {
   /// Raw bytes to store the data verbatim (one Value per cell) — the
   /// reference point for index-size comparisons.
   uint64_t DataSizeInBytes() const {
-    return num_rows_ * num_attributes() * sizeof(Value);
+    return num_rows() * num_attributes() * sizeof(Value);
   }
 
   /// Human-readable one-line summary ("rows=... attrs=... missing=...%").
@@ -53,7 +90,7 @@ class Table {
 
   Schema schema_;
   std::vector<Column> columns_;
-  uint64_t num_rows_ = 0;
+  std::atomic<uint64_t> num_rows_{0};
 };
 
 }  // namespace incdb

@@ -1,0 +1,191 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+Database MakeSmallDb() {
+  auto db = Database::Create(Schema({{"rating", 5}, {"price", 10}})).value();
+  EXPECT_TRUE(db.Insert({5, 7}).ok());
+  EXPECT_TRUE(db.Insert({3, kMissingValue}).ok());
+  EXPECT_TRUE(db.Insert({kMissingValue, 2}).ok());
+  EXPECT_TRUE(db.Insert({4, 9}).ok());
+  return db;
+}
+
+TEST(SnapshotTest, EpochsAreMonotoneAndEveryMutationPublishes) {
+  auto db = Database::Create(Schema({{"x", 3}})).value();
+  EXPECT_EQ(db.GetSnapshot().epoch(), 0u);
+  ASSERT_TRUE(db.Insert({1}).ok());
+  EXPECT_EQ(db.GetSnapshot().epoch(), 1u);
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  EXPECT_EQ(db.GetSnapshot().epoch(), 2u);
+  ASSERT_TRUE(db.Delete(0).ok());
+  EXPECT_EQ(db.GetSnapshot().epoch(), 3u);
+  ASSERT_TRUE(db.DropIndex(IndexKind::kBitmapEquality).ok());
+  EXPECT_EQ(db.GetSnapshot().epoch(), 4u);
+  // Failed mutations publish nothing.
+  EXPECT_FALSE(db.Insert({7}).ok());
+  EXPECT_FALSE(db.Delete(0).ok());
+  EXPECT_EQ(db.GetSnapshot().epoch(), 4u);
+}
+
+TEST(SnapshotTest, PinnedSnapshotIsImmuneToLaterInserts) {
+  Database db = MakeSmallDb();
+  const Snapshot before = db.GetSnapshot();
+  ASSERT_TRUE(db.Insert({3, 3}).ok());
+  EXPECT_EQ(before.num_rows(), 4u);
+  EXPECT_EQ(db.GetSnapshot().num_rows(), 5u);
+
+  const QueryRequest request = QueryRequest::Terms({{"rating", 3, 3}});
+  const auto old_view = RunOnSnapshot(before, request);
+  ASSERT_TRUE(old_view.ok());
+  EXPECT_EQ(old_view->row_ids, (std::vector<uint32_t>{1, 2}));
+  const auto new_view = db.Run(request);
+  ASSERT_TRUE(new_view.ok());
+  EXPECT_EQ(new_view->row_ids, (std::vector<uint32_t>{1, 2, 4}));
+}
+
+TEST(SnapshotTest, PinnedSnapshotIsImmuneToLaterDeletes) {
+  Database db = MakeSmallDb();
+  const Snapshot before = db.GetSnapshot();
+  ASSERT_TRUE(db.Delete(1).ok());
+  EXPECT_FALSE(before.IsDeleted(1));
+  EXPECT_EQ(before.num_live_rows(), 4u);
+  EXPECT_TRUE(db.GetSnapshot().IsDeleted(1));
+  EXPECT_EQ(db.GetSnapshot().num_live_rows(), 3u);
+
+  const QueryRequest request = QueryRequest::Terms({{"rating", 3, 3}});
+  const auto old_view = RunOnSnapshot(before, request);
+  ASSERT_TRUE(old_view.ok());
+  EXPECT_EQ(old_view->row_ids, (std::vector<uint32_t>{1, 2}));
+  const auto new_view = db.Run(request);
+  ASSERT_TRUE(new_view.ok());
+  EXPECT_EQ(new_view->row_ids, (std::vector<uint32_t>{2}));
+}
+
+TEST(SnapshotTest, DroppedIndexStaysAliveForPinnedReaders) {
+  Database db = MakeSmallDb();
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  const Snapshot with_index = db.GetSnapshot();
+  ASSERT_TRUE(db.DropIndex(IndexKind::kBitmapEquality).ok());
+  EXPECT_FALSE(db.HasIndex(IndexKind::kBitmapEquality));
+  EXPECT_TRUE(with_index.HasIndex(IndexKind::kBitmapEquality));
+
+  const QueryRequest request = QueryRequest::Terms({{"rating", 3, 3}});
+  const auto pinned = RunOnSnapshot(with_index, request);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->chosen_index, "BEE-WAH");
+  const auto current = db.Run(request);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->chosen_index, "SeqScan");
+  EXPECT_EQ(pinned->row_ids, current->row_ids);
+}
+
+TEST(SnapshotTest, DeltaScanCoversRowsAppendedAfterBuildIndex) {
+  Database db = MakeSmallDb();
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  // The index is immutable: it covers rows [0,4). These land in the delta.
+  ASSERT_TRUE(db.Insert({3, 2}).ok());
+  ASSERT_TRUE(db.Insert({kMissingValue, 5}).ok());
+  ASSERT_TRUE(db.Insert({1, 1}).ok());
+
+  const auto match = db.Run(QueryRequest::Terms({{"rating", 3, 3}}));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->chosen_index, "BEE-WAH");
+  EXPECT_EQ(match->row_ids, (std::vector<uint32_t>{1, 2, 4, 5}));
+  const auto no_match = db.Run(
+      QueryRequest::Terms({{"rating", 3, 3}}, MissingSemantics::kNoMatch));
+  ASSERT_TRUE(no_match.ok());
+  EXPECT_EQ(no_match->row_ids, (std::vector<uint32_t>{1, 4}));
+
+  // A rebuild re-covers the delta; answers must not change.
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  const auto recovered = db.Run(QueryRequest::Terms({{"rating", 3, 3}}));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->row_ids, match->row_ids);
+}
+
+TEST(SnapshotTest, DeltaScanAgreesWithOracleOnRandomizedChurn) {
+  Database db =
+      Database::FromTable(GenerateTable(UniformSpec(500, 8, 0.25, 3, 811))
+                              .value())
+          .value();
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapRange).ok());
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kVaFile).ok());
+  for (int i = 0; i < 120; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(db.Insert({static_cast<Value>(1 + i % 8), kMissingValue,
+                             static_cast<Value>(1 + (i * 7) % 8)})
+                      .ok());
+    }
+    if (i % 5 == 0) {
+      ASSERT_TRUE(db.Delete(static_cast<uint32_t>(i * 4 + 1)).ok());
+    }
+  }
+  const Snapshot snapshot = db.GetSnapshot();
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    const QueryRequest request =
+        QueryRequest::Terms({{"a0", 2, 5}, {"a2", 1, 6}}, semantics);
+    const auto result = RunOnSnapshot(snapshot, request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NE(result->chosen_index, "SeqScan");
+    // Oracle: RowMatches over every visible, live row of the snapshot.
+    RangeQuery query;
+    query.semantics = semantics;
+    query.terms = {{0, {2, 5}}, {2, {1, 6}}};
+    std::vector<uint32_t> expected;
+    for (uint64_t r = 0; r < snapshot.num_rows(); ++r) {
+      if (snapshot.IsDeleted(static_cast<uint32_t>(r))) continue;
+      if (RowMatches(snapshot.table(), r, query)) {
+        expected.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    EXPECT_EQ(result->row_ids, expected);
+  }
+}
+
+TEST(SnapshotTest, MissingRateTracksInserts) {
+  auto db = Database::Create(Schema({{"x", 4}, {"y", 4}})).value();
+  ASSERT_TRUE(db.Insert({1, kMissingValue}).ok());
+  ASSERT_TRUE(db.Insert({kMissingValue, kMissingValue}).ok());
+  ASSERT_TRUE(db.Insert({2, kMissingValue}).ok());
+  ASSERT_TRUE(db.Insert({3, 1}).ok());
+  const Snapshot snapshot = db.GetSnapshot();
+  EXPECT_DOUBLE_EQ(snapshot.MissingRate(0), 0.25);
+  EXPECT_DOUBLE_EQ(snapshot.MissingRate(1), 0.75);
+}
+
+TEST(SnapshotTest, RunOnInvalidSnapshotIsRejected) {
+  const Snapshot invalid;
+  EXPECT_FALSE(invalid.valid());
+  const auto result = RunOnSnapshot(invalid, QueryRequest::Terms({}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, RoutingConsultsSelectivityForTheVaFile) {
+  // One low-cardinality attribute, VA-file vs scan: with a wide (unselective)
+  // interval the refinement step makes the VA-file pointless and the router
+  // must keep the scan; with a narrow interval the VA-file wins.
+  Database db =
+      Database::FromTable(GenerateTable(UniformSpec(2000, 64, 0.1, 1, 909))
+                              .value())
+          .value();
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kVaFile).ok());
+  const auto narrow = db.Run(QueryRequest::Terms({{"a0", 7, 8}}));
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->routing.index_kind, IndexKind::kVaFile);
+  const auto wide = db.Run(QueryRequest::Terms({{"a0", 1, 64}}));
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->routing.index_kind, IndexKind::kSequentialScan);
+  EXPECT_GT(wide->routing.estimated_selectivity,
+            narrow->routing.estimated_selectivity);
+}
+
+}  // namespace
+}  // namespace incdb

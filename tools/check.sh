@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
-# One-command sanitizer gate: configure + build the ASan+UBSan preset and
-# run the full test suite under it. Usage: tools/check.sh [extra ctest args]
+# One-command sanitizer gate: configure + build a sanitizer preset and run
+# the full test suite under it.
+#
+# Usage: tools/check.sh [asan|tsan] [extra ctest args]
+#
+# Default is asan (AddressSanitizer + UBSan). tsan (ThreadSanitizer) is the
+# gate for the concurrent snapshot/serving paths — the snapshot stress
+# tests race 8 readers against a mutating writer under it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake --preset asan
-cmake --build --preset asan -j "$(nproc)"
-ctest --preset asan -j "$(nproc)" "$@"
+preset=asan
+if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  preset="$1"
+  shift
+fi
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)" "$@"

@@ -189,25 +189,38 @@ int Main(int argc, char** argv) {
     }
   }
 
-  std::string chosen;
-  const auto rows =
-      db->QueryText(options.query_text, options.semantics, &chosen);
-  if (!rows.ok()) {
-    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+  const auto result =
+      db->Run(QueryRequest::Text(options.query_text, options.semantics)
+                  .CountOnly(options.count_only));
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "# %zu match(es) via %s [%s]\n", rows.value().size(),
-               chosen.c_str(),
-               std::string(MissingSemanticsToString(options.semantics)).c_str());
+  std::fprintf(
+      stderr, "# %llu match(es) via %s [%s] epoch=%llu rows=%llu\n",
+      static_cast<unsigned long long>(result->count),
+      result->chosen_index.c_str(),
+      std::string(MissingSemanticsToString(options.semantics)).c_str(),
+      static_cast<unsigned long long>(result->epoch),
+      static_cast<unsigned long long>(result->visible_rows));
+  std::fprintf(
+      stderr,
+      "# plan: est_selectivity=%.4f est_cost=%.0f | bitvectors=%llu ops=%llu "
+      "words=%llu candidates=%llu\n",
+      result->routing.estimated_selectivity, result->routing.estimated_cost,
+      static_cast<unsigned long long>(result->stats.bitvectors_accessed),
+      static_cast<unsigned long long>(result->stats.bitvector_ops),
+      static_cast<unsigned long long>(result->stats.words_touched),
+      static_cast<unsigned long long>(result->stats.candidates));
   if (options.count_only) {
-    std::printf("%zu\n", rows.value().size());
+    std::printf("%llu\n", static_cast<unsigned long long>(result->count));
     return 0;
   }
   const Table& data = db->table();
   size_t printed = 0;
-  for (uint32_t r : rows.value()) {
+  for (uint32_t r : result->row_ids) {
     if (printed++ == options.limit) {
-      std::printf("... (%zu more)\n", rows.value().size() - options.limit);
+      std::printf("... (%zu more)\n", result->row_ids.size() - options.limit);
       break;
     }
     std::printf("%u:", r);

@@ -1,0 +1,177 @@
+// Measures the persistence path: Save() throughput, Open() latency with
+// and without checksum verification, and the first-query / steady-state
+// cost of serving straight off the mmap-borrowed store.
+//
+// The acceptance property is that the unverified open is O(1) in the data:
+// it parses the manifest and catalog and maps the segment, but never
+// touches the WAH code words or packed VA arrays, so its latency must stay
+// flat as rows (and therefore segment bytes) grow. The verified open and
+// Save are the ones allowed to scale. First-query time on a cold open is
+// reported separately because it is where the page-ins actually land.
+//
+// Usage: bench_persistence [--json <path>]
+// With --json, per-size timings are also written as the machine-readable
+// BENCH_persistence.json trajectory file.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/database.h"
+#include "storage/format.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+uint64_t g_sink = 0;
+
+constexpr const char* kStoreDir = "bench_persistence_store.incdb";
+
+Database MustMakeDatabase(uint64_t num_rows) {
+  DatasetSpec spec;
+  spec.seed = 20060329;  // EDBT'06
+  spec.num_rows = num_rows;
+  spec.attributes.push_back({"a0", 25, 0.10, 0.0});
+  spec.attributes.push_back({"a1", 50, 0.10, 0.8});
+  spec.attributes.push_back({"a2", 100, 0.10, 0.0});
+  spec.attributes.push_back({"a3", 12, 0.10, 0.0});
+  auto table = GenerateTable(spec);
+  if (!table.ok()) {
+    std::fprintf(stderr, "generate: %s\n", table.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto db = Database::FromTable(std::move(table).value());
+  if (!db.ok()) {
+    std::fprintf(stderr, "database: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (IndexKind kind : {IndexKind::kBitmapEquality, IndexKind::kVaFile}) {
+    const Status status = db->BuildIndex(kind);
+    if (!status.ok()) {
+      std::fprintf(stderr, "index: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return std::move(db).value();
+}
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat info;
+  return stat(path.c_str(), &info) == 0
+             ? static_cast<uint64_t>(info.st_size)
+             : 0;
+}
+
+uint64_t StoreBytes() {
+  uint64_t total = 0;
+  for (const char* file :
+       {storage::kManifestFile, storage::kCatalogFile,
+        storage::kSegmentFile}) {
+    total += FileBytes(std::string(kStoreDir) + "/" + file);
+  }
+  return total;
+}
+
+void RemoveStore() {
+  for (const char* file :
+       {storage::kManifestFile, storage::kCatalogFile,
+        storage::kSegmentFile}) {
+    std::remove((std::string(kStoreDir) + "/" + file).c_str());
+  }
+  rmdir(kStoreDir);
+}
+
+Database MustOpen(bool verify) {
+  auto db = Database::Open(kStoreDir, verify);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+double MustQueryMillis(const Database& db) {
+  Timer timer;
+  const auto result = db.Run(QueryRequest::Text(
+      "a0 IN [5,9] AND a2 IN [20,60]", MissingSemantics::kNoMatch));
+  const double millis = timer.ElapsedMillis();
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  g_sink += result->count;
+  return millis;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  bench::Init(argc, argv);
+  const uint64_t base_rows = bench::BenchRows(400000);
+  const std::vector<uint64_t> sizes = {base_rows / 16, base_rows / 4,
+                                       base_rows};
+
+  bench::PrintHeader({"rows", "store_MB", "save_ms", "open_verified_ms",
+                      "open_mmap_ms", "first_query_ms", "steady_query_ms"});
+
+  for (const uint64_t rows : sizes) {
+    Database db = MustMakeDatabase(rows);
+    RemoveStore();
+
+    Timer save_timer;
+    const Status saved = db.Save(kStoreDir);
+    const double save_ms = save_timer.ElapsedMillis();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    const uint64_t store_bytes = StoreBytes();
+
+    Timer verified_timer;
+    { Database opened = MustOpen(/*verify=*/true); }
+    const double open_verified_ms = verified_timer.ElapsedMillis();
+
+    // The headline number: pure mmap open, no byte of WAH or VA data read.
+    Timer mmap_timer;
+    Database served = MustOpen(/*verify=*/false);
+    const double open_mmap_ms = mmap_timer.ElapsedMillis();
+
+    const double first_query_ms = MustQueryMillis(served);
+    double steady_ms = 0.0;
+    constexpr int kSteadyRuns = 16;
+    for (int i = 0; i < kSteadyRuns; ++i) steady_ms += MustQueryMillis(served);
+    steady_ms /= kSteadyRuns;
+
+    const std::string config = "rows=" + std::to_string(rows);
+    bench::RecordResult("save", config, save_ms, store_bytes);
+    bench::RecordResult("open_verified", config, open_verified_ms,
+                        store_bytes);
+    bench::RecordResult("open_mmap", config, open_mmap_ms, store_bytes);
+    bench::RecordResult("first_query", config, first_query_ms, store_bytes);
+    bench::RecordResult("steady_query", config, steady_ms, store_bytes);
+
+    bench::PrintRow({std::to_string(rows), bench::FormatBytesAsMB(store_bytes),
+                     bench::FormatDouble(save_ms),
+                     bench::FormatDouble(open_verified_ms),
+                     bench::FormatDouble(open_mmap_ms),
+                     bench::FormatDouble(first_query_ms),
+                     bench::FormatDouble(steady_ms)});
+    RemoveStore();
+  }
+
+  if (g_sink == 0) std::fprintf(stderr, "# sink empty (unexpected)\n");
+  bench::WriteJson();
+  return 0;
+}
+
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::BenchMain(argc, argv); }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/io.h"
 #include "core/incomplete_index.h"
 #include "query/query.h"
 #include "table/table.h"
@@ -33,6 +34,19 @@ class MosaicIndex : public IncompleteIndex {
 
   /// Inserts the row into every per-attribute B+-tree.
   Status AppendRow(const std::vector<Value>& row) override;
+
+  /// Serializes the index into `writer` as per-tree sorted (key, record)
+  /// entry lists (the storage engine's catalog path; trees are rebuilt by
+  /// bulk insertion on load).
+  Status SaveTo(BinaryWriter& writer) const;
+
+  /// Loads an index written by SaveTo. `num_attributes` must match the base
+  /// table's attribute count (shape check; entries are validated against
+  /// the stored row count).
+  static Result<MosaicIndex> LoadFrom(BinaryReader& reader,
+                                      size_t num_attributes);
+
+  uint64_t num_rows() const { return num_rows_; }
 
  private:
   MosaicIndex(uint64_t num_rows, std::vector<BPlusTree> trees)

@@ -1012,6 +1012,57 @@ Result<BitmapIndex> BitmapIndex::Load(const std::string& path) {
   return BitmapIndex(options, num_rows, std::move(attributes));
 }
 
+Result<BitmapIndex> BitmapIndex::FromParts(
+    Options options, uint64_t num_rows,
+    std::vector<AttributeBitmaps> attributes) {
+  if ((options.missing_strategy == MissingStrategy::kAllOnes ||
+       options.missing_strategy == MissingStrategy::kAllZeros) &&
+      options.encoding != BitmapEncoding::kEquality) {
+    return Status::InvalidArgument(
+        "bitmap parts: all-ones/all-zeros strategies are equality-only");
+  }
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    const AttributeBitmaps& ab = attributes[a];
+    uint64_t expected = 0;
+    switch (options.encoding) {
+      case BitmapEncoding::kEquality:
+        expected = ab.cardinality;
+        break;
+      case BitmapEncoding::kRange:
+        expected = ab.cardinality > 0 ? ab.cardinality - 1 : 0;
+        break;
+      case BitmapEncoding::kInterval:
+        expected = IntervalEncodingN(ab.cardinality);
+        break;
+      case BitmapEncoding::kBitSliced:
+        expected =
+            static_cast<uint64_t>(bitutil::BitsForCardinality(ab.cardinality));
+        break;
+    }
+    if (ab.values.size() != expected) {
+      return Status::IOError("bitmap parts: attribute " + std::to_string(a) +
+                             " has " + std::to_string(ab.values.size()) +
+                             " value bitmaps, encoding implies " +
+                             std::to_string(expected));
+    }
+    if (ab.has_missing != ab.missing.has_value()) {
+      return Status::IOError("bitmap parts: attribute " + std::to_string(a) +
+                             " missing-bitmap flag mismatch");
+    }
+    if (ab.missing.has_value() && ab.missing->size() != num_rows) {
+      return Status::IOError("bitmap parts: attribute " + std::to_string(a) +
+                             " missing bitmap size mismatch");
+    }
+    for (const WahBitVector& bitmap : ab.values) {
+      if (bitmap.size() != num_rows) {
+        return Status::IOError("bitmap parts: attribute " + std::to_string(a) +
+                               " bitmap size mismatch");
+      }
+    }
+  }
+  return BitmapIndex(options, num_rows, std::move(attributes));
+}
+
 uint64_t BitmapIndex::SizeInBytes() const {
   uint64_t total = 0;
   for (size_t a = 0; a < attributes_.size(); ++a) {

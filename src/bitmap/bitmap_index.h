@@ -65,9 +65,27 @@ class BitmapIndex : public IncompleteIndex {
     MissingStrategy missing_strategy = MissingStrategy::kExtraBitmap;
   };
 
+  /// All bitvectors for one attribute (public so the storage engine can
+  /// serialize and reassemble an index without rebuilding it).
+  struct AttributeBitmaps {
+    uint32_t cardinality = 0;
+    bool has_missing = false;
+    /// B_{i,0} (kExtraBitmap only; empty optional otherwise).
+    std::optional<WahBitVector> missing;
+    /// Equality: B_{i,1}..B_{i,C}. Range: B_{i,1}..B_{i,C-1}.
+    std::vector<WahBitVector> values;
+  };
+
   /// Builds the index. Fails on an empty table or on an unsupported
   /// combination (kAllOnes/kAllZeros with range encoding).
   static Result<BitmapIndex> Build(const Table& table, Options options);
+
+  /// Reassembles an index from parts the storage engine deserialized (the
+  /// bitvectors are typically mmap-borrowed WAH views). Validates shapes —
+  /// every bitvector must span `num_rows` bits and each attribute must hold
+  /// the bitmap count its encoding implies — not bit contents.
+  static Result<BitmapIndex> FromParts(Options options, uint64_t num_rows,
+                                       std::vector<AttributeBitmaps> attributes);
 
   std::string Name() const override;
   Result<BitVector> Execute(const RangeQuery& query,
@@ -143,7 +161,15 @@ class BitmapIndex : public IncompleteIndex {
   size_t NumBitmaps(size_t attr) const;
 
   BitmapEncoding encoding() const { return options_.encoding; }
+  MissingStrategy missing_strategy() const {
+    return options_.missing_strategy;
+  }
   uint64_t num_rows() const { return num_rows_; }
+
+  /// Storage-engine accessor: all per-attribute bitvector groups.
+  const std::vector<AttributeBitmaps>& attributes() const {
+    return attributes_;
+  }
 
   /// The missing bitvector B_{i,0}, or nullptr when the attribute has no
   /// missing data (or a non-extra-bitmap strategy is in use).
@@ -159,16 +185,6 @@ class BitmapIndex : public IncompleteIndex {
   }
 
  private:
-  /// All bitvectors for one attribute.
-  struct AttributeBitmaps {
-    uint32_t cardinality = 0;
-    bool has_missing = false;
-    /// B_{i,0} (kExtraBitmap only; empty optional otherwise).
-    std::optional<WahBitVector> missing;
-    /// Equality: B_{i,1}..B_{i,C}. Range: B_{i,1}..B_{i,C-1}.
-    std::vector<WahBitVector> values;
-  };
-
   BitmapIndex(Options options, uint64_t num_rows,
               std::vector<AttributeBitmaps> attributes)
       : options_(options),

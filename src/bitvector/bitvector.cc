@@ -36,6 +36,26 @@ Result<BitVector> BitVector::FromString(const std::string& bits) {
   return bv;
 }
 
+Result<BitVector> BitVector::FromWords(uint64_t size,
+                                       std::vector<uint64_t> words) {
+  const uint64_t expected = (size + kWordBits - 1) / kWordBits;
+  if (words.size() != expected) {
+    return Status::InvalidArgument(
+        "bitvector payload has " + std::to_string(words.size()) +
+        " words, size " + std::to_string(size) + " needs " +
+        std::to_string(expected));
+  }
+  const int tail_bits = static_cast<int>(size % kWordBits);
+  if (tail_bits != 0 && (words.back() >> tail_bits) != 0) {
+    return Status::InvalidArgument(
+        "bitvector payload has set bits beyond its size");
+  }
+  BitVector bv;
+  bv.size_ = size;
+  bv.words_ = std::move(words);
+  return bv;
+}
+
 bool BitVector::Get(uint64_t index) const {
   INCDB_DCHECK(index < size_);
   return (words_[index / kWordBits] >> (index % kWordBits)) & 1;

@@ -36,6 +36,12 @@ class BitVector {
   /// Characters other than '0'/'1' are rejected.
   static Result<BitVector> FromString(const std::string& bits);
 
+  /// Builds from raw 64-bit words (the storage engine's load path).
+  /// `words` must be exactly CeilDiv(size, 64) long with every bit beyond
+  /// `size` zero (the class invariant); violations are rejected.
+  static Result<BitVector> FromWords(uint64_t size,
+                                     std::vector<uint64_t> words);
+
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

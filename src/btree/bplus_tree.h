@@ -2,6 +2,7 @@
 #define INCDB_BTREE_BPLUS_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,7 +45,14 @@ class BPlusTree {
     return RangeScan(key, key, out);
   }
 
+  /// Visits every (key, record) entry in key order (stable on duplicate
+  /// keys) by walking the leaf chain. Used by the storage engine to
+  /// serialize a tree without exposing its node layout.
+  void ForEachEntry(
+      const std::function<void(int32_t key, uint32_t record)>& fn) const;
+
   uint64_t size() const { return size_; }
+  int fanout() const { return fanout_; }
   int height() const;
   uint64_t num_nodes() const { return num_nodes_; }
 

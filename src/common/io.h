@@ -27,6 +27,10 @@ class BinaryWriter {
   void WriteString(const std::string& value);
   /// Length-prefixed (u64) vector of u32.
   void WriteU32Vector(const std::vector<uint32_t>& values);
+  /// Length-prefixed (u64) vector of u64.
+  void WriteU64Vector(const std::vector<uint64_t>& values);
+  /// Length-prefixed (u64) vector of i32.
+  void WriteI32Vector(const std::vector<int32_t>& values);
 
   /// OK unless a stream write failed at any point.
   Status status() const;
@@ -52,6 +56,8 @@ class BinaryReader {
   /// Rejects lengths above `max_len` (corruption guard).
   Result<std::string> ReadString(uint64_t max_len = 1 << 20);
   Result<std::vector<uint32_t>> ReadU32Vector(uint64_t max_len = 1ull << 32);
+  Result<std::vector<uint64_t>> ReadU64Vector(uint64_t max_len = 1ull << 32);
+  Result<std::vector<int32_t>> ReadI32Vector(uint64_t max_len = 1ull << 32);
 
  private:
   Status ReadRaw(void* data, size_t size);

@@ -177,6 +177,7 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Fill(uint64_t size,
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::AppendBit(bool bit) {
+  Detach();
   if (bit) active_word_ |= WordT{1} << active_bits_;
   ++active_bits_;
   ++size_;
@@ -185,6 +186,7 @@ void BasicWahBitVector<WordT>::AppendBit(bool bit) {
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::AppendRun(bool bit, uint64_t count) {
+  Detach();
   // Align to a group boundary first.
   while (count > 0 && active_bits_ != 0) {
     AppendBit(bit);
@@ -218,6 +220,7 @@ void BasicWahBitVector<WordT>::FlushActiveGroup() {
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::EmitFill(bool bit, uint64_t groups) {
+  INCDB_DCHECK(!borrowed());
   while (groups > 0) {
     if (!words_.empty() && Traits<WordT>::IsFill(words_.back()) &&
         Traits<WordT>::FillBit(words_.back()) == bit) {
@@ -238,6 +241,7 @@ void BasicWahBitVector<WordT>::EmitFill(bool bit, uint64_t groups) {
 
 template <typename WordT>
 void BasicWahBitVector<WordT>::EmitLiteral(WordT literal) {
+  INCDB_DCHECK(!borrowed());
   INCDB_DCHECK((literal & Traits<WordT>::kFillFlag) == 0);
   words_.push_back(literal);
 }
@@ -245,7 +249,7 @@ void BasicWahBitVector<WordT>::EmitLiteral(WordT literal) {
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::Count() const {
   uint64_t count = 0;
-  for (WordT w : words_) {
+  for (WordT w : code_words()) {
     if (Traits<WordT>::IsFill(w)) {
       if (Traits<WordT>::FillBit(w)) {
         count += Traits<WordT>::FillGroups(w) * kGroupBits;
@@ -268,7 +272,7 @@ BitVector BasicWahBitVector<WordT>::Decompress() const {
     }
     bit_pos += kGroupBits;
   };
-  for (WordT w : words_) {
+  for (WordT w : code_words()) {
     if (Traits<WordT>::IsFill(w)) {
       const uint64_t groups = Traits<WordT>::FillGroups(w);
       if (Traits<WordT>::FillBit(w)) {
@@ -291,7 +295,7 @@ template <typename WordT>
 bool BasicWahBitVector<WordT>::Get(uint64_t index) const {
   INCDB_CHECK(index < size_);
   uint64_t bit_pos = 0;
-  for (WordT w : words_) {
+  for (WordT w : code_words()) {
     const uint64_t span = Traits<WordT>::IsFill(w)
                               ? Traits<WordT>::FillGroups(w) * kGroupBits
                               : static_cast<uint64_t>(kGroupBits);
@@ -306,7 +310,7 @@ bool BasicWahBitVector<WordT>::Get(uint64_t index) const {
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::SizeInBytes() const {
-  return (words_.size() + (active_bits_ > 0 ? 1 : 0)) * sizeof(WordT);
+  return (code_words().size() + (active_bits_ > 0 ? 1 : 0)) * sizeof(WordT);
 }
 
 template <typename WordT>
@@ -408,8 +412,7 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
         (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
     std::vector<WordT> buf(groups, WordT{0});
     for (const Operand& op : operands) {
-      ScatterOrWords<WordT>(std::span<const WordT>(op.vec->words_), op.negate,
-                            buf);
+      ScatterOrWords<WordT>(op.vec->code_words(), op.negate, buf);
     }
     uint64_t i = 0;
     while (i < groups) {
@@ -483,8 +486,7 @@ uint64_t BasicWahBitVector<WordT>::FuseToCount(
         (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
     std::vector<WordT> buf(groups, WordT{0});
     for (const Operand& op : operands) {
-      ScatterOrWords<WordT>(std::span<const WordT>(op.vec->words_), op.negate,
-                            buf);
+      ScatterOrWords<WordT>(op.vec->code_words(), op.negate, buf);
     }
     for (WordT v : buf) count += static_cast<uint64_t>(std::popcount(v));
   } else {
@@ -570,7 +572,7 @@ uint64_t BasicWahBitVector<WordT>::AndCount(const BasicWahBitVector& a,
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Not() const {
   BasicWahBitVector out;
-  for (WordT w : words_) {
+  for (WordT w : code_words()) {
     if (Traits<WordT>::IsFill(w)) {
       out.EmitFill(!Traits<WordT>::FillBit(w), Traits<WordT>::FillGroups(w));
     } else {
@@ -597,11 +599,13 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::Not() const {
 template <typename WordT>
 std::string BasicWahBitVector<WordT>::DebugString() const {
   std::string out;
-  for (WordT w : words_) {
+  for (WordT w : code_words()) {
     if (Traits<WordT>::IsFill(w)) {
       out += "F";
       out += Traits<WordT>::FillBit(w) ? '1' : '0';
-      out += "x" + std::to_string(Traits<WordT>::FillGroups(w)) + " ";
+      out += 'x';
+      out += std::to_string(Traits<WordT>::FillGroups(w));
+      out += ' ';
     } else {
       out += "L:";
       for (int i = 0; i < kGroupBits; ++i) {
@@ -620,12 +624,57 @@ std::string BasicWahBitVector<WordT>::DebugString() const {
 }
 
 template <typename WordT>
+Result<BasicWahBitVector<WordT>> BasicWahBitVector<WordT>::FromBorrowed(
+    std::span<const WordT> words, WordT active_word, int active_bits,
+    uint64_t size) {
+  if (active_bits < 0 || active_bits >= kGroupBits) {
+    return Status::IOError("borrowed WAH vector: active_bits out of range");
+  }
+  if ((active_word &
+       ~static_cast<WordT>(bitutil::LowBitsMask(active_bits))) != 0) {
+    return Status::IOError("borrowed WAH vector: active word has stray bits");
+  }
+  if (size < static_cast<uint64_t>(active_bits)) {
+    return Status::IOError("borrowed WAH vector: size below active bits");
+  }
+  BasicWahBitVector out;
+  out.borrowed_words_ = words.data();
+  out.num_borrowed_ = words.size();
+  out.active_word_ = active_word;
+  out.active_bits_ = active_bits;
+  out.size_ = size;
+  return out;
+}
+
+template <typename WordT>
+Status BasicWahBitVector<WordT>::ValidateStructure() const {
+  uint64_t groups = 0;
+  for (WordT w : code_words()) {
+    groups += Traits<WordT>::IsFill(w) ? Traits<WordT>::FillGroups(w) : 1;
+  }
+  if (groups * kGroupBits + static_cast<uint64_t>(active_bits_) != size_) {
+    return Status::IOError("WAH vector: decoded group count does not match "
+                           "declared size");
+  }
+  return Status::OK();
+}
+
+template <typename WordT>
+void BasicWahBitVector<WordT>::Detach() {
+  if (!borrowed()) return;
+  words_.assign(borrowed_words_, borrowed_words_ + num_borrowed_);
+  borrowed_words_ = nullptr;
+  num_borrowed_ = 0;
+}
+
+template <typename WordT>
 void BasicWahBitVector<WordT>::SaveTo(BinaryWriter& writer) const {
   writer.WriteU64(size_);
   writer.WriteU32(static_cast<uint32_t>(active_bits_));
   WriteWord(writer, active_word_);
-  writer.WriteU64(words_.size());
-  for (WordT word : words_) WriteWord(writer, word);
+  const std::span<const WordT> words = code_words();
+  writer.WriteU64(words.size());
+  for (WordT word : words) WriteWord(writer, word);
 }
 
 template <typename WordT>

@@ -1,6 +1,7 @@
 #ifndef INCDB_COMPRESSION_WAH_BITVECTOR_H_
 #define INCDB_COMPRESSION_WAH_BITVECTOR_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -152,10 +153,43 @@ class BasicWahBitVector {
   /// A vector of `size` copies of `bit` (maximally compressed).
   static BasicWahBitVector Fill(uint64_t size, bool bit);
 
-  /// Appends a single bit.
+  /// A non-owning ("borrowed") vector whose code words live in external
+  /// memory — the storage engine's mmap zero-copy mode: the words stay in
+  /// the page cache and are never copied into the heap. The caller
+  /// guarantees `words` outlives the vector (and every vector copied from
+  /// it). Validation is O(1) — structural metadata only; the group-count
+  /// cross-check against `size` is ValidateStructure(), which the storage
+  /// reader runs only under OpenOptions::verify_checksums so opening stays
+  /// independent of the word count.
+  static Result<BasicWahBitVector> FromBorrowed(std::span<const WordT> words,
+                                                WordT active_word,
+                                                int active_bits,
+                                                uint64_t size);
+
+  /// True when the code words are borrowed from external memory.
+  bool borrowed() const { return borrowed_words_ != nullptr; }
+
+  /// The compressed code words (excluding the active word), wherever they
+  /// live — the owned heap buffer or a borrowed mapping.
+  std::span<const WordT> code_words() const {
+    return borrowed() ? std::span<const WordT>(borrowed_words_, num_borrowed_)
+                      : std::span<const WordT>(words_);
+  }
+
+  /// The partial trailing group (active_bits() low bits are meaningful).
+  WordT active_word() const { return active_word_; }
+  int active_bits() const { return active_bits_; }
+
+  /// O(words) structural invariant check: decoded group count plus the
+  /// active bits must equal size(). The deep half of FromBorrowed's
+  /// validation (see there for why it is separate).
+  Status ValidateStructure() const;
+
+  /// Appends a single bit. A borrowed vector detaches first (one-time copy
+  /// of the borrowed words into owned storage).
   void AppendBit(bool bit);
 
-  /// Appends `count` copies of `bit`.
+  /// Appends `count` copies of `bit`. Detaches a borrowed vector.
   void AppendRun(bool bit, uint64_t count);
 
   /// Number of bits represented.
@@ -181,7 +215,7 @@ class BasicWahBitVector {
   void ForEachSetBit(Fn&& fn) const {
     using Traits = wah_internal::WahTraits<WordT>;
     uint64_t bit_pos = 0;
-    for (WordT w : words_) {
+    for (WordT w : code_words()) {
       if (Traits::IsFill(w)) {
         const uint64_t span_bits = Traits::FillGroups(w) * kGroupBits;
         if (Traits::FillBit(w)) {
@@ -253,13 +287,18 @@ class BasicWahBitVector {
   static uint64_t AndCount(const BasicWahBitVector& a,
                            const BasicWahBitVector& b);
 
+  /// Content equality: a borrowed vector equals an owned one holding the
+  /// same code words.
   bool operator==(const BasicWahBitVector& other) const {
+    const std::span<const WordT> a = code_words();
+    const std::span<const WordT> b = other.code_words();
     return size_ == other.size_ && active_bits_ == other.active_bits_ &&
-           active_word_ == other.active_word_ && words_ == other.words_;
+           active_word_ == other.active_word_ && a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
   }
 
   /// Number of code words (excluding the active word).
-  uint64_t NumWords() const { return words_.size(); }
+  uint64_t NumWords() const { return code_words().size(); }
 
   /// Debug rendering: "L:xxxxx" literal words and "F<bit>x<n>" fills.
   std::string DebugString() const;
@@ -289,7 +328,16 @@ class BasicWahBitVector {
   enum class OpKind { kAnd, kOr, kXor, kAndNot };
   BasicWahBitVector BinaryOp(const BasicWahBitVector& other, OpKind op) const;
 
+  // Copies borrowed code words into words_ so mutators can extend them.
+  // No-op for an owned vector.
+  void Detach();
+
   std::vector<WordT> words_;
+  // Borrowed (non-owning) code words; when set, words_ is empty and all
+  // reads go through code_words(). Copies of a borrowed vector stay
+  // borrowed (shallow pointer copy) — the mapping must outlive them all.
+  const WordT* borrowed_words_ = nullptr;
+  size_t num_borrowed_ = 0;
   WordT active_word_ = 0;  // partial trailing group, LSB-first
   int active_bits_ = 0;    // bits in active_word_, in [0, kGroupBits)
   uint64_t size_ = 0;      // total bits
@@ -298,7 +346,7 @@ class BasicWahBitVector {
 template <typename WordT>
 BasicWahRunIterator<WordT>::BasicWahRunIterator(
     const BasicWahBitVector<WordT>& vec)
-    : words_(vec.words_) {
+    : words_(vec.code_words()) {
   Load();
 }
 

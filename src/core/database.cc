@@ -6,12 +6,14 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
 #include "table/csv.h"
 
 namespace incdb {
 
 Database::Database(Table table)
-    : table_(std::make_unique<Table>(std::move(table))),
+    : table_(std::make_shared<Table>(std::move(table))),
       shared_(std::make_unique<Shared>()),
       registry_(
           std::make_shared<const std::vector<internal::SnapshotIndexEntry>>()) {
@@ -34,6 +36,53 @@ Result<Database> Database::FromTable(Table table) {
 Result<Database> Database::FromCsv(const std::string& path) {
   INCDB_ASSIGN_OR_RETURN(Table table, ReadCsv(path));
   return Database(std::move(table));
+}
+
+Database::Database(std::shared_ptr<Table> table, OpenTag)
+    : table_(std::move(table)),
+      shared_(std::make_unique<Shared>()),
+      registry_(
+          std::make_shared<const std::vector<internal::SnapshotIndexEntry>>()) {
+}
+
+Status Database::Save(const std::string& dir) const {
+  const Snapshot snapshot = GetSnapshot();
+  return storage::WriteSnapshot(snapshot.state(), dir);
+}
+
+Result<Database> Database::Open(const std::string& dir,
+                                bool verify_checksums) {
+  storage::OpenOptions options;
+  options.verify_checksums = verify_checksums;
+  INCDB_ASSIGN_OR_RETURN(storage::OpenedStore store,
+                         storage::OpenStore(dir, options));
+  Database db(store.table, OpenTag{});
+  db.mapping_pin_ = store.mapping;
+  db.deleted_ = store.deleted;
+  db.num_deleted_ = store.num_deleted;
+  db.missing_counts_ = std::move(store.missing_counts);
+  // Index kinds persisted as markers (no stable wire form) are rebuilt
+  // over the mapped table; loaded entries are already ascending by kind.
+  std::vector<internal::SnapshotIndexEntry> entries = std::move(store.indexes);
+  for (IndexKind kind : store.rebuild_kinds) {
+    INCDB_ASSIGN_OR_RETURN(std::unique_ptr<IncompleteIndex> index,
+                           CreateIndex(kind, *db.table_));
+    internal::SnapshotIndexEntry entry;
+    entry.kind = kind;
+    entry.index = std::shared_ptr<const IncompleteIndex>(std::move(index));
+    entry.covered_rows = db.table_->num_rows();
+    auto pos = std::find_if(entries.begin(), entries.end(),
+                            [kind](const internal::SnapshotIndexEntry& e) {
+                              return e.kind >= kind;
+                            });
+    entries.insert(pos, std::move(entry));
+  }
+  db.registry_ =
+      std::make_shared<const std::vector<internal::SnapshotIndexEntry>>(
+          std::move(entries));
+  db.epoch_ = 0;
+  db.Publish();
+  return db;
 }
 
 void Database::Publish() {

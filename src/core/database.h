@@ -48,6 +48,25 @@ class Database {
   /// Loads a table written by WriteCsv ("?" = missing).
   static Result<Database> FromCsv(const std::string& path);
 
+  /// Persists the current epoch — table rows, deletion mask, statistics,
+  /// and every registered index — into the store directory `dir` (format
+  /// in docs/STORAGE.md). Runs against a pinned snapshot, so concurrent
+  /// readers and later writes are unaffected.
+  Status Save(const std::string& dir) const;
+
+  /// Opens a store directory written by Save and publishes it as epoch 0.
+  /// The table and the bitmap / VA-file payloads are zero-copy views into
+  /// an mmap'd segment (pages fault in lazily on first access), so opening
+  /// is fast regardless of data size; indexes without a stable wire form
+  /// (the bitstring-augmented R-tree) are rebuilt. Subsequent Insert /
+  /// Delete / BuildIndex work exactly as on an in-memory database. With
+  /// `verify_checksums` (the default) every section's CRC-32 is checked up
+  /// front — one pass over the data; `false` skips that pass, making open
+  /// time independent of the store size. All corruption surfaces as a
+  /// Status error, never a crash.
+  static Result<Database> Open(const std::string& dir,
+                               bool verify_checksums = true);
+
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
   Database(const Database&) = delete;
@@ -131,6 +150,12 @@ class Database {
  private:
   explicit Database(Table table);
 
+  /// Open() plumbing: adopts an already-loaded shared table without the
+  /// per-column missing-count scan (the counts come from the catalog) and
+  /// without publishing — the caller installs the loaded state first.
+  struct OpenTag {};
+  Database(std::shared_ptr<Table> table, OpenTag);
+
   /// Builds a SnapshotState from the writer-side fields and swaps the head
   /// pointer. Caller must hold shared_->writer_mu.
   void Publish();
@@ -145,10 +170,15 @@ class Database {
     std::shared_ptr<const internal::SnapshotState> head;
   };
 
-  // unique_ptr so snapshot/index back-references to the table stay stable
-  // on move.
-  std::unique_ptr<Table> table_;
+  // Heap-allocated so snapshot/index back-references to the table stay
+  // stable on move; shared with the storage reader's loaded indexes on the
+  // Open path.
+  std::shared_ptr<Table> table_;
   std::unique_ptr<Shared> shared_;
+  /// Keeps the mmap'd store segment alive while any borrowed view (table
+  /// columns, index payloads) can still reach it. Type-erased so this
+  /// header does not depend on the storage layer.
+  std::shared_ptr<void> mapping_pin_;
 
   // Writer-side state, guarded by shared_->writer_mu. Published versions
   // are immutable; these are the working copies the next epoch is built

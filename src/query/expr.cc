@@ -168,10 +168,16 @@ Truth QueryExpr::Evaluate(const Table& table, uint64_t row) const {
 
 std::string QueryExpr::ToString() const {
   switch (node_->kind) {
-    case Kind::kTerm:
-      return "A" + std::to_string(node_->attribute) + " in [" +
-             std::to_string(node_->interval.lo) + "," +
-             std::to_string(node_->interval.hi) + "]";
+    case Kind::kTerm: {
+      std::string out = "A";
+      out += std::to_string(node_->attribute);
+      out += " in [";
+      out += std::to_string(node_->interval.lo);
+      out += ",";
+      out += std::to_string(node_->interval.hi);
+      out += "]";
+      return out;
+    }
     case Kind::kAnd:
     case Kind::kOr: {
       const char* joiner = node_->kind == Kind::kAnd ? " AND " : " OR ";

@@ -27,9 +27,13 @@ std::string RangeQuery::ToString() const {
   out += "]";
   for (size_t i = 0; i < terms.size(); ++i) {
     out += (i == 0) ? " " : " AND ";
-    out += "A" + std::to_string(terms[i].attribute) + " in [" +
-           std::to_string(terms[i].interval.lo) + "," +
-           std::to_string(terms[i].interval.hi) + "]";
+    out += "A";
+    out += std::to_string(terms[i].attribute);
+    out += " in [";
+    out += std::to_string(terms[i].interval.lo);
+    out += ",";
+    out += std::to_string(terms[i].interval.hi);
+    out += "]";
   }
   return out;
 }

@@ -1,0 +1,78 @@
+#ifndef INCDB_STORAGE_FORMAT_H_
+#define INCDB_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incdb {
+namespace storage {
+
+/// On-disk layout of a persisted database (see docs/STORAGE.md).
+///
+/// A store is a directory of three immutable files:
+///
+///   MANIFEST     — format magic + version, the section table (name, file,
+///                  offset, length, CRC-32 per section), and a trailing
+///                  CRC-32 over the manifest itself.
+///   catalog.bin  — one BinaryWriter stream: schema, row/deletion state,
+///                  per-attribute missing counts, and per-index metadata
+///                  (everything small; bulk arrays live in data.seg and are
+///                  referenced by offset).
+///   data.seg     — 8-byte-aligned bulk arrays: column values, WAH code
+///                  words, VA-file packed approximations. Opened with mmap
+///                  and served zero-copy through borrowed views.
+///
+/// Integrity: every section carries a CRC-32 in the manifest; the manifest
+/// carries its own trailing CRC-32. A reader rejects bad magic, a future
+/// format version, a truncated file, or a checksum mismatch with a Status
+/// error — never a crash.
+
+/// First bytes of each file (BinaryWriter length-prefixed strings).
+inline constexpr const char kManifestMagic[] = "INCDB-MANIFEST";
+inline constexpr const char kCatalogMagic[] = "INCDB-CATALOG";
+/// Raw 8-byte prefix of data.seg (keeps blob offsets 8-aligned from 0).
+inline constexpr const char kSegmentMagic[8] = {'I', 'N', 'C', 'D',
+                                               'B', 'S', 'E', 'G'};
+
+/// Bumped on any incompatible layout change. A reader refuses versions it
+/// does not know (forward compatibility is explicit, not accidental).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// File names inside the store directory.
+inline constexpr const char kManifestFile[] = "MANIFEST";
+inline constexpr const char kCatalogFile[] = "catalog.bin";
+inline constexpr const char kSegmentFile[] = "data.seg";
+
+/// Which physical file a section lives in.
+enum class SectionFile : uint8_t {
+  kCatalog = 0,
+  kSegment = 1,
+};
+
+/// Every blob in data.seg starts on an 8-byte boundary so mmap'd views of
+/// uint64_t arrays are naturally aligned (mmap bases are page-aligned).
+inline constexpr uint64_t kSegmentAlignment = 8;
+
+/// One entry of the manifest's section table. Sections tile the meaningful
+/// bytes of catalog.bin and data.seg; the corruption tests iterate them.
+struct SectionEntry {
+  std::string name;   ///< "catalog", "column/<attr>", "index/<n>/<kind>"
+  SectionFile file = SectionFile::kSegment;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc32 = 0;
+};
+
+/// Parsed MANIFEST.
+struct Manifest {
+  uint32_t format_version = kFormatVersion;
+  uint64_t catalog_size = 0;  ///< exact byte size of catalog.bin
+  uint64_t segment_size = 0;  ///< exact byte size of data.seg
+  std::vector<SectionEntry> sections;
+};
+
+}  // namespace storage
+}  // namespace incdb
+
+#endif  // INCDB_STORAGE_FORMAT_H_

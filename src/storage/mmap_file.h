@@ -1,0 +1,54 @@
+#ifndef INCDB_STORAGE_MMAP_FILE_H_
+#define INCDB_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace incdb {
+namespace storage {
+
+/// A read-only memory-mapped file. The mapping is private (copy-on-write
+/// semantics are irrelevant since nothing writes through it) and stays
+/// valid for the lifetime of the object; every borrowed span the storage
+/// reader hands out points into this mapping, so the Database keeps a
+/// shared_ptr pin on it for as long as any mapped state is reachable.
+///
+/// Opening is O(1) in the file size — the kernel pages data in lazily on
+/// first access, which is what makes Database::Open independent of the
+/// number of WAH words on disk.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IOError on a missing or unreadable
+  /// file. An empty file maps to data() == nullptr, size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Span view [offset, offset + length); returns nullptr if out of bounds
+  /// (the caller turns that into a truncation Status).
+  const uint8_t* Slice(uint64_t offset, uint64_t length) const {
+    if (offset > size_ || length > size_ - offset) return nullptr;
+    return data_ + offset;
+  }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace incdb
+
+#endif  // INCDB_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,441 @@
+#include "storage/reader.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "baselines/mosaic.h"
+#include "bitmap/bitmap_index.h"
+#include "common/io.h"
+#include "storage/checksum.h"
+#include "storage/format.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace storage {
+
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read of '" + path + "' failed");
+  return buffer.str();
+}
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  INCDB_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::IOError("'" + path + "': truncated manifest");
+  }
+  // The trailing 4 bytes are a little-endian CRC-32 over everything before
+  // them; verify before trusting any field.
+  const size_t body_size = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  for (int b = 3; b >= 0; --b) {
+    stored_crc = (stored_crc << 8) |
+                 static_cast<uint8_t>(bytes[body_size + static_cast<size_t>(b)]);
+  }
+  if (stored_crc != Crc32(bytes.data(), body_size)) {
+    return Status::IOError("'" + path + "': manifest checksum mismatch");
+  }
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  INCDB_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(64));
+  if (magic != kManifestMagic) {
+    return Status::IOError("'" + path + "' is not an incdb store manifest");
+  }
+  Manifest manifest;
+  INCDB_ASSIGN_OR_RETURN(manifest.format_version, reader.ReadU32());
+  if (manifest.format_version > kFormatVersion) {
+    return Status::IOError(
+        "'" + path + "': format version " +
+        std::to_string(manifest.format_version) +
+        " is newer than this build understands (max " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  INCDB_ASSIGN_OR_RETURN(manifest.catalog_size, reader.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(manifest.segment_size, reader.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_sections, reader.ReadU64());
+  if (num_sections > (1u << 20)) {
+    return Status::IOError("'" + path + "': implausible section count");
+  }
+  manifest.sections.reserve(num_sections);
+  for (uint64_t s = 0; s < num_sections; ++s) {
+    SectionEntry section;
+    INCDB_ASSIGN_OR_RETURN(section.name, reader.ReadString(1 << 16));
+    INCDB_ASSIGN_OR_RETURN(uint8_t file, reader.ReadU8());
+    if (file > static_cast<uint8_t>(SectionFile::kSegment)) {
+      return Status::IOError("'" + path + "': corrupted section table");
+    }
+    section.file = static_cast<SectionFile>(file);
+    INCDB_ASSIGN_OR_RETURN(section.offset, reader.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(section.length, reader.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(section.crc32, reader.ReadU32());
+    manifest.sections.push_back(std::move(section));
+  }
+  return manifest;
+}
+
+/// A bounds- and alignment-checked view of `count` elements of T at a byte
+/// offset of the mapped segment.
+template <typename T>
+Result<const T*> SliceArray(const MappedFile& map, uint64_t offset,
+                            uint64_t count) {
+  if (offset % alignof(T) != 0) {
+    return Status::IOError("store segment: misaligned array at offset " +
+                           std::to_string(offset));
+  }
+  if (count > map.size() / sizeof(T)) {
+    return Status::IOError("store segment: truncated array at offset " +
+                           std::to_string(offset));
+  }
+  const uint8_t* bytes = map.Slice(offset, count * sizeof(T));
+  if (bytes == nullptr) {
+    return Status::IOError("store segment: truncated array at offset " +
+                           std::to_string(offset));
+  }
+  return reinterpret_cast<const T*>(bytes);
+}
+
+Result<WahBitVector> ReadWahBitvector(BinaryReader& catalog,
+                                      const MappedFile& map,
+                                      bool verify) {
+  INCDB_ASSIGN_OR_RETURN(uint64_t size, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint32_t active_word, catalog.ReadU32());
+  INCDB_ASSIGN_OR_RETURN(uint32_t active_bits, catalog.ReadU32());
+  INCDB_ASSIGN_OR_RETURN(uint64_t word_count, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t offset, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(const uint32_t* words,
+                         SliceArray<uint32_t>(map, offset, word_count));
+  INCDB_ASSIGN_OR_RETURN(
+      WahBitVector vec,
+      WahBitVector::FromBorrowed(std::span<const uint32_t>(words, word_count),
+                                 active_word, static_cast<int>(active_bits),
+                                 size));
+  if (verify) INCDB_RETURN_IF_ERROR(vec.ValidateStructure());
+  return vec;
+}
+
+Result<std::shared_ptr<const IncompleteIndex>> ReadBitmapIndex(
+    BinaryReader& catalog, const MappedFile& map, IndexKind kind,
+    size_t num_attributes, bool verify) {
+  BitmapIndex::Options options;
+  INCDB_ASSIGN_OR_RETURN(uint8_t encoding, catalog.ReadU8());
+  INCDB_ASSIGN_OR_RETURN(uint8_t strategy, catalog.ReadU8());
+  if (encoding > static_cast<uint8_t>(BitmapEncoding::kBitSliced) ||
+      strategy > static_cast<uint8_t>(MissingStrategy::kAllZeros)) {
+    return Status::IOError("store catalog: corrupted bitmap options");
+  }
+  options.encoding = static_cast<BitmapEncoding>(encoding);
+  options.missing_strategy = static_cast<MissingStrategy>(strategy);
+  const BitmapEncoding expected =
+      kind == IndexKind::kBitmapEquality     ? BitmapEncoding::kEquality
+      : kind == IndexKind::kBitmapRange      ? BitmapEncoding::kRange
+      : kind == IndexKind::kBitmapInterval   ? BitmapEncoding::kInterval
+                                             : BitmapEncoding::kBitSliced;
+  if (options.encoding != expected) {
+    return Status::IOError(
+        "store catalog: bitmap encoding does not match its registry kind");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_rows, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_attrs, catalog.ReadU64());
+  if (num_attrs != num_attributes) {
+    return Status::IOError(
+        "store catalog: bitmap attribute count does not match the table");
+  }
+  std::vector<BitmapIndex::AttributeBitmaps> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    BitmapIndex::AttributeBitmaps ab;
+    INCDB_ASSIGN_OR_RETURN(ab.cardinality, catalog.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(uint8_t has_missing, catalog.ReadU8());
+    if (has_missing > 1) {
+      return Status::IOError("store catalog: corrupted bitmap flags");
+    }
+    if (has_missing != 0) {
+      INCDB_ASSIGN_OR_RETURN(WahBitVector missing,
+                             ReadWahBitvector(catalog, map, verify));
+      ab.missing = std::move(missing);
+      ab.has_missing = true;
+    }
+    INCDB_ASSIGN_OR_RETURN(uint64_t num_values, catalog.ReadU64());
+    if (num_values > (1u << 26)) {
+      return Status::IOError("store catalog: implausible bitmap count");
+    }
+    ab.values.reserve(num_values);
+    for (uint64_t j = 0; j < num_values; ++j) {
+      INCDB_ASSIGN_OR_RETURN(WahBitVector vec,
+                             ReadWahBitvector(catalog, map, verify));
+      ab.values.push_back(std::move(vec));
+    }
+    attributes.push_back(std::move(ab));
+  }
+  INCDB_ASSIGN_OR_RETURN(
+      BitmapIndex index,
+      BitmapIndex::FromParts(options, num_rows, std::move(attributes)));
+  return std::shared_ptr<const IncompleteIndex>(
+      std::make_shared<BitmapIndex>(std::move(index)));
+}
+
+Result<std::shared_ptr<const IncompleteIndex>> ReadVaFile(
+    BinaryReader& catalog, const MappedFile& map, IndexKind kind,
+    const Table& table) {
+  VaFile::Options options;
+  INCDB_ASSIGN_OR_RETURN(uint8_t quantization, catalog.ReadU8());
+  if (quantization > static_cast<uint8_t>(VaQuantization::kEquiDepth)) {
+    return Status::IOError("store catalog: corrupted VA-file options");
+  }
+  options.quantization = static_cast<VaQuantization>(quantization);
+  const VaQuantization expected = kind == IndexKind::kVaFile
+                                      ? VaQuantization::kUniform
+                                      : VaQuantization::kEquiDepth;
+  if (options.quantization != expected) {
+    return Status::IOError(
+        "store catalog: VA-file quantization does not match its registry "
+        "kind");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint32_t bits_override, catalog.ReadU32());
+  options.bits_override = static_cast<int>(bits_override);
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_rows, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint32_t stride, catalog.ReadU32());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_attrs, catalog.ReadU64());
+  if (num_attrs != table.num_attributes()) {
+    return Status::IOError(
+        "store catalog: VA-file attribute count does not match the table");
+  }
+  std::vector<VaFile::AttributeQuantizer> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    VaFile::AttributeQuantizer quantizer;
+    INCDB_ASSIGN_OR_RETURN(uint32_t bits, catalog.ReadU32());
+    quantizer.bits = static_cast<int>(bits);
+    INCDB_ASSIGN_OR_RETURN(quantizer.num_bins, catalog.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(quantizer.cardinality, catalog.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(quantizer.bit_offset, catalog.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(quantizer.code_of_value, catalog.ReadU32Vector());
+    if (quantizer.num_bins > (1u << 30)) {
+      return Status::IOError("store catalog: implausible VA-file bin count");
+    }
+    quantizer.bin_lo.resize(quantizer.num_bins);
+    quantizer.bin_hi.resize(quantizer.num_bins);
+    for (uint32_t i = 0; i < quantizer.num_bins; ++i) {
+      INCDB_ASSIGN_OR_RETURN(quantizer.bin_lo[i], catalog.ReadI32());
+      INCDB_ASSIGN_OR_RETURN(quantizer.bin_hi[i], catalog.ReadI32());
+    }
+    attributes.push_back(std::move(quantizer));
+  }
+  INCDB_ASSIGN_OR_RETURN(uint64_t word_count, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t offset, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(const uint64_t* packed,
+                         SliceArray<uint64_t>(map, offset, word_count));
+  INCDB_ASSIGN_OR_RETURN(
+      VaFile file,
+      VaFile::FromParts(&table, options, std::move(attributes), stride,
+                        num_rows,
+                        std::span<const uint64_t>(packed, word_count)));
+  return std::shared_ptr<const IncompleteIndex>(
+      std::make_shared<VaFile>(std::move(file)));
+}
+
+}  // namespace
+
+Result<OpenedStore> OpenStore(const std::string& dir,
+                              const OpenOptions& options) {
+  INCDB_ASSIGN_OR_RETURN(Manifest manifest,
+                         ReadManifest(dir + "/" + kManifestFile));
+
+  // -- catalog.bin: small, read eagerly; verified against its section CRC.
+  const std::string catalog_path = dir + "/" + kCatalogFile;
+  INCDB_ASSIGN_OR_RETURN(std::string catalog_bytes,
+                         ReadWholeFile(catalog_path));
+  if (catalog_bytes.size() != manifest.catalog_size) {
+    return Status::IOError("'" + catalog_path + "': truncated catalog (" +
+                           std::to_string(catalog_bytes.size()) + " bytes, " +
+                           "manifest says " +
+                           std::to_string(manifest.catalog_size) + ")");
+  }
+
+  // -- data.seg: mmap'd; never copied.
+  const std::string segment_path = dir + "/" + kSegmentFile;
+  INCDB_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapping,
+                         MappedFile::Open(segment_path));
+  if (mapping->size() != manifest.segment_size) {
+    return Status::IOError("'" + segment_path + "': truncated segment (" +
+                           std::to_string(mapping->size()) + " bytes, " +
+                           "manifest says " +
+                           std::to_string(manifest.segment_size) + ")");
+  }
+  if (mapping->size() < sizeof(kSegmentMagic) ||
+      std::memcmp(mapping->data(), kSegmentMagic, sizeof(kSegmentMagic)) !=
+          0) {
+    return Status::IOError("'" + segment_path +
+                           "' is not an incdb store segment");
+  }
+
+  if (options.verify_checksums) {
+    for (const SectionEntry& section : manifest.sections) {
+      if (section.file == SectionFile::kCatalog) {
+        if (section.offset > catalog_bytes.size() ||
+            section.length > catalog_bytes.size() - section.offset) {
+          return Status::IOError("'" + catalog_path +
+                                 "': section '" + section.name +
+                                 "' extends past the file");
+        }
+        if (Crc32(catalog_bytes.data() + section.offset, section.length) !=
+            section.crc32) {
+          return Status::IOError("'" + catalog_path +
+                                 "': checksum mismatch in section '" +
+                                 section.name + "'");
+        }
+      } else {
+        const uint8_t* bytes = mapping->Slice(section.offset, section.length);
+        if (bytes == nullptr) {
+          return Status::IOError("'" + segment_path +
+                                 "': section '" + section.name +
+                                 "' extends past the file");
+        }
+        if (Crc32(bytes, section.length) != section.crc32) {
+          return Status::IOError("'" + segment_path +
+                                 "': checksum mismatch in section '" +
+                                 section.name + "'");
+        }
+      }
+    }
+  }
+
+  // -- Parse the catalog into an OpenedStore.
+  std::istringstream catalog_in(catalog_bytes);
+  BinaryReader catalog(catalog_in);
+  INCDB_ASSIGN_OR_RETURN(std::string magic, catalog.ReadString(64));
+  if (magic != kCatalogMagic) {
+    return Status::IOError("'" + catalog_path +
+                           "' is not an incdb store catalog");
+  }
+  OpenedStore store;
+  store.mapping = mapping;
+  INCDB_ASSIGN_OR_RETURN(store.num_rows, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(store.num_deleted, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_attrs, catalog.ReadU64());
+  if (num_attrs > (1u << 20)) {
+    return Status::IOError("'" + catalog_path +
+                           "': implausible attribute count");
+  }
+  std::vector<AttributeSpec> specs;
+  specs.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    AttributeSpec spec;
+    INCDB_ASSIGN_OR_RETURN(spec.name, catalog.ReadString(1 << 16));
+    INCDB_ASSIGN_OR_RETURN(spec.cardinality, catalog.ReadU32());
+    specs.push_back(std::move(spec));
+  }
+  Schema schema(std::move(specs));
+  INCDB_RETURN_IF_ERROR(schema.Validate());
+  INCDB_ASSIGN_OR_RETURN(store.missing_counts, catalog.ReadU64Vector());
+  if (store.missing_counts.size() != num_attrs) {
+    return Status::IOError("'" + catalog_path +
+                           "': missing-count table size mismatch");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint8_t has_deleted, catalog.ReadU8());
+  if (has_deleted > 1) {
+    return Status::IOError("'" + catalog_path + "': corrupted deletion mask");
+  }
+  if (has_deleted != 0) {
+    INCDB_ASSIGN_OR_RETURN(uint64_t deleted_size, catalog.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                           catalog.ReadU64Vector());
+    if (deleted_size > store.num_rows) {
+      return Status::IOError("'" + catalog_path +
+                             "': deletion mask longer than the table");
+    }
+    INCDB_ASSIGN_OR_RETURN(BitVector deleted,
+                           BitVector::FromWords(deleted_size,
+                                                std::move(words)));
+    if (deleted.Count() != store.num_deleted) {
+      return Status::IOError("'" + catalog_path +
+                             "': deletion mask population mismatch");
+    }
+    store.deleted = std::make_shared<const BitVector>(std::move(deleted));
+  } else if (store.num_deleted != 0) {
+    return Status::IOError("'" + catalog_path +
+                           "': deleted rows recorded without a mask");
+  }
+
+  // Columns: zero-copy borrowed views over the mapped segment.
+  std::vector<Column> columns;
+  columns.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    INCDB_ASSIGN_OR_RETURN(uint64_t offset, catalog.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(
+        const Value* values,
+        SliceArray<Value>(*mapping, offset, store.num_rows));
+    columns.push_back(Column::Borrowed(schema.attribute(a).cardinality,
+                                       values, store.num_rows));
+  }
+  INCDB_ASSIGN_OR_RETURN(
+      Table table,
+      Table::FromColumns(std::move(schema), std::move(columns),
+                         store.num_rows));
+  store.table = std::make_shared<Table>(std::move(table));
+
+  // Indexes.
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_indexes, catalog.ReadU64());
+  if (num_indexes > 4096) {
+    return Status::IOError("'" + catalog_path + "': implausible index count");
+  }
+  for (uint64_t i = 0; i < num_indexes; ++i) {
+    INCDB_ASSIGN_OR_RETURN(uint8_t kind_byte, catalog.ReadU8());
+    if (kind_byte > static_cast<uint8_t>(IndexKind::kBitstringAugmented) ||
+        kind_byte == static_cast<uint8_t>(IndexKind::kSequentialScan)) {
+      return Status::IOError("'" + catalog_path +
+                             "': corrupted index kind tag");
+    }
+    const IndexKind kind = static_cast<IndexKind>(kind_byte);
+    internal::SnapshotIndexEntry entry;
+    entry.kind = kind;
+    INCDB_ASSIGN_OR_RETURN(entry.covered_rows, catalog.ReadU64());
+    if (entry.covered_rows > store.num_rows) {
+      return Status::IOError("'" + catalog_path +
+                             "': index covers more rows than the table");
+    }
+    switch (kind) {
+      case IndexKind::kBitmapEquality:
+      case IndexKind::kBitmapRange:
+      case IndexKind::kBitmapInterval:
+      case IndexKind::kBitmapBitSliced: {
+        INCDB_ASSIGN_OR_RETURN(
+            entry.index,
+            ReadBitmapIndex(catalog, *mapping, kind, num_attrs,
+                            options.verify_checksums));
+        break;
+      }
+      case IndexKind::kVaFile:
+      case IndexKind::kVaPlusFile: {
+        INCDB_ASSIGN_OR_RETURN(
+            entry.index, ReadVaFile(catalog, *mapping, kind, *store.table));
+        break;
+      }
+      case IndexKind::kMosaic: {
+        INCDB_ASSIGN_OR_RETURN(MosaicIndex mosaic,
+                               MosaicIndex::LoadFrom(catalog, num_attrs));
+        entry.index = std::make_shared<MosaicIndex>(std::move(mosaic));
+        break;
+      }
+      case IndexKind::kBitstringAugmented:
+        // Persisted as a marker only; the caller rebuilds it over the
+        // mapped table.
+        store.rebuild_kinds.push_back(kind);
+        continue;
+      case IndexKind::kSequentialScan:
+        return Status::Internal("unreachable: scan kind rejected above");
+    }
+    store.indexes.push_back(std::move(entry));
+  }
+  return store;
+}
+
+}  // namespace storage
+}  // namespace incdb

@@ -1,0 +1,54 @@
+#ifndef INCDB_STORAGE_READER_H_
+#define INCDB_STORAGE_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/snapshot.h"
+#include "storage/mmap_file.h"
+
+namespace incdb {
+namespace storage {
+
+struct OpenOptions {
+  /// Verify every section's CRC-32 (and the deep structure of borrowed WAH
+  /// payloads) at open time. Costs one pass over the mapped bytes; turn it
+  /// off for the pure-mmap fast path where open time is O(1) in the data
+  /// size and pages fault in lazily on first query.
+  bool verify_checksums = true;
+};
+
+/// Everything OpenStore reconstructs from a store directory. The table's
+/// columns and the bitmap / VA-file payloads are borrowed views into
+/// `mapping`; keep the pin alive for as long as any of them is reachable
+/// (the Database stows it next to the table).
+struct OpenedStore {
+  std::shared_ptr<MappedFile> mapping;
+  std::shared_ptr<Table> table;
+  uint64_t num_rows = 0;
+  std::shared_ptr<const BitVector> deleted;  ///< null when nothing deleted
+  uint64_t num_deleted = 0;
+  std::vector<uint64_t> missing_counts;
+  /// Deserialized indexes (mmap-borrowed where the format allows).
+  std::vector<internal::SnapshotIndexEntry> indexes;
+  /// Index kinds persisted as rebuild-on-open markers (no stable wire
+  /// form, e.g. the bitstring-augmented R-tree). The caller rebuilds them
+  /// over `table` and appends to `indexes`.
+  std::vector<IndexKind> rebuild_kinds;
+};
+
+/// Opens a store directory written by WriteSnapshot. All corruption —
+/// missing or truncated files, bad magic, a future format version, section
+/// checksum mismatches, implausible metadata — surfaces as a Status error,
+/// never a crash. With verify_checksums off, integrity checks that require
+/// touching the bulk bytes are skipped and open time is independent of the
+/// data size.
+Result<OpenedStore> OpenStore(const std::string& dir,
+                              const OpenOptions& options = {});
+
+}  // namespace storage
+}  // namespace incdb
+
+#endif  // INCDB_STORAGE_READER_H_

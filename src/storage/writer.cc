@@ -1,0 +1,303 @@
+#include "storage/writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "baselines/mosaic.h"
+#include "bitmap/bitmap_index.h"
+#include "common/io.h"
+#include "storage/checksum.h"
+#include "storage/format.h"
+#include "vafile/va_file.h"
+
+namespace incdb {
+namespace storage {
+
+namespace {
+
+/// Appends 8-aligned blobs to data.seg, tracking one open section (a named,
+/// checksummed byte range of the file) at a time.
+class SegmentWriter {
+ public:
+  explicit SegmentWriter(std::ofstream& out) : out_(out) {
+    out_.write(kSegmentMagic, sizeof(kSegmentMagic));
+    offset_ = sizeof(kSegmentMagic);
+  }
+
+  void BeginSection(std::string name) {
+    section_ = SectionEntry{};
+    section_.name = std::move(name);
+    section_.file = SectionFile::kSegment;
+    section_.offset = offset_;
+    crc_.Reset();
+  }
+
+  /// Writes `size` raw bytes padded up to the segment alignment; returns
+  /// the blob's file offset.
+  uint64_t AppendBlob(const void* data, size_t size) {
+    const uint64_t blob_offset = offset_;
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    crc_.Update(data, size);
+    offset_ += size;
+    const uint64_t rem = offset_ % kSegmentAlignment;
+    if (rem != 0) {
+      static constexpr char kZeros[kSegmentAlignment] = {};
+      const uint64_t pad = kSegmentAlignment - rem;
+      out_.write(kZeros, static_cast<std::streamsize>(pad));
+      crc_.Update(kZeros, pad);
+      offset_ += pad;
+    }
+    return blob_offset;
+  }
+
+  SectionEntry EndSection() {
+    section_.length = offset_ - section_.offset;
+    section_.crc32 = crc_.crc();
+    return section_;
+  }
+
+  uint64_t offset() const { return offset_; }
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream& out_;
+  uint64_t offset_ = 0;
+  SectionEntry section_;
+  Crc32Accumulator crc_;
+};
+
+/// Writes one WAH bitvector: code words to the segment, wire metadata
+/// (size, active word/bits, word count, segment offset) to the catalog.
+void WriteWahBitvector(const WahBitVector& vec, SegmentWriter& seg,
+                       BinaryWriter& catalog) {
+  const std::span<const uint32_t> words = vec.code_words();
+  const uint64_t offset =
+      seg.AppendBlob(words.data(), words.size() * sizeof(uint32_t));
+  catalog.WriteU64(vec.size());
+  catalog.WriteU32(vec.active_word());
+  catalog.WriteU32(static_cast<uint32_t>(vec.active_bits()));
+  catalog.WriteU64(words.size());
+  catalog.WriteU64(offset);
+}
+
+void WriteBitmapIndex(const BitmapIndex& index, SegmentWriter& seg,
+                      BinaryWriter& catalog) {
+  catalog.WriteU8(static_cast<uint8_t>(index.encoding()));
+  catalog.WriteU8(static_cast<uint8_t>(index.missing_strategy()));
+  catalog.WriteU64(index.num_rows());
+  catalog.WriteU64(index.attributes().size());
+  for (const BitmapIndex::AttributeBitmaps& ab : index.attributes()) {
+    catalog.WriteU32(ab.cardinality);
+    catalog.WriteU8(ab.has_missing ? 1 : 0);
+    if (ab.has_missing) WriteWahBitvector(*ab.missing, seg, catalog);
+    catalog.WriteU64(ab.values.size());
+    for (const WahBitVector& vec : ab.values) {
+      WriteWahBitvector(vec, seg, catalog);
+    }
+  }
+}
+
+void WriteVaFile(const VaFile& index, SegmentWriter& seg,
+                 BinaryWriter& catalog) {
+  catalog.WriteU8(static_cast<uint8_t>(index.options().quantization));
+  catalog.WriteU32(static_cast<uint32_t>(index.options().bits_override));
+  catalog.WriteU64(index.num_rows());
+  catalog.WriteU32(index.RowStrideBits());
+  catalog.WriteU64(index.attributes().size());
+  for (const VaFile::AttributeQuantizer& quantizer : index.attributes()) {
+    catalog.WriteU32(static_cast<uint32_t>(quantizer.bits));
+    catalog.WriteU32(quantizer.num_bins);
+    catalog.WriteU32(quantizer.cardinality);
+    catalog.WriteU32(quantizer.bit_offset);
+    catalog.WriteU32Vector(quantizer.code_of_value);
+    for (size_t i = 0; i < quantizer.bin_lo.size(); ++i) {
+      catalog.WriteI32(quantizer.bin_lo[i]);
+      catalog.WriteI32(quantizer.bin_hi[i]);
+    }
+  }
+  const std::span<const uint64_t> packed = index.packed_view();
+  const uint64_t offset =
+      seg.AppendBlob(packed.data(), packed.size() * sizeof(uint64_t));
+  catalog.WriteU64(packed.size());
+  catalog.WriteU64(offset);
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::IOError("'" + dir + "' exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomically(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const internal::SnapshotState& state,
+                     const std::string& dir) {
+  if (state.table == nullptr) {
+    return Status::InvalidArgument("cannot persist a null snapshot");
+  }
+  INCDB_RETURN_IF_ERROR(EnsureDirectory(dir));
+  const Table& table = *state.table;
+  const uint64_t num_rows = state.num_rows;
+
+  // -- data.seg: bulk arrays, one checksummed section per column / index.
+  const std::string segment_path = dir + "/" + kSegmentFile;
+  std::ofstream seg_out(segment_path, std::ios::binary | std::ios::trunc);
+  if (!seg_out) {
+    return Status::IOError("cannot open '" + segment_path + "' for writing");
+  }
+  SegmentWriter seg(seg_out);
+  std::vector<SectionEntry> sections;
+
+  // Columns: the visible prefix of every attribute, materialized
+  // contiguously (the in-memory column is block-structured; the wire form
+  // is a flat Value array so the reader can borrow it directly).
+  std::vector<uint64_t> column_offsets;
+  column_offsets.reserve(table.num_attributes());
+  {
+    std::vector<Value> staging;
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      staging.resize(num_rows);
+      const Column& column = table.column(a);
+      for (uint64_t r = 0; r < num_rows; ++r) staging[r] = column.Get(r);
+      seg.BeginSection("column/" + table.schema().attribute(a).name);
+      column_offsets.push_back(
+          seg.AppendBlob(staging.data(), staging.size() * sizeof(Value)));
+      sections.push_back(seg.EndSection());
+    }
+  }
+
+  // Indexes: bulk arrays to the segment, everything else to the catalog.
+  // The catalog body is staged in memory because it interleaves with
+  // segment offsets that are only known as blobs are appended.
+  std::ostringstream catalog_stream;
+  BinaryWriter catalog(catalog_stream);
+  catalog.WriteString(kCatalogMagic);
+  catalog.WriteU64(num_rows);
+  catalog.WriteU64(state.num_deleted);
+  catalog.WriteU64(table.num_attributes());
+  for (const AttributeSpec& attr : table.schema().attributes()) {
+    catalog.WriteString(attr.name);
+    catalog.WriteU32(attr.cardinality);
+  }
+  catalog.WriteU64Vector(state.missing_counts);
+  if (state.deleted != nullptr) {
+    catalog.WriteU8(1);
+    catalog.WriteU64(state.deleted->size());
+    catalog.WriteU64Vector(state.deleted->words());
+  } else {
+    catalog.WriteU8(0);
+  }
+  for (uint64_t offset : column_offsets) catalog.WriteU64(offset);
+
+  static const std::vector<internal::SnapshotIndexEntry> kNoIndexes;
+  const std::vector<internal::SnapshotIndexEntry>& indexes =
+      state.indexes != nullptr ? *state.indexes : kNoIndexes;
+  catalog.WriteU64(indexes.size());
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    const internal::SnapshotIndexEntry& entry = indexes[i];
+    catalog.WriteU8(static_cast<uint8_t>(entry.kind));
+    catalog.WriteU64(entry.covered_rows);
+    seg.BeginSection("index/" + std::to_string(i) + "/" +
+                     std::to_string(static_cast<int>(entry.kind)));
+    switch (entry.kind) {
+      case IndexKind::kBitmapEquality:
+      case IndexKind::kBitmapRange:
+      case IndexKind::kBitmapInterval:
+      case IndexKind::kBitmapBitSliced:
+        WriteBitmapIndex(static_cast<const BitmapIndex&>(*entry.index), seg,
+                         catalog);
+        break;
+      case IndexKind::kVaFile:
+      case IndexKind::kVaPlusFile:
+        WriteVaFile(static_cast<const VaFile&>(*entry.index), seg, catalog);
+        break;
+      case IndexKind::kMosaic: {
+        const Status status =
+            static_cast<const MosaicIndex&>(*entry.index).SaveTo(catalog);
+        if (!status.ok()) return status;
+        break;
+      }
+      case IndexKind::kBitstringAugmented:
+        // No stable wire form (R-tree node graph); rebuilt on open. The
+        // kind + covered_rows record above is the whole payload.
+        break;
+      case IndexKind::kSequentialScan:
+        return Status::Internal(
+            "sequential scan must not appear in the index registry");
+    }
+    sections.push_back(seg.EndSection());
+  }
+
+  seg_out.flush();
+  if (!seg.ok()) {
+    return Status::IOError("write to '" + segment_path + "' failed");
+  }
+  const uint64_t segment_size = seg.offset();
+
+  // -- catalog.bin (one section spanning the whole file).
+  if (!catalog.status().ok()) return catalog.status();
+  const std::string catalog_bytes = catalog_stream.str();
+  SectionEntry catalog_section;
+  catalog_section.name = "catalog";
+  catalog_section.file = SectionFile::kCatalog;
+  catalog_section.offset = 0;
+  catalog_section.length = catalog_bytes.size();
+  catalog_section.crc32 = Crc32(catalog_bytes.data(), catalog_bytes.size());
+  sections.insert(sections.begin(), catalog_section);
+  INCDB_RETURN_IF_ERROR(
+      WriteFileAtomically(dir + "/" + kCatalogFile, catalog_bytes));
+
+  // -- MANIFEST (self-checksummed; written last so a crash mid-save never
+  // leaves a manifest pointing at missing bytes).
+  std::ostringstream manifest_stream;
+  BinaryWriter manifest(manifest_stream);
+  manifest.WriteString(kManifestMagic);
+  manifest.WriteU32(kFormatVersion);
+  manifest.WriteU64(catalog_bytes.size());
+  manifest.WriteU64(segment_size);
+  manifest.WriteU64(sections.size());
+  for (const SectionEntry& section : sections) {
+    manifest.WriteString(section.name);
+    manifest.WriteU8(static_cast<uint8_t>(section.file));
+    manifest.WriteU64(section.offset);
+    manifest.WriteU64(section.length);
+    manifest.WriteU32(section.crc32);
+  }
+  if (!manifest.status().ok()) return manifest.status();
+  std::string manifest_bytes = manifest_stream.str();
+  const uint32_t manifest_crc =
+      Crc32(manifest_bytes.data(), manifest_bytes.size());
+  for (int b = 0; b < 4; ++b) {
+    manifest_bytes.push_back(
+        static_cast<char>((manifest_crc >> (8 * b)) & 0xFF));
+  }
+  return WriteFileAtomically(dir + "/" + kManifestFile, manifest_bytes);
+}
+
+}  // namespace storage
+}  // namespace incdb

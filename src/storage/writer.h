@@ -1,0 +1,29 @@
+#ifndef INCDB_STORAGE_WRITER_H_
+#define INCDB_STORAGE_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/snapshot.h"
+
+namespace incdb {
+namespace storage {
+
+/// Serializes a pinned snapshot into the store directory `dir` (created if
+/// absent; existing store files are overwritten as a unit). Persists the
+/// table's visible rows, the deletion mask, per-attribute missing counts,
+/// and every registered index: the bitmap family and the VA-file family in
+/// zero-copy wire form (their bulk arrays land in data.seg and are served
+/// back by mmap), MOSAIC as sorted entry lists, and the bitstring-augmented
+/// baseline as a rebuild-on-open marker (its R-tree has no stable wire
+/// form). Layout in format.h; invariants in docs/STORAGE.md.
+///
+/// The snapshot is immutable, so this runs safely while concurrent readers
+/// serve queries and the single writer keeps appending to newer epochs.
+Status WriteSnapshot(const internal::SnapshotState& state,
+                     const std::string& dir);
+
+}  // namespace storage
+}  // namespace incdb
+
+#endif  // INCDB_STORAGE_WRITER_H_

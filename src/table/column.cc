@@ -7,13 +7,26 @@ namespace incdb {
 
 Column::Column(uint32_t cardinality) : cardinality_(cardinality) {}
 
+Column Column::Borrowed(uint32_t cardinality, const Value* values,
+                        uint64_t count) {
+  Column column(cardinality);
+  column.borrowed_ = values;
+  column.num_borrowed_ = count;
+  column.size_ = count;
+  return column;
+}
+
 Column::Column(const Column& other)
-    : cardinality_(other.cardinality_), size_(other.size_) {
+    : cardinality_(other.cardinality_),
+      size_(other.size_),
+      borrowed_(other.borrowed_),
+      num_borrowed_(other.num_borrowed_) {
+  const uint64_t block_rows = size_ - num_borrowed_;
   for (size_t b = 0; b < kNumBlocks; ++b) {
     if (other.blocks_[b] == nullptr) continue;
     const uint64_t block_size = kFirstBlockSize << b;
     const uint64_t first_row = block_size - kFirstBlockSize;
-    const uint64_t used = std::min(block_size, size_ - first_row);
+    const uint64_t used = std::min(block_size, block_rows - first_row);
     blocks_[b] = std::make_unique<Value[]>(block_size);
     std::memcpy(blocks_[b].get(), other.blocks_[b].get(),
                 used * sizeof(Value));

@@ -32,6 +32,15 @@ class Column {
   /// A column for an attribute with domain 1..cardinality.
   explicit Column(uint32_t cardinality);
 
+  /// A column whose first `count` rows are a non-owning view over external
+  /// memory (the storage engine's mmap zero-copy mode). Rows appended
+  /// afterwards go into ordinary heap blocks, so the delta-append regime
+  /// of the snapshot machinery works unchanged on an opened database. The
+  /// caller guarantees `values` outlives the column (and every copy of
+  /// it — copies share the borrowed prefix).
+  static Column Borrowed(uint32_t cardinality, const Value* values,
+                         uint64_t count);
+
   Column(const Column& other);
   Column& operator=(const Column& other);
   Column(Column&&) noexcept = default;
@@ -40,6 +49,10 @@ class Column {
   uint32_t cardinality() const { return cardinality_; }
   uint64_t num_rows() const { return size_; }
 
+  /// Rows living in the borrowed (mmap-backed) prefix; 0 for an ordinary
+  /// in-memory column.
+  uint64_t borrowed_rows() const { return num_borrowed_; }
+
   /// Appends a value (kMissingValue allowed). Rejects values outside
   /// [1, cardinality].
   Status Append(Value v);
@@ -47,7 +60,7 @@ class Column {
   /// Appends without validation (generator fast path; caller guarantees
   /// domain membership).
   void AppendUnchecked(Value v) {
-    const uint64_t biased = size_ + kFirstBlockSize;
+    const uint64_t biased = (size_ - num_borrowed_) + kFirstBlockSize;
     const int high_bit = 63 - __builtin_clzll(biased);
     const size_t block = static_cast<size_t>(high_bit) - kFirstBlockBits;
     if (blocks_[block] == nullptr) {
@@ -59,7 +72,8 @@ class Column {
 
   /// Value at `row` (kMissingValue if the cell is missing).
   Value Get(uint64_t row) const {
-    const uint64_t biased = row + kFirstBlockSize;
+    if (row < num_borrowed_) return borrowed_[row];
+    const uint64_t biased = (row - num_borrowed_) + kFirstBlockSize;
     const int high_bit = 63 - __builtin_clzll(biased);
     return blocks_[static_cast<size_t>(high_bit) - kFirstBlockBits]
                   [biased - (uint64_t{1} << high_bit)];
@@ -94,6 +108,10 @@ class Column {
 
   uint32_t cardinality_;
   uint64_t size_ = 0;
+  /// Non-owning prefix of rows [0, num_borrowed_); see Borrowed(). Blocks
+  /// then hold rows num_borrowed_.. (block math is relative to the prefix).
+  const Value* borrowed_ = nullptr;
+  uint64_t num_borrowed_ = 0;
   std::array<std::unique_ptr<Value[]>, kNumBlocks> blocks_;
 };
 

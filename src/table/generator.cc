@@ -61,9 +61,12 @@ DatasetSpec PaperSyntheticSpec(uint64_t num_rows, uint64_t seed) {
     for (double rate : kMissingRates) {
       for (size_t k = 0; k < design.count_per_missing_rate; ++k) {
         GeneratedAttribute attr;
-        attr.name = "c" + std::to_string(design.cardinality) + "_m" +
-                    std::to_string(static_cast<int>(rate * 100)) + "_" +
-                    std::to_string(k);
+        attr.name = "c";
+        attr.name += std::to_string(design.cardinality);
+        attr.name += "_m";
+        attr.name += std::to_string(static_cast<int>(rate * 100));
+        attr.name += '_';
+        attr.name += std::to_string(k);
         attr.cardinality = design.cardinality;
         attr.missing_rate = rate;
         spec.attributes.push_back(attr);
@@ -80,7 +83,8 @@ DatasetSpec UniformSpec(uint64_t num_rows, uint32_t cardinality,
   spec.seed = seed;
   for (size_t k = 0; k < count; ++k) {
     GeneratedAttribute attr;
-    attr.name = "a" + std::to_string(k);
+    attr.name = "a";
+    attr.name += std::to_string(k);
     attr.cardinality = cardinality;
     attr.missing_rate = missing_rate;
     spec.attributes.push_back(attr);

@@ -18,6 +18,34 @@ Result<Table> Table::Create(Schema schema) {
   return Table(std::move(schema));
 }
 
+Result<Table> Table::FromColumns(Schema schema, std::vector<Column> columns,
+                                 uint64_t num_rows) {
+  INCDB_RETURN_IF_ERROR(schema.Validate());
+  if (columns.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " does not match schema attribute count " +
+        std::to_string(schema.num_attributes()));
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].cardinality() != schema.attribute(i).cardinality) {
+      return Status::InvalidArgument("attribute '" +
+                                     schema.attribute(i).name +
+                                     "': column cardinality mismatch");
+    }
+    if (columns[i].num_rows() != num_rows) {
+      return Status::InvalidArgument(
+          "attribute '" + schema.attribute(i).name + "': column has " +
+          std::to_string(columns[i].num_rows()) + " rows, expected " +
+          std::to_string(num_rows));
+    }
+  }
+  Table table(std::move(schema));
+  table.columns_ = std::move(columns);
+  table.num_rows_.store(num_rows, std::memory_order_release);
+  return table;
+}
+
 Status Table::AppendRow(const std::vector<Value>& row) {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(

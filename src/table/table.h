@@ -28,6 +28,12 @@ class Table {
   /// Creates an empty table for `schema`. Fails if the schema is invalid.
   static Result<Table> Create(Schema schema);
 
+  /// Assembles a table from pre-built columns (the storage engine's open
+  /// path, where the columns are mmap-borrowed views). Every column must
+  /// match its attribute's cardinality and hold exactly `num_rows` rows.
+  static Result<Table> FromColumns(Schema schema, std::vector<Column> columns,
+                                   uint64_t num_rows);
+
   Table(const Table& other)
       : schema_(other.schema_),
         columns_(other.columns_),

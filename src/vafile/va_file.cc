@@ -150,7 +150,15 @@ std::string VaFile::Name() const {
   return name;
 }
 
+void VaFile::Detach() {
+  if (borrowed_packed_ == nullptr) return;
+  packed_.assign(borrowed_packed_, borrowed_packed_ + num_borrowed_);
+  borrowed_packed_ = nullptr;
+  num_borrowed_ = 0;
+}
+
 void VaFile::PutBits(uint64_t bit_pos, int width, uint64_t value) {
+  Detach();
   const uint64_t needed_words = bitutil::CeilDiv(bit_pos + width, 64);
   if (packed_.size() < needed_words) packed_.resize(needed_words, 0);
   const uint64_t word = bit_pos / 64;
@@ -215,8 +223,9 @@ Status VaFile::Save(const std::string& path) const {
       writer.WriteI32(quantizer.bin_hi[i]);
     }
   }
-  writer.WriteU64(packed_.size());
-  for (uint64_t word : packed_) writer.WriteU64(word);
+  const std::span<const uint64_t> packed = packed_view();
+  writer.WriteU64(packed.size());
+  for (uint64_t word : packed) writer.WriteU64(word);
   return writer.status();
 }
 
@@ -294,12 +303,63 @@ Result<VaFile> VaFile::Load(const std::string& path, const Table& table) {
                 std::move(packed));
 }
 
+Result<VaFile> VaFile::FromParts(const Table* table, Options options,
+                                 std::vector<AttributeQuantizer> attributes,
+                                 uint32_t row_stride_bits, uint64_t num_rows,
+                                 std::span<const uint64_t> packed) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("VaFile::FromParts: null base table");
+  }
+  if (attributes.size() != table->num_attributes()) {
+    return Status::InvalidArgument(
+        "VA-file parts have " + std::to_string(attributes.size()) +
+        " attributes, base table has " +
+        std::to_string(table->num_attributes()));
+  }
+  if (num_rows > table->num_rows()) {
+    return Status::InvalidArgument(
+        "VA-file parts cover more rows than the base table");
+  }
+  uint32_t stride = 0;
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    const AttributeQuantizer& quantizer = attributes[a];
+    if (quantizer.cardinality != table->schema().attribute(a).cardinality) {
+      return Status::InvalidArgument("VA-file parts: attribute " +
+                                     std::to_string(a) +
+                                     " cardinality mismatch with base table");
+    }
+    if (quantizer.bits < 1 || quantizer.bits > 30 ||
+        quantizer.num_bins != (uint32_t{1} << quantizer.bits) - 1 ||
+        quantizer.code_of_value.size() != quantizer.cardinality ||
+        quantizer.bin_lo.size() != quantizer.num_bins ||
+        quantizer.bin_hi.size() != quantizer.num_bins ||
+        quantizer.bit_offset != stride) {
+      return Status::IOError("VA-file parts: corrupted quantizer for attribute " +
+                             std::to_string(a));
+    }
+    stride += static_cast<uint32_t>(quantizer.bits);
+  }
+  if (stride != row_stride_bits) {
+    return Status::IOError("VA-file parts: row stride mismatch");
+  }
+  if (packed.size() !=
+      bitutil::CeilDiv(num_rows * static_cast<uint64_t>(row_stride_bits), 64)) {
+    return Status::IOError("VA-file parts: packed payload size mismatch");
+  }
+  VaFile file(table, options, std::move(attributes), row_stride_bits, num_rows,
+              /*packed=*/{});
+  file.borrowed_packed_ = packed.data();
+  file.num_borrowed_ = packed.size();
+  return file;
+}
+
 uint64_t VaFile::ExtractBits(uint64_t bit_pos, int width) const {
   const uint64_t word = bit_pos / 64;
   const int offset = static_cast<int>(bit_pos % 64);
-  uint64_t value = packed_[word] >> offset;
+  const uint64_t* packed = packed_data();
+  uint64_t value = packed[word] >> offset;
   if (offset + width > 64) {
-    value |= packed_[word + 1] << (64 - offset);
+    value |= packed[word + 1] << (64 - offset);
   }
   return value & bitutil::LowBitsMask(width);
 }

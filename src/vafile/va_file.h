@@ -2,6 +2,7 @@
 #define INCDB_VAFILE_VA_FILE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,11 +43,34 @@ class VaFile : public IncompleteIndex {
     int bits_override = 0;
   };
 
+  /// Per-attribute quantization tables (public so the storage engine can
+  /// serialize and reassemble a VA-file without rebuilding it).
+  struct AttributeQuantizer {
+    int bits = 0;
+    uint32_t num_bins = 0;      // non-missing bins: 2^bits - 1
+    uint32_t cardinality = 0;
+    uint32_t bit_offset = 0;    // offset of this attribute within a row
+    /// code_of_value[v - 1] = bin code of value v (1-based codes).
+    std::vector<uint32_t> code_of_value;
+    /// bin_lo[k - 1] / bin_hi[k - 1] = value range of bin code k.
+    std::vector<Value> bin_lo;
+    std::vector<Value> bin_hi;
+  };
+
   /// Builds the approximation file. Fails on an empty table.
   static Result<VaFile> Build(const Table& table, Options options);
   /// Builds with default options (paper defaults: uniform bins,
   /// b_i = ceil(lg(C_i + 1))).
   static Result<VaFile> Build(const Table& table);
+
+  /// Reassembles a VA-file from parts the storage engine deserialized. The
+  /// packed approximation array is *borrowed* (zero-copy over an mmap'd
+  /// segment); the caller guarantees it outlives the index. Appending
+  /// detaches into owned storage first. Validates shapes, not contents.
+  static Result<VaFile> FromParts(const Table* table, Options options,
+                                  std::vector<AttributeQuantizer> attributes,
+                                  uint32_t row_stride_bits, uint64_t num_rows,
+                                  std::span<const uint64_t> packed);
 
   std::string Name() const override;
   Result<BitVector> Execute(const RangeQuery& query,
@@ -87,19 +111,21 @@ class VaFile : public IncompleteIndex {
   /// Bits per packed record (sum of b_i).
   uint32_t RowStrideBits() const { return row_stride_bits_; }
 
- private:
-  struct AttributeQuantizer {
-    int bits = 0;
-    uint32_t num_bins = 0;      // non-missing bins: 2^bits - 1
-    uint32_t cardinality = 0;
-    uint32_t bit_offset = 0;    // offset of this attribute within a row
-    /// code_of_value[v - 1] = bin code of value v (1-based codes).
-    std::vector<uint32_t> code_of_value;
-    /// bin_lo[k - 1] / bin_hi[k - 1] = value range of bin code k.
-    std::vector<Value> bin_lo;
-    std::vector<Value> bin_hi;
-  };
+  /// Storage-engine accessors.
+  const Options& options() const { return options_; }
+  const std::vector<AttributeQuantizer>& attributes() const {
+    return attributes_;
+  }
+  /// The bit-packed approximation array (borrowed or owned).
+  std::span<const uint64_t> packed_view() const {
+    return borrowed_packed_ != nullptr
+               ? std::span<const uint64_t>(borrowed_packed_, num_borrowed_)
+               : std::span<const uint64_t>(packed_);
+  }
+  /// True while the packed array is a non-owning view (see FromParts).
+  bool borrowed() const { return borrowed_packed_ != nullptr; }
 
+ private:
   VaFile(const Table* table, Options options,
          std::vector<AttributeQuantizer> attributes, uint32_t row_stride_bits,
          uint64_t num_rows, std::vector<uint64_t> packed)
@@ -112,6 +138,12 @@ class VaFile : public IncompleteIndex {
 
   uint64_t ExtractBits(uint64_t bit_pos, int width) const;
   void PutBits(uint64_t bit_pos, int width, uint64_t value);
+  /// Copies a borrowed packed array into owned storage before mutation.
+  void Detach();
+
+  const uint64_t* packed_data() const {
+    return borrowed_packed_ != nullptr ? borrowed_packed_ : packed_.data();
+  }
 
   const Table* table_;
   Options options_;
@@ -120,6 +152,9 @@ class VaFile : public IncompleteIndex {
   uint64_t num_rows_ = 0;
   /// Row-major bit-packed approximations.
   std::vector<uint64_t> packed_;
+  /// Non-owning packed array (mmap zero-copy mode); see FromParts().
+  const uint64_t* borrowed_packed_ = nullptr;
+  size_t num_borrowed_ = 0;
 };
 
 }  // namespace incdb

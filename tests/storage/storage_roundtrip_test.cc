@@ -1,0 +1,225 @@
+// Save → Open round-trip property tests: a persisted database must answer
+// every query shape byte-identically to the database it was saved from —
+// for every index kind, both missing semantics, with deletions, and after
+// further appends on the opened side. Exercises the mmap zero-copy path
+// end to end (tests run with verify_checksums both on and off).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+/// A unique store directory under the test's working directory. ctest runs
+/// every test case as its own process in a shared working directory, so
+/// the pid is part of the name — a static counter alone would collide.
+std::string StoreDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = "storage_rt_";
+  dir += tag;
+  dir += '_';
+  dir += std::to_string(getpid());
+  dir += '_';
+  dir += std::to_string(counter++);
+  dir += ".incdb";
+  return dir;
+}
+
+DatasetSpec SmallSpec(uint64_t seed) {
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_rows = 400;
+  const char* names[] = {"alpha", "beta", "gamma", "delta"};
+  const uint32_t cardinalities[] = {7, 16, 3, 101};
+  const double missing[] = {0.0, 0.15, 0.5, 0.05};
+  for (int a = 0; a < 4; ++a) {
+    GeneratedAttribute attr;
+    attr.name = names[a];
+    attr.cardinality = cardinalities[a];
+    attr.missing_rate = missing[a];
+    attr.zipf_theta = a == 3 ? 1.2 : 0.0;
+    spec.attributes.push_back(attr);
+  }
+  return spec;
+}
+
+Database MakeDatabase(uint64_t seed) {
+  Table table = GenerateTable(SmallSpec(seed)).value();
+  return std::move(Database::FromTable(std::move(table)).value());
+}
+
+/// The query shapes the acceptance criteria call out: equality, interval
+/// (both semantics), boolean expression, count-only.
+std::vector<QueryRequest> CanonicalRequests() {
+  std::vector<QueryRequest> requests;
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    requests.push_back(QueryRequest::Terms({{"alpha", 3, 3}}, semantics));
+    requests.push_back(QueryRequest::Terms({{"beta", 4, 11}}, semantics));
+    requests.push_back(
+        QueryRequest::Terms({{"alpha", 2, 6}, {"delta", 10, 60}}, semantics));
+    requests.push_back(QueryRequest::Text(
+        "alpha IN [2,5] AND NOT beta = 7", semantics));
+    requests.push_back(QueryRequest::Text(
+        "gamma = 1 OR delta IN [90,101]", semantics));
+    requests.push_back(
+        QueryRequest::Terms({{"beta", 1, 16}}, semantics).CountOnly());
+    requests.push_back(
+        QueryRequest::Text("alpha IN [1,4] AND gamma IN [1,2]", semantics)
+            .CountOnly());
+  }
+  return requests;
+}
+
+void ExpectSameAnswers(const Database& original, const Database& reopened) {
+  for (const QueryRequest& request : CanonicalRequests()) {
+    const auto expected = original.Run(request);
+    const auto actual = reopened.Run(request);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(expected->count, actual->count);
+    EXPECT_EQ(expected->row_ids, actual->row_ids);
+  }
+}
+
+class StorageRoundTripTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(StorageRoundTripTest, EveryQueryShapeSurvivesSaveOpen) {
+  Database db = MakeDatabase(/*seed=*/7);
+  ASSERT_TRUE(db.BuildIndex(GetParam()).ok());
+  const std::string dir = StoreDir("kind");
+  ASSERT_TRUE(db.Save(dir).ok());
+
+  for (bool verify : {true, false}) {
+    auto reopened = Database::Open(dir, verify);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(db.num_rows(), reopened->num_rows());
+    EXPECT_TRUE(reopened->HasIndex(GetParam()));
+    ExpectSameAnswers(db, reopened.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, StorageRoundTripTest,
+    ::testing::Values(IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
+                      IndexKind::kBitmapInterval, IndexKind::kBitmapBitSliced,
+                      IndexKind::kVaFile, IndexKind::kVaPlusFile,
+                      IndexKind::kMosaic, IndexKind::kBitstringAugmented));
+
+TEST(StorageRoundTrip, AllIndexesAtOnce) {
+  Database db = MakeDatabase(/*seed=*/11);
+  for (IndexKind kind :
+       {IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
+        IndexKind::kVaFile, IndexKind::kMosaic,
+        IndexKind::kBitstringAugmented}) {
+    ASSERT_TRUE(db.BuildIndex(kind).ok());
+  }
+  const std::string dir = StoreDir("all");
+  ASSERT_TRUE(db.Save(dir).ok());
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(db.Indexes(), reopened->Indexes());
+  ExpectSameAnswers(db, reopened.value());
+}
+
+TEST(StorageRoundTrip, NoIndexes) {
+  Database db = MakeDatabase(/*seed=*/13);
+  const std::string dir = StoreDir("plain");
+  ASSERT_TRUE(db.Save(dir).ok());
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened->Indexes().empty());
+  ExpectSameAnswers(db, reopened.value());
+}
+
+TEST(StorageRoundTrip, DeletionsSurvive) {
+  Database db = MakeDatabase(/*seed=*/17);
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  for (uint32_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db.Delete(i * 7).ok());
+  }
+  const std::string dir = StoreDir("deleted");
+  ASSERT_TRUE(db.Save(dir).ok());
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(db.num_deleted_rows(), reopened->num_deleted_rows());
+  EXPECT_EQ(db.num_live_rows(), reopened->num_live_rows());
+  ExpectSameAnswers(db, reopened.value());
+}
+
+TEST(StorageRoundTrip, OpenedDatabaseAcceptsWrites) {
+  Database db = MakeDatabase(/*seed=*/23);
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapRange).ok());
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kVaFile).ok());
+  const std::string dir = StoreDir("writes");
+  ASSERT_TRUE(db.Save(dir).ok());
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  // Mirror a mutation sequence on both sides; answers must stay identical
+  // (the opened side serves appended rows via the delta scan over its
+  // borrowed-prefix columns).
+  Rng rng(5);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<Value> row;
+    for (const AttributeSpec& attr : db.table().schema().attributes()) {
+      row.push_back(rng.Bernoulli(0.2)
+                        ? kMissingValue
+                        : static_cast<Value>(rng.UniformInt(
+                              1, static_cast<int64_t>(attr.cardinality))));
+    }
+    ASSERT_TRUE(db.Insert(row).ok());
+    ASSERT_TRUE(reopened->Insert(row).ok());
+  }
+  ASSERT_TRUE(db.Delete(10).ok());
+  ASSERT_TRUE(reopened->Delete(10).ok());
+  ExpectSameAnswers(db, reopened.value());
+
+  // A rebuild on the opened database re-covers the appended tail.
+  ASSERT_TRUE(reopened->BuildIndex(IndexKind::kBitmapRange).ok());
+  ExpectSameAnswers(db, reopened.value());
+}
+
+TEST(StorageRoundTrip, SecondGenerationSaveOpen) {
+  Database db = MakeDatabase(/*seed=*/29);
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapInterval).ok());
+  const std::string dir1 = StoreDir("gen1");
+  ASSERT_TRUE(db.Save(dir1).ok());
+  auto gen1 = Database::Open(dir1);
+  ASSERT_TRUE(gen1.ok()) << gen1.status().ToString();
+
+  // Mutate the opened database, save it again, and reopen: borrowed
+  // (mmap-backed) columns and bitvectors must serialize correctly too.
+  ASSERT_TRUE(gen1->Insert({1, 2, 3, 4}).ok());
+  ASSERT_TRUE(gen1->Delete(3).ok());
+  const std::string dir2 = StoreDir("gen2");
+  ASSERT_TRUE(gen1->Save(dir2).ok());
+  auto gen2 = Database::Open(dir2);
+  ASSERT_TRUE(gen2.ok()) << gen2.status().ToString();
+  EXPECT_EQ(gen1->num_rows(), gen2->num_rows());
+  ExpectSameAnswers(gen1.value(), gen2.value());
+}
+
+TEST(StorageRoundTrip, MissingRatesComeFromCatalogNotRescan) {
+  Database db = MakeDatabase(/*seed=*/31);
+  const std::string dir = StoreDir("rates");
+  ASSERT_TRUE(db.Save(dir).ok());
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Snapshot before = db.GetSnapshot();
+  const Snapshot after = reopened->GetSnapshot();
+  for (size_t a = 0; a < db.table().num_attributes(); ++a) {
+    EXPECT_DOUBLE_EQ(before.MissingRate(a), after.MissingRate(a)) << a;
+  }
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Formats (or, with --check, verifies) every C++ source in the repo with
+# clang-format using the checked-in .clang-format.
+#
+# Usage: tools/format.sh [--check]
+#   --check   exit non-zero if any file would be reformatted (the CI mode);
+#             prints the diffs clang-format would apply.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find src tests bench tools examples \
+  -name '*.cc' -o -name '*.h' -o -name '*.cpp' | sort)
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "format: ${#files[@]} files clean"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "format: ${#files[@]} files formatted"
+fi

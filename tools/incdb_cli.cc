@@ -5,6 +5,12 @@
 //             [--count] [--limit=N] "<predicate>"
 //   incdb_cli <data.csv> --stats
 //   incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] [--point]
+//   incdb_cli <data.csv> [--index=KIND] --save=DIR
+//   incdb_cli --open=DIR [--no-verify] [--count] "<predicate>"
+//
+// --save persists the database (table + built indexes) into a store
+// directory; --open serves queries from one via mmap without re-reading
+// the CSV or rebuilding indexes (docs/STORAGE.md).
 //
 // The CSV header must be `name:cardinality` per column; missing cells are
 // `?` (the format written by incdb::WriteCsv). Predicates use the grammar
@@ -37,6 +43,9 @@ struct CliOptions {
   bool count_only = false;
   bool stats = false;
   bool advise = false;
+  std::string save_dir;
+  std::string open_dir;
+  bool verify_checksums = true;
   size_t limit = 20;
   // advisor profile knobs
   size_t dims = 4;
@@ -52,7 +61,9 @@ int Usage() {
       "                 \"<predicate>\"\n"
       "       incdb_cli <data.csv> --stats\n"
       "       incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] "
-      "[--point]\n");
+      "[--point]\n"
+      "       incdb_cli <data.csv> [--index=KIND] --save=DIR\n"
+      "       incdb_cli --open=DIR [--no-verify] [--count] \"<predicate>\"\n");
   return 2;
 }
 
@@ -84,6 +95,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--count") {
       options->count_only = true;
+    } else if (arg.rfind("--save=", 0) == 0) {
+      options->save_dir = arg.substr(7);
+    } else if (arg.rfind("--open=", 0) == 0) {
+      options->open_dir = arg.substr(7);
+    } else if (arg == "--no-verify") {
+      options->verify_checksums = false;
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--advise") {
@@ -102,11 +119,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       positional.push_back(arg);
     }
   }
+  if (!options->open_dir.empty()) {
+    // Store mode: no CSV positional; the predicate is the only positional.
+    if (positional.size() > 1) return false;
+    if (!positional.empty()) options->query_text = positional[0];
+    return !options->query_text.empty() || options->stats;
+  }
   if (positional.empty()) return false;
   options->csv_path = positional[0];
   if (positional.size() > 1) options->query_text = positional[1];
   if (positional.size() > 2) return false;
-  if (options->query_text.empty() && !options->stats && !options->advise) {
+  if (options->query_text.empty() && !options->stats && !options->advise &&
+      options->save_dir.empty()) {
     return false;
   }
   return true;
@@ -145,9 +169,22 @@ int PrintAdvice(const Table& table, const CliOptions& options) {
   return 0;
 }
 
+int RunQuery(Database& db, const CliOptions& options);
+
 int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
+
+  if (!options.open_dir.empty()) {
+    // Serve from a persisted store: zero-copy mmap open, indexes included.
+    auto db = Database::Open(options.open_dir, options.verify_checksums);
+    if (!db.ok()) {
+      std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    if (options.stats) return PrintStats(db->table());
+    return RunQuery(db.value(), options);
+  }
 
   auto table = ReadCsv(options.csv_path);
   if (!table.ok()) {
@@ -189,9 +226,25 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!options.save_dir.empty()) {
+    const Status status = db->Save(options.save_dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# saved %s (+%zu index(es)) to %s\n",
+                 db->table().Summary().c_str(), db->Indexes().size(),
+                 options.save_dir.c_str());
+    if (options.query_text.empty()) return 0;
+  }
+
+  return RunQuery(db.value(), options);
+}
+
+int RunQuery(Database& db, const CliOptions& options) {
   const auto result =
-      db->Run(QueryRequest::Text(options.query_text, options.semantics)
-                  .CountOnly(options.count_only));
+      db.Run(QueryRequest::Text(options.query_text, options.semantics)
+                 .CountOnly(options.count_only));
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
@@ -216,7 +269,7 @@ int Main(int argc, char** argv) {
     std::printf("%llu\n", static_cast<unsigned long long>(result->count));
     return 0;
   }
-  const Table& data = db->table();
+  const Table& data = db.table();
   size_t printed = 0;
   for (uint32_t r : result->row_ids) {
     if (printed++ == options.limit) {

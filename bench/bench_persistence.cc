@@ -13,6 +13,7 @@
 // With --json, per-size timings are also written as the machine-readable
 // BENCH_persistence.json trajectory file.
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -25,7 +26,6 @@
 #include "bench/bench_common.h"
 #include "common/timer.h"
 #include "core/database.h"
-#include "storage/format.h"
 #include "table/generator.h"
 
 namespace incdb {
@@ -70,20 +70,30 @@ uint64_t FileBytes(const std::string& path) {
              : 0;
 }
 
+/// File names (manifest + whatever generation is present) in the store.
+std::vector<std::string> StoreFiles() {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(kStoreDir);
+  if (dir == nullptr) return names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
 uint64_t StoreBytes() {
   uint64_t total = 0;
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : StoreFiles()) {
     total += FileBytes(std::string(kStoreDir) + "/" + file);
   }
   return total;
 }
 
 void RemoveStore() {
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : StoreFiles()) {
     std::remove((std::string(kStoreDir) + "/" + file).c_str());
   }
   rmdir(kStoreDir);

@@ -648,9 +648,19 @@ Result<BasicWahBitVector<WordT>> BasicWahBitVector<WordT>::FromBorrowed(
 
 template <typename WordT>
 Status BasicWahBitVector<WordT>::ValidateStructure() const {
+  // Reject the moment the running total exceeds what `size_` allows:
+  // adversarial fill counts must not be able to wrap the uint64 sum and
+  // sneak a too-long vector past the final equality check. Each fill word
+  // contributes well under 2^63 groups, and the bound itself is at most
+  // 2^64 / kGroupBits, so `groups` can never overflow before the check.
+  const uint64_t max_groups = size_ / kGroupBits + 1;
   uint64_t groups = 0;
   for (WordT w : code_words()) {
     groups += Traits<WordT>::IsFill(w) ? Traits<WordT>::FillGroups(w) : 1;
+    if (groups > max_groups) {
+      return Status::IOError("WAH vector: decoded group count does not "
+                             "match declared size");
+    }
   }
   if (groups * kGroupBits + static_cast<uint64_t>(active_bits_) != size_) {
     return Status::IOError("WAH vector: decoded group count does not match "

@@ -51,7 +51,11 @@ class Database {
   /// Persists the current epoch — table rows, deletion mask, statistics,
   /// and every registered index — into the store directory `dir` (format
   /// in docs/STORAGE.md). Runs against a pinned snapshot, so concurrent
-  /// readers and later writes are unaffected.
+  /// readers and later writes are unaffected. Crash-safe and atomic: a
+  /// fresh payload generation is written and fsync'd before the manifest
+  /// is renamed into place, so an interrupted Save leaves the previous
+  /// store intact — and saving back into the directory this database was
+  /// opened from is safe (the mmap'd old generation is never touched).
   Status Save(const std::string& dir) const;
 
   /// Opens a store directory written by Save and publishes it as epoch 0.
@@ -61,9 +65,11 @@ class Database {
   /// (the bitstring-augmented R-tree) are rebuilt. Subsequent Insert /
   /// Delete / BuildIndex work exactly as on an in-memory database. With
   /// `verify_checksums` (the default) every section's CRC-32 is checked up
-  /// front — one pass over the data; `false` skips that pass, making open
-  /// time independent of the store size. All corruption surfaces as a
-  /// Status error, never a crash.
+  /// front — one pass over the data — and all corruption surfaces as a
+  /// Status error, never a crash. `false` skips that pass, making open
+  /// time independent of the store size, but narrows the no-crash
+  /// guarantee to metadata: corrupt bulk payload bytes go undetected and
+  /// can misbehave at query time (see storage::OpenOptions).
   static Result<Database> Open(const std::string& dir,
                                bool verify_checksums = true);
 

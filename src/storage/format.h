@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace incdb {
@@ -10,23 +11,34 @@ namespace storage {
 
 /// On-disk layout of a persisted database (see docs/STORAGE.md).
 ///
-/// A store is a directory of three immutable files:
+/// A store is a directory of three live files:
 ///
-///   MANIFEST     — format magic + version, the section table (name, file,
-///                  offset, length, CRC-32 per section), and a trailing
-///                  CRC-32 over the manifest itself.
-///   catalog.bin  — one BinaryWriter stream: schema, row/deletion state,
-///                  per-attribute missing counts, and per-index metadata
-///                  (everything small; bulk arrays live in data.seg and are
-///                  referenced by offset).
-///   data.seg     — 8-byte-aligned bulk arrays: column values, WAH code
-///                  words, VA-file packed approximations. Opened with mmap
-///                  and served zero-copy through borrowed views.
+///   MANIFEST           — format magic + version, the store generation, the
+///                        section table (name, file, offset, length, CRC-32
+///                        per section), and a trailing CRC-32 over the
+///                        manifest itself.
+///   catalog.<gen>.bin  — one BinaryWriter stream: schema, row/deletion
+///                        state, per-attribute missing counts, and per-index
+///                        metadata (everything small; bulk arrays live in
+///                        the segment and are referenced by offset).
+///   data.<gen>.seg     — 8-byte-aligned bulk arrays: column values, WAH
+///                        code words, VA-file packed approximations. Opened
+///                        with mmap and served zero-copy through borrowed
+///                        views.
+///
+/// Payload files are immutable once written: every Save writes a fresh
+/// generation (old payload files are never truncated or rewritten in
+/// place), makes it durable with fsync, and then commits by atomically
+/// renaming a new MANIFEST over the old one. A crash at any point leaves
+/// either the previous complete store or the new one — never a mix — and
+/// saving into the directory a snapshot was opened from is safe: the old
+/// generation's mapping stays valid (the inode outlives the unlink) while
+/// the new generation is written beside it.
 ///
 /// Integrity: every section carries a CRC-32 in the manifest; the manifest
-/// carries its own trailing CRC-32. A reader rejects bad magic, a future
-/// format version, a truncated file, or a checksum mismatch with a Status
-/// error — never a crash.
+/// carries its own trailing CRC-32. A verified open rejects bad magic, a
+/// future format version, a truncated file, or a checksum mismatch with a
+/// Status error — never a crash.
 
 /// First bytes of each file (BinaryWriter length-prefixed strings).
 inline constexpr const char kManifestMagic[] = "INCDB-MANIFEST";
@@ -39,10 +51,44 @@ inline constexpr const char kSegmentMagic[8] = {'I', 'N', 'C', 'D',
 /// does not know (forward compatibility is explicit, not accidental).
 inline constexpr uint32_t kFormatVersion = 1;
 
-/// File names inside the store directory.
+/// File names inside the store directory. The manifest has a fixed name —
+/// it is the commit pointer — while payload files carry the generation of
+/// the Save that produced them.
 inline constexpr const char kManifestFile[] = "MANIFEST";
-inline constexpr const char kCatalogFile[] = "catalog.bin";
-inline constexpr const char kSegmentFile[] = "data.seg";
+inline constexpr const char kManifestTmpFile[] = "MANIFEST.tmp";
+
+inline std::string CatalogFileName(uint64_t generation) {
+  return "catalog." + std::to_string(generation) + ".bin";
+}
+
+inline std::string SegmentFileName(uint64_t generation) {
+  return "data." + std::to_string(generation) + ".seg";
+}
+
+/// If `name` is a generation-suffixed payload file (either kind), extracts
+/// its generation. Used by the writer to pick the next free generation and
+/// to garbage-collect superseded ones.
+inline bool ParsePayloadFileName(const std::string& name,
+                                 uint64_t* generation) {
+  std::string_view v(name);
+  if (v.starts_with("data.") && v.ends_with(".seg")) {
+    v.remove_prefix(5);
+    v.remove_suffix(4);
+  } else if (v.starts_with("catalog.") && v.ends_with(".bin")) {
+    v.remove_prefix(8);
+    v.remove_suffix(4);
+  } else {
+    return false;
+  }
+  if (v.empty() || v.size() > 19) return false;
+  uint64_t gen = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') return false;
+    gen = gen * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = gen;
+  return true;
+}
 
 /// Which physical file a section lives in.
 enum class SectionFile : uint8_t {
@@ -67,8 +113,9 @@ struct SectionEntry {
 /// Parsed MANIFEST.
 struct Manifest {
   uint32_t format_version = kFormatVersion;
-  uint64_t catalog_size = 0;  ///< exact byte size of catalog.bin
-  uint64_t segment_size = 0;  ///< exact byte size of data.seg
+  uint64_t generation = 0;    ///< which catalog.<gen>.bin / data.<gen>.seg
+  uint64_t catalog_size = 0;  ///< exact byte size of the catalog file
+  uint64_t segment_size = 0;  ///< exact byte size of the segment file
   std::vector<SectionEntry> sections;
 };
 

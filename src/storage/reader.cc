@@ -57,6 +57,10 @@ Result<Manifest> ReadManifest(const std::string& path) {
         " is newer than this build understands (max " +
         std::to_string(kFormatVersion) + ")");
   }
+  INCDB_ASSIGN_OR_RETURN(manifest.generation, reader.ReadU64());
+  if (manifest.generation == 0) {
+    return Status::IOError("'" + path + "': corrupted store generation");
+  }
   INCDB_ASSIGN_OR_RETURN(manifest.catalog_size, reader.ReadU64());
   INCDB_ASSIGN_OR_RETURN(manifest.segment_size, reader.ReadU64());
   INCDB_ASSIGN_OR_RETURN(uint64_t num_sections, reader.ReadU64());
@@ -248,8 +252,10 @@ Result<OpenedStore> OpenStore(const std::string& dir,
   INCDB_ASSIGN_OR_RETURN(Manifest manifest,
                          ReadManifest(dir + "/" + kManifestFile));
 
-  // -- catalog.bin: small, read eagerly; verified against its section CRC.
-  const std::string catalog_path = dir + "/" + kCatalogFile;
+  // -- catalog.<gen>.bin: small, read eagerly; verified against its
+  // section CRC.
+  const std::string catalog_path =
+      dir + "/" + CatalogFileName(manifest.generation);
   INCDB_ASSIGN_OR_RETURN(std::string catalog_bytes,
                          ReadWholeFile(catalog_path));
   if (catalog_bytes.size() != manifest.catalog_size) {
@@ -259,8 +265,9 @@ Result<OpenedStore> OpenStore(const std::string& dir,
                            std::to_string(manifest.catalog_size) + ")");
   }
 
-  // -- data.seg: mmap'd; never copied.
-  const std::string segment_path = dir + "/" + kSegmentFile;
+  // -- data.<gen>.seg: mmap'd; never copied.
+  const std::string segment_path =
+      dir + "/" + SegmentFileName(manifest.generation);
   INCDB_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapping,
                          MappedFile::Open(segment_path));
   if (mapping->size() != manifest.segment_size) {

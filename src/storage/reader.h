@@ -17,6 +17,15 @@ struct OpenOptions {
   /// payloads) at open time. Costs one pass over the mapped bytes; turn it
   /// off for the pure-mmap fast path where open time is O(1) in the data
   /// size and pages fault in lazily on first query.
+  ///
+  /// The no-crash corruption guarantee is tied to this flag: an unverified
+  /// open still rejects all metadata corruption (manifest, catalog,
+  /// structural invariants) with a Status, but corruption in the bulk
+  /// payload bytes — WAH code words, packed VA codes, column values — goes
+  /// undetected and can produce wrong answers or undefined behavior at
+  /// query time. Use the fast path only on stores whose integrity is
+  /// assured elsewhere (e.g. verified once after transfer, then served
+  /// from local disk).
   bool verify_checksums = true;
 };
 
@@ -39,12 +48,12 @@ struct OpenedStore {
   std::vector<IndexKind> rebuild_kinds;
 };
 
-/// Opens a store directory written by WriteSnapshot. All corruption —
-/// missing or truncated files, bad magic, a future format version, section
-/// checksum mismatches, implausible metadata — surfaces as a Status error,
-/// never a crash. With verify_checksums off, integrity checks that require
-/// touching the bulk bytes are skipped and open time is independent of the
-/// data size.
+/// Opens a store directory written by WriteSnapshot. With checksum
+/// verification on (the default), all corruption — missing or truncated
+/// files, bad magic, a future format version, section checksum mismatches,
+/// implausible metadata — surfaces as a Status error, never a crash. With
+/// verify_checksums off, open time is independent of the data size but the
+/// no-crash guarantee narrows to metadata; see OpenOptions.
 Result<OpenedStore> OpenStore(const std::string& dir,
                               const OpenOptions& options = {});
 

@@ -1,9 +1,14 @@
 #include "storage/writer.h"
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -144,13 +149,77 @@ Status EnsureDirectory(const std::string& dir) {
   return Status::OK();
 }
 
-Status WriteFileAtomically(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+/// fsync of a file (or, with O_DIRECTORY, of a directory's entry table).
+/// Durability is part of the Save contract: a store is only "saved" once
+/// it survives power loss.
+Status SyncPath(const std::string& path, bool is_directory) {
+  const int flags = is_directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of '" + path +
+                           "' failed: " + std::strerror(saved_errno));
+  }
   return Status::OK();
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& data) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  }
+  return SyncPath(path, /*is_directory=*/false);
+}
+
+/// Highest generation among payload files present in `dir` (0 when none).
+/// Scanning the directory — rather than trusting an existing MANIFEST —
+/// also steps past leftovers of a crashed save and files referenced by a
+/// corrupt manifest, so a new generation never rewrites a file that some
+/// open snapshot may have mmap'd.
+uint64_t MaxExistingGeneration(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  uint64_t max_gen = 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t gen = 0;
+    if (ParsePayloadFileName(entry->d_name, &gen)) {
+      max_gen = std::max(max_gen, gen);
+    }
+  }
+  ::closedir(d);
+  return max_gen;
+}
+
+/// Best-effort garbage collection after a successful commit: payload files
+/// of any other generation (superseded stores, debris of crashed saves)
+/// and a stray manifest temp file. Failures are ignored — the store is
+/// already durable, and stale files are invisible to the reader. Unlinking
+/// the previous generation does not disturb open snapshots: their mmap
+/// pins the inode.
+void RemoveStaleFiles(const std::string& dir, uint64_t keep_generation) {
+  std::vector<std::string> stale;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t gen = 0;
+    if (ParsePayloadFileName(entry->d_name, &gen) && gen != keep_generation) {
+      stale.push_back(entry->d_name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& name : stale) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  std::remove((dir + "/" + kManifestTmpFile).c_str());
 }
 
 }  // namespace
@@ -164,8 +233,15 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   const Table& table = *state.table;
   const uint64_t num_rows = state.num_rows;
 
-  // -- data.seg: bulk arrays, one checksummed section per column / index.
-  const std::string segment_path = dir + "/" + kSegmentFile;
+  // Every save writes a fresh generation next to whatever is already
+  // there. Nothing an existing MANIFEST points at — and in particular
+  // nothing this very snapshot may be serving through an mmap, when `dir`
+  // is the directory it was opened from — is ever truncated or rewritten.
+  const uint64_t generation = MaxExistingGeneration(dir) + 1;
+
+  // -- data.<gen>.seg: bulk arrays, one checksummed section per column /
+  // index.
+  const std::string segment_path = dir + "/" + SegmentFileName(generation);
   std::ofstream seg_out(segment_path, std::ios::binary | std::ios::trunc);
   if (!seg_out) {
     return Status::IOError("cannot open '" + segment_path + "' for writing");
@@ -257,9 +333,14 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   if (!seg.ok()) {
     return Status::IOError("write to '" + segment_path + "' failed");
   }
+  seg_out.close();
+  if (!seg_out.good()) {
+    return Status::IOError("close of '" + segment_path + "' failed");
+  }
+  INCDB_RETURN_IF_ERROR(SyncPath(segment_path, /*is_directory=*/false));
   const uint64_t segment_size = seg.offset();
 
-  // -- catalog.bin (one section spanning the whole file).
+  // -- catalog.<gen>.bin (one section spanning the whole file).
   if (!catalog.status().ok()) return catalog.status();
   const std::string catalog_bytes = catalog_stream.str();
   SectionEntry catalog_section;
@@ -270,14 +351,18 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   catalog_section.crc32 = Crc32(catalog_bytes.data(), catalog_bytes.size());
   sections.insert(sections.begin(), catalog_section);
   INCDB_RETURN_IF_ERROR(
-      WriteFileAtomically(dir + "/" + kCatalogFile, catalog_bytes));
+      WriteFileDurably(dir + "/" + CatalogFileName(generation),
+                       catalog_bytes));
 
-  // -- MANIFEST (self-checksummed; written last so a crash mid-save never
-  // leaves a manifest pointing at missing bytes).
+  // -- MANIFEST: the commit point. Both payload files are durable by now,
+  // so renaming the self-checksummed manifest over the old one atomically
+  // switches the store from the previous generation to this one; a crash
+  // on either side of the rename leaves a complete, openable store.
   std::ostringstream manifest_stream;
   BinaryWriter manifest(manifest_stream);
   manifest.WriteString(kManifestMagic);
   manifest.WriteU32(kFormatVersion);
+  manifest.WriteU64(generation);
   manifest.WriteU64(catalog_bytes.size());
   manifest.WriteU64(segment_size);
   manifest.WriteU64(sections.size());
@@ -296,7 +381,18 @@ Status WriteSnapshot(const internal::SnapshotState& state,
     manifest_bytes.push_back(
         static_cast<char>((manifest_crc >> (8 * b)) & 0xFF));
   }
-  return WriteFileAtomically(dir + "/" + kManifestFile, manifest_bytes);
+  const std::string manifest_tmp = dir + "/" + kManifestTmpFile;
+  const std::string manifest_path = dir + "/" + kManifestFile;
+  INCDB_RETURN_IF_ERROR(WriteFileDurably(manifest_tmp, manifest_bytes));
+  if (::rename(manifest_tmp.c_str(), manifest_path.c_str()) != 0) {
+    return Status::IOError("cannot commit '" + manifest_path +
+                           "': " + std::strerror(errno));
+  }
+  // Make the rename (and the new payload files' directory entries)
+  // durable before declaring success or deleting the old generation.
+  INCDB_RETURN_IF_ERROR(SyncPath(dir, /*is_directory=*/true));
+  RemoveStaleFiles(dir, generation);
+  return Status::OK();
 }
 
 }  // namespace storage

@@ -10,13 +10,22 @@ namespace incdb {
 namespace storage {
 
 /// Serializes a pinned snapshot into the store directory `dir` (created if
-/// absent; existing store files are overwritten as a unit). Persists the
-/// table's visible rows, the deletion mask, per-attribute missing counts,
-/// and every registered index: the bitmap family and the VA-file family in
-/// zero-copy wire form (their bulk arrays land in data.seg and are served
-/// back by mmap), MOSAIC as sorted entry lists, and the bitstring-augmented
-/// baseline as a rebuild-on-open marker (its R-tree has no stable wire
-/// form). Layout in format.h; invariants in docs/STORAGE.md.
+/// absent). Persists the table's visible rows, the deletion mask,
+/// per-attribute missing counts, and every registered index: the bitmap
+/// family and the VA-file family in zero-copy wire form (their bulk arrays
+/// land in the data segment and are served back by mmap), MOSAIC as sorted
+/// entry lists, and the bitstring-augmented baseline as a rebuild-on-open
+/// marker (its R-tree has no stable wire form). Layout in format.h;
+/// invariants in docs/STORAGE.md.
+///
+/// Saving over an existing store is crash-safe and atomic: payload files
+/// are written under a fresh generation (never truncating what an existing
+/// MANIFEST — or an open snapshot's mmap — points at), fsync'd, and then
+/// committed by atomically renaming a new MANIFEST into place; superseded
+/// generations are garbage-collected afterwards. A crash at any point
+/// leaves either the old complete store or the new one. In particular,
+/// saving a database back into the directory it was opened from is safe:
+/// borrowed views keep reading the old generation's mapping throughout.
 ///
 /// The snapshot is immutable, so this runs safely while concurrent readers
 /// serve queries and the single writer keeps appending to newer epochs.

@@ -76,6 +76,27 @@ TEST(WahSerializationTest, RejectsSizeMismatch) {
             StatusCode::kIOError);
 }
 
+TEST(WahSerializationTest, ValidateStructureRejectsOverflowingFillCounts) {
+  // Adversarial borrowed payload: five fill words whose group counts sum
+  // to 2^64 + 1, so an unguarded uint64 accumulator wraps to 1 group —
+  // exactly matching the declared size of 63 bits — while the vector
+  // would actually decode ~2^64 groups past it. ValidateStructure must
+  // bound the running total against the declared size instead of trusting
+  // the wrapped sum.
+  using Traits = wah_internal::WahTraits<uint64_t>;
+  const uint64_t kMax = Traits::kMaxFillGroups;  // 2^62 - 1
+  const uint64_t words[] = {
+      Traits::MakeFill(false, kMax), Traits::MakeFill(false, kMax),
+      Traits::MakeFill(false, kMax), Traits::MakeFill(false, kMax),
+      Traits::MakeFill(false, 5),  // 4 * (2^62 - 1) + 5 == 2^64 + 1
+  };
+  auto vec = Wah64BitVector::FromBorrowed(
+      std::span<const uint64_t>(words), /*active_word=*/0, /*active_bits=*/0,
+      /*size=*/63);
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_EQ(vec->ValidateStructure().code(), StatusCode::kIOError);
+}
+
 TEST(WahSerializationTest, TruncatedPayloadFails) {
   WahBitVector wah;
   wah.AppendRun(true, 1000);

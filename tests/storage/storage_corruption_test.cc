@@ -11,6 +11,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "storage/checksum.h"
@@ -52,9 +53,10 @@ class StorageCorruptionTest : public ::testing::Test {
     // directory; the pid keeps parallel cases off each other's files.
     dir_ = "storage_corrupt_" + std::to_string(getpid()) + ".incdb";
     ASSERT_TRUE(db.Save(dir_).ok());
-    for (const char* file :
-         {storage::kManifestFile, storage::kCatalogFile,
-          storage::kSegmentFile}) {
+    // A fresh directory always commits generation 1.
+    files_ = {storage::kManifestFile, storage::CatalogFileName(1),
+              storage::SegmentFileName(1)};
+    for (const std::string& file : files_) {
       pristine_[file] = ReadFile(dir_ + "/" + file);
     }
     // Sanity: the pristine store opens.
@@ -72,6 +74,7 @@ class StorageCorruptionTest : public ::testing::Test {
   }
 
   std::string dir_;
+  std::vector<std::string> files_;
   std::map<std::string, std::string> pristine_;
 };
 
@@ -80,9 +83,7 @@ TEST_F(StorageCorruptionTest, EveryFlippedByteIsDetected) {
   // manifest in its trailing CRC, catalog.bin and data.seg in a section
   // CRC (or, for the segment magic, the magic comparison). Flip each in
   // turn and expect a clean Status failure.
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : files_) {
     const std::string& pristine = pristine_[file];
     for (size_t pos = 0; pos < pristine.size(); ++pos) {
       std::string corrupted = pristine;
@@ -97,9 +98,7 @@ TEST_F(StorageCorruptionTest, EveryFlippedByteIsDetected) {
 }
 
 TEST_F(StorageCorruptionTest, TruncationIsDetected) {
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : files_) {
     const std::string& pristine = pristine_[file];
     for (size_t keep :
          {size_t{0}, size_t{4}, pristine.size() / 2, pristine.size() - 1}) {
@@ -113,9 +112,7 @@ TEST_F(StorageCorruptionTest, TruncationIsDetected) {
 }
 
 TEST_F(StorageCorruptionTest, MissingFileIsDetected) {
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : files_) {
     ASSERT_EQ(std::remove((dir_ + "/" + file).c_str()), 0);
     const auto result = Database::Open(dir_);
     EXPECT_FALSE(result.ok()) << "missing " << file << " went undetected";
@@ -147,9 +144,7 @@ TEST_F(StorageCorruptionTest, FutureFormatVersionIsRefused) {
 }
 
 TEST_F(StorageCorruptionTest, WrongMagicIsRefused) {
-  for (const char* file :
-       {storage::kManifestFile, storage::kCatalogFile,
-        storage::kSegmentFile}) {
+  for (const std::string& file : files_) {
     std::string corrupted = pristine_[file];
     // Clobber the first 12 bytes (covers both length-prefixed string
     // magics and the raw segment magic).

@@ -5,14 +5,17 @@
 // end to end (tests run with verify_checksums both on and off).
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/database.h"
+#include "storage/format.h"
 #include "table/generator.h"
 
 namespace incdb {
@@ -206,6 +209,72 @@ TEST(StorageRoundTrip, SecondGenerationSaveOpen) {
   ASSERT_TRUE(gen2.ok()) << gen2.status().ToString();
   EXPECT_EQ(gen1->num_rows(), gen2->num_rows());
   ExpectSameAnswers(gen1.value(), gen2.value());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0;
+}
+
+TEST(StorageRoundTrip, SaveBackIntoOpenedDirectory) {
+  // The scenario the generation scheme exists for: Save into the very
+  // directory the database was opened from. The writer must never
+  // truncate the payload files the snapshot is serving through its mmap
+  // (that would fault mid-save and destroy the store); it writes a fresh
+  // generation beside them and commits by swapping the manifest.
+  Database db = MakeDatabase(/*seed=*/37);
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
+  ASSERT_TRUE(db.BuildIndex(IndexKind::kVaFile).ok());
+  const std::string dir = StoreDir("inplace");
+  ASSERT_TRUE(db.Save(dir).ok());
+
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_TRUE(opened->Insert({5, 6, 1, 40}).ok());
+  ASSERT_TRUE(opened->Delete(2).ok());
+  ASSERT_TRUE(db.Insert({5, 6, 1, 40}).ok());
+  ASSERT_TRUE(db.Delete(2).ok());
+  ASSERT_TRUE(opened->Save(dir).ok());
+
+  // The opened database keeps serving from its (now unlinked)
+  // generation-1 mapping after the save replaced the store.
+  ExpectSameAnswers(db, opened.value());
+
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(opened->num_rows(), reopened->num_rows());
+  EXPECT_EQ(opened->num_deleted_rows(), reopened->num_deleted_rows());
+  ExpectSameAnswers(opened.value(), reopened.value());
+}
+
+TEST(StorageRoundTrip, InPlaceSaveCommitsAtomicallyAndCollectsGarbage) {
+  Database db = MakeDatabase(/*seed=*/41);
+  const std::string dir = StoreDir("gc");
+  ASSERT_TRUE(db.Save(dir).ok());
+  ASSERT_TRUE(FileExists(dir + "/" + storage::SegmentFileName(1)));
+
+  // Plant the debris a crashed save could leave behind: an abandoned
+  // manifest temp file and a half-written future generation. Open must
+  // ignore both — the committed MANIFEST is the only source of truth.
+  { std::ofstream(dir + "/" + storage::kManifestTmpFile) << "garbage"; }
+  { std::ofstream(dir + "/" + storage::SegmentFileName(9)) << "partial"; }
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+
+  // The next save steps past the debris generation (never reusing a file
+  // name that might be mapped or half-written), commits, and collects
+  // everything it superseded.
+  ASSERT_TRUE(db.Save(dir).ok());
+  EXPECT_TRUE(FileExists(dir + "/" + storage::kManifestFile));
+  EXPECT_TRUE(FileExists(dir + "/" + storage::SegmentFileName(10)));
+  EXPECT_TRUE(FileExists(dir + "/" + storage::CatalogFileName(10)));
+  EXPECT_FALSE(FileExists(dir + "/" + storage::kManifestTmpFile));
+  EXPECT_FALSE(FileExists(dir + "/" + storage::SegmentFileName(1)));
+  EXPECT_FALSE(FileExists(dir + "/" + storage::CatalogFileName(1)));
+  EXPECT_FALSE(FileExists(dir + "/" + storage::SegmentFileName(9)));
+  auto reopened = Database::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSameAnswers(db, reopened.value());
 }
 
 TEST(StorageRoundTrip, MissingRatesComeFromCatalogNotRescan) {

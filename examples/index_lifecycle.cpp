@@ -10,6 +10,7 @@
 
 #include "bitmap/bitmap_index.h"
 #include "core/database.h"
+#include "plan/planner.h"
 #include "table/generator.h"
 
 using namespace incdb;

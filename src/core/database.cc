@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "plan/planner.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
 #include "table/csv.h"
@@ -104,7 +105,7 @@ Snapshot Database::GetSnapshot() const {
 }
 
 Result<QueryResult> Database::Run(const QueryRequest& request) const {
-  return RunOnSnapshot(GetSnapshot(), request);
+  return plan::RunOnSnapshot(GetSnapshot(), request);
 }
 
 BatchResult Database::RunBatch(const std::vector<QueryRequest>& requests,
@@ -141,7 +142,8 @@ BatchResult Database::RunBatch(const std::vector<QueryRequest>& requests,
         for (;;) {
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= requests.size()) break;
-          Result<QueryResult> result = RunOnSnapshot(snapshot, requests[i]);
+          Result<QueryResult> result =
+              plan::RunOnSnapshot(snapshot, requests[i]);
           if (result.ok()) {
             state.matches += result.value().count;
             state.stats.MergeFrom(result.value().stats);
@@ -269,6 +271,7 @@ Result<QueryTerm> Database::ResolveTerm(const NamedTerm& term) const {
   return ResolveNamedTerm(*table_, term);
 }
 
+#ifdef INCDB_LEGACY_API
 Result<std::vector<uint32_t>> Database::Query(
     const std::vector<NamedTerm>& terms, MissingSemantics semantics,
     std::string* chosen) const {
@@ -295,6 +298,7 @@ Result<std::vector<uint32_t>> Database::QueryText(
   if (chosen != nullptr) *chosen = result.chosen_index;
   return std::move(result.row_ids);
 }
+#endif  // INCDB_LEGACY_API
 
 uint64_t Database::IndexSizeInBytes() const {
   return GetSnapshot().IndexSizeInBytes();

@@ -21,8 +21,8 @@ namespace incdb {
 ///
 /// Concurrency model (epoch-versioned snapshots):
 ///
-///  * Every read path (Run, RunBatch, GetSnapshot, and the legacy Query*
-///    wrappers) pins an immutable Snapshot — a row-count watermark, an
+///  * Every read path (Run, RunBatch, GetSnapshot) pins an immutable
+///    Snapshot — a row-count watermark, an
 ///    index-registry version and a deletion-mask version — through one
 ///    shared_ptr copy. The pinned view stays consistent for the whole
 ///    query no matter what writers do meanwhile.
@@ -128,10 +128,12 @@ class Database {
   /// Registered index kinds, ascending.
   std::vector<IndexKind> Indexes() const;
 
+#ifdef INCDB_LEGACY_API
   /// DEPRECATED — thin wrapper over Run(QueryRequest::Terms(...)). Returns
   /// matching row ids ascending; `chosen`, when non-null, receives the
   /// serving structure's name. Prefer Run: it also surfaces QueryStats and
-  /// the full RoutingDecision instead of dropping them.
+  /// the full RoutingDecision instead of dropping them. Compiled only with
+  /// -DINCDB_LEGACY_API=ON; every in-tree caller has been migrated to Run.
   Result<std::vector<uint32_t>> Query(const std::vector<NamedTerm>& terms,
                                       MissingSemantics semantics,
                                       std::string* chosen = nullptr) const;
@@ -146,6 +148,7 @@ class Database {
   Result<std::vector<uint32_t>> QueryText(const std::string& text,
                                           MissingSemantics semantics,
                                           std::string* chosen = nullptr) const;
+#endif  // INCDB_LEGACY_API
 
   /// Resolves a named term to an attribute index + validated interval.
   Result<QueryTerm> ResolveTerm(const NamedTerm& term) const;

@@ -1,77 +1,16 @@
 #include "core/expr_executor.h"
 
+#include "plan/plan_executor.h"
+#include "plan/planner.h"
+
 namespace incdb {
-
-namespace {
-
-struct TruthSets {
-  BitVector possible;  // rows with truth != false
-  BitVector certain;   // rows with truth == true
-};
-
-Result<TruthSets> EvaluateNode(const IncompleteIndex& index,
-                               const QueryExpr& expr, QueryStats* stats) {
-  switch (expr.kind()) {
-    case QueryExpr::Kind::kTerm: {
-      RangeQuery query;
-      query.terms = {{expr.attribute(), expr.interval()}};
-      query.semantics = MissingSemantics::kMatch;
-      INCDB_ASSIGN_OR_RETURN(BitVector possible, index.Execute(query, stats));
-      query.semantics = MissingSemantics::kNoMatch;
-      INCDB_ASSIGN_OR_RETURN(BitVector certain, index.Execute(query, stats));
-      return TruthSets{std::move(possible), std::move(certain)};
-    }
-    case QueryExpr::Kind::kAnd:
-    case QueryExpr::Kind::kOr: {
-      const bool is_and = expr.kind() == QueryExpr::Kind::kAnd;
-      TruthSets acc;
-      bool first = true;
-      for (const QueryExpr& child : expr.children()) {
-        INCDB_ASSIGN_OR_RETURN(TruthSets sets,
-                               EvaluateNode(index, child, stats));
-        if (first) {
-          acc = std::move(sets);
-          first = false;
-          continue;
-        }
-        if (is_and) {
-          acc.possible.AndWith(sets.possible);
-          acc.certain.AndWith(sets.certain);
-        } else {
-          acc.possible.OrWith(sets.possible);
-          acc.certain.OrWith(sets.certain);
-        }
-      }
-      if (first) {
-        return Status::InvalidArgument("AND/OR must have children");
-      }
-      return acc;
-    }
-    case QueryExpr::Kind::kNot: {
-      INCDB_ASSIGN_OR_RETURN(
-          TruthSets sets, EvaluateNode(index, expr.children().front(), stats));
-      // NOT swaps and complements: possibly(!x) = !certainly(x).
-      TruthSets out;
-      out.possible = std::move(sets.certain);
-      out.possible.Flip();
-      out.certain = std::move(sets.possible);
-      out.certain.Flip();
-      return out;
-    }
-  }
-  return Status::Internal("unknown expression kind");
-}
-
-}  // namespace
 
 Result<BitVector> ExecuteExpr(const IncompleteIndex& index,
                               const QueryExpr& expr,
                               MissingSemantics semantics, QueryStats* stats) {
-  INCDB_ASSIGN_OR_RETURN(TruthSets sets, EvaluateNode(index, expr, stats));
-  if (semantics == MissingSemantics::kMatch) {
-    return std::move(sets.possible);
-  }
-  return std::move(sets.certain);
+  INCDB_ASSIGN_OR_RETURN(plan::PhysicalPlan plan,
+                         plan::PlanExprOverIndex(index, expr, semantics));
+  return plan::ExecutePlanToBitVector(&plan, stats);
 }
 
 Result<BitVector> ExecuteExprScan(const Table& table, const QueryExpr& expr,

@@ -7,21 +7,25 @@
 
 namespace incdb {
 
-/// Executes a boolean query expression against any IncompleteIndex.
+/// Executes a boolean query expression against any IncompleteIndex — a
+/// thin caller of the plan layer (plan/planner.h PlanExprOverIndex).
 ///
-/// The evaluation computes, for every node, the pair of bitvectors
-/// (possible, certain) — rows whose Kleene truth is != false / == true —
-/// using the identities
+/// The lowered plan computes exactly one Kleene component per leaf — rows
+/// whose truth is != false (`possible`, returned under
+/// MissingSemantics::kMatch) or == true (`certain`, under kNoMatch) —
+/// by pushing the requested component down the tree:
 ///
-///   term:  certain  = index result under missing-not-match
-///          possible = index result under missing-is-match
-///   AND:   certain  = AND of child certains;  possible = AND of possibles
-///   OR :   certain  = OR  of child certains;  possible = OR  of possibles
-///   NOT:   certain  = NOT child's possible;   possible = NOT child's certain
+///   term:  probe under the effective semantics (kMatch -> possible,
+///          kNoMatch -> certain)
+///   AND /
+///   OR :   children computed under the same component, then AND/OR'd
+///   NOT:   child computed under the flipped component, then complemented
+///          (possible(NOT e) = NOT certain(e), and vice versa)
 ///
-/// and returns `possible` under MissingSemantics::kMatch, `certain` under
-/// kNoMatch. Agrees exactly with the ExprMatches row oracle; for pure
-/// conjunctions it degenerates to the index's native RangeQuery execution.
+/// This halves the index probes of the classic evaluate-both-components
+/// scheme. Agrees exactly with the ExprMatches row oracle; pure
+/// conjunctions of distinct attributes collapse to the index's native
+/// RangeQuery execution.
 Result<BitVector> ExecuteExpr(const IncompleteIndex& index,
                               const QueryExpr& expr,
                               MissingSemantics semantics,

@@ -33,6 +33,11 @@ struct QueryStats {
   uint64_t nodes_accessed = 0;
   /// Bitstring-augmented baseline: number of subqueries executed (up to 2^k).
   uint64_t subqueries = 0;
+  /// Row-oracle scans (the plan layer's delta scan over the appended tail
+  /// and the sequential-scan fallback): rows evaluated one by one. Scans
+  /// also charge words_touched with one unit per cell read, so routing's
+  /// predicted-vs-realized cost comparison covers the tail.
+  uint64_t rows_scanned = 0;
 
   void Reset() { *this = QueryStats(); }
 
@@ -46,6 +51,7 @@ struct QueryStats {
     false_positives += other.false_positives;
     nodes_accessed += other.nodes_accessed;
     subqueries += other.subqueries;
+    rows_scanned += other.rows_scanned;
   }
 };
 

@@ -68,6 +68,23 @@ struct QueryRequest {
     return *this;
   }
 
+  /// Evaluates plan leaves (index probes, scan morsels) on `num_threads`
+  /// workers (0 = hardware concurrency). The parallel run is bit-identical
+  /// to the serial one; the planner additionally keeps conjunctions split
+  /// into per-dimension probes so they can proceed concurrently. Chainable.
+  QueryRequest& Parallel(size_t num_threads = 0) {
+    parallelism = num_threads;
+    return *this;
+  }
+
+  /// Asks for QueryResult::explain — the EXPLAIN rendering of the executed
+  /// operator tree with estimated vs. realized selectivity per node.
+  /// Chainable.
+  QueryRequest& Explain(bool on = true) {
+    explain = on;
+    return *this;
+  }
+
   Shape shape = Shape::kTerms;
   /// Conjunctive named terms (Shape::kTerms).
   std::vector<NamedTerm> terms;
@@ -77,6 +94,11 @@ struct QueryRequest {
   std::string text;
   MissingSemantics semantics = MissingSemantics::kMatch;
   bool count_only = false;
+  /// Worker threads for plan-leaf evaluation: 1 = serial, 0 = hardware
+  /// concurrency.
+  size_t parallelism = 1;
+  /// Fill QueryResult::explain after execution.
+  bool explain = false;
 };
 
 /// How the router decided to serve a query — recorded in every QueryResult
@@ -117,6 +139,10 @@ struct QueryResult {
   uint64_t epoch = 0;
   /// Rows visible to that snapshot (the append watermark).
   uint64_t visible_rows = 0;
+  /// EXPLAIN rendering of the executed plan — the operator tree with
+  /// estimated vs. realized selectivity and per-operator cost counters.
+  /// Filled only when the request asked for it (QueryRequest::Explain).
+  std::string explain;
 };
 
 /// Outcome of Database::RunBatch: per-request results in request order plus

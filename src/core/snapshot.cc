@@ -1,13 +1,5 @@
 #include "core/snapshot.h"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-
-#include "core/expr_executor.h"
-#include "query/parser.h"
-#include "query/selectivity.h"
-
 namespace incdb {
 
 std::vector<IndexKind> Snapshot::Indexes() const {
@@ -52,363 +44,6 @@ Result<QueryTerm> ResolveNamedTerm(const Table& table, const NamedTerm& term) {
         ")");
   }
   return QueryTerm{attr, {term.lo, term.hi}};
-}
-
-namespace {
-
-// Tie-break order per query shape (paper §6: BEE optimal for point
-// queries; BRE typically best for range queries; BIE next — two bitmaps
-// per dimension at half BEE's storage; VA-file the fallback index). The
-// cost model below reproduces this ordering on its own for the common
-// cases; the preference list only decides exact cost ties (e.g. BRE vs
-// BIE, both a constant two bitvectors per dimension).
-const IndexKind kPointPreference[] = {
-    IndexKind::kBitmapEquality,  IndexKind::kBitmapRange,
-    IndexKind::kBitmapInterval,  IndexKind::kBitmapBitSliced,
-    IndexKind::kVaFile,          IndexKind::kVaPlusFile,
-    IndexKind::kMosaic,          IndexKind::kBitstringAugmented,
-    IndexKind::kSequentialScan};
-const IndexKind kRangePreference[] = {
-    IndexKind::kBitmapRange,     IndexKind::kBitmapInterval,
-    IndexKind::kBitmapEquality,  IndexKind::kBitmapBitSliced,
-    IndexKind::kVaFile,          IndexKind::kVaPlusFile,
-    IndexKind::kMosaic,          IndexKind::kBitstringAugmented,
-    IndexKind::kSequentialScan};
-
-int PreferenceRank(IndexKind kind, bool is_point) {
-  const auto& preference = is_point ? kPointPreference : kRangePreference;
-  int rank = 0;
-  for (IndexKind candidate : preference) {
-    if (candidate == kind) return rank;
-    ++rank;
-  }
-  return rank;
-}
-
-double Log2Ceil(uint32_t cardinality) {
-  return std::ceil(std::log2(static_cast<double>(std::max(2u, cardinality))));
-}
-
-/// Predicted words touched when `kind` serves one conjunctive term list.
-/// Bitmap kinds pay (bitvector accesses) x (words per full bitvector); the
-/// VA-file pays the packed approximation scan plus selectivity-scaled exact
-/// refinement; the scan pays one cell read per row per dimension. The
-/// tree-based baselines are modeled as constant fractions of the scan: good
-/// enough to rank them between the VA-file and no index at all, which is
-/// where the paper's measurements put them.
-double KindCost(const internal::SnapshotState& state, IndexKind kind,
-                const std::vector<QueryTerm>& terms,
-                MissingSemantics semantics, double estimated_selectivity) {
-  const Schema& schema = state.table->schema();
-  const double n = static_cast<double>(state.num_rows);
-  const double bitvector_words = n / 31.0;
-  // Under missing-is-match every dimension also reads the missing bitmap.
-  const double missing_extra =
-      semantics == MissingSemantics::kMatch ? 1.0 : 0.0;
-  const double dims = static_cast<double>(std::max<size_t>(1, terms.size()));
-  const double scan_cost = 0.5 * n * dims;
-  switch (kind) {
-    case IndexKind::kBitmapEquality: {
-      double accesses = 0.0;
-      for (const QueryTerm& term : terms) {
-        accesses += static_cast<double>(term.interval.Width()) + missing_extra;
-      }
-      return accesses * bitvector_words;
-    }
-    case IndexKind::kBitmapRange: {
-      double accesses = 0.0;
-      for (const QueryTerm& term : terms) {
-        const uint32_t cardinality =
-            schema.attribute(term.attribute).cardinality;
-        const bool one_sided =
-            term.interval.lo == 1 ||
-            term.interval.hi == static_cast<Value>(cardinality);
-        accesses += (one_sided ? 1.0 : 2.0) + missing_extra;
-      }
-      return accesses * bitvector_words;
-    }
-    case IndexKind::kBitmapInterval:
-      return (2.0 + missing_extra) * dims * bitvector_words;
-    case IndexKind::kBitmapBitSliced: {
-      double accesses = 0.0;
-      for (const QueryTerm& term : terms) {
-        accesses +=
-            Log2Ceil(schema.attribute(term.attribute).cardinality) + 1.0;
-      }
-      return accesses * bitvector_words;
-    }
-    case IndexKind::kVaFile:
-    case IndexKind::kVaPlusFile: {
-      double bits = 0.0;
-      for (const QueryTerm& term : terms) {
-        bits += Log2Ceil(schema.attribute(term.attribute).cardinality) + 1.0;
-      }
-      return n * bits / 64.0 + estimated_selectivity * scan_cost;
-    }
-    case IndexKind::kMosaic:
-      return 0.40 * scan_cost;
-    case IndexKind::kBitstringAugmented:
-      return 0.45 * scan_cost;
-    case IndexKind::kSequentialScan:
-      return scan_cost;
-  }
-  return scan_cost;
-}
-
-bool TermsArePoint(const std::vector<QueryTerm>& terms) {
-  for (const QueryTerm& term : terms) {
-    if (!term.interval.IsPoint()) return false;
-  }
-  return true;
-}
-
-/// Predicted global selectivity of a conjunctive term list (paper §5.3),
-/// using the snapshot's actual per-attribute missing rates.
-double TermsSelectivity(const internal::SnapshotState& state,
-                        const std::vector<QueryTerm>& terms,
-                        MissingSemantics semantics) {
-  const Schema& schema = state.table->schema();
-  double selectivity = 1.0;
-  for (const QueryTerm& term : terms) {
-    const uint32_t cardinality = schema.attribute(term.attribute).cardinality;
-    const double attribute_selectivity =
-        static_cast<double>(term.interval.Width()) /
-        static_cast<double>(cardinality);
-    const double missing_rate =
-        state.num_rows == 0
-            ? 0.0
-            : static_cast<double>(state.missing_counts[term.attribute]) /
-                  static_cast<double>(state.num_rows);
-    selectivity *=
-        TermMatchProbability(attribute_selectivity, missing_rate, semantics);
-  }
-  return selectivity;
-}
-
-/// Kleene-structure estimate for a boolean expression: terms via the §5.3
-/// model, AND multiplies, OR complements-and-multiplies, NOT approximated
-/// as the complement (exact only for two-valued rows).
-double ExprSelectivity(const internal::SnapshotState& state,
-                       const QueryExpr& expr, MissingSemantics semantics) {
-  switch (expr.kind()) {
-    case QueryExpr::Kind::kTerm: {
-      const std::vector<QueryTerm> term = {{expr.attribute(), expr.interval()}};
-      return TermsSelectivity(state, term, semantics);
-    }
-    case QueryExpr::Kind::kAnd: {
-      double p = 1.0;
-      for (const QueryExpr& child : expr.children()) {
-        p *= ExprSelectivity(state, child, semantics);
-      }
-      return p;
-    }
-    case QueryExpr::Kind::kOr: {
-      double q = 1.0;
-      for (const QueryExpr& child : expr.children()) {
-        q *= 1.0 - ExprSelectivity(state, child, semantics);
-      }
-      return 1.0 - q;
-    }
-    case QueryExpr::Kind::kNot:
-      return 1.0 - ExprSelectivity(state, expr.children().front(), semantics);
-  }
-  return 1.0;
-}
-
-void CollectLeafTerms(const QueryExpr& expr, std::vector<QueryTerm>* out) {
-  if (expr.kind() == QueryExpr::Kind::kTerm) {
-    out->push_back({expr.attribute(), expr.interval()});
-    return;
-  }
-  for (const QueryExpr& child : expr.children()) {
-    CollectLeafTerms(child, out);
-  }
-}
-
-struct Plan {
-  const internal::SnapshotIndexEntry* entry = nullptr;  // null = scan
-  RoutingDecision decision;
-};
-
-/// Ranks every registered index plus the scan by (predicted cost,
-/// preference rank) and returns the winner. `cost_multiplier` scales
-/// index/scan costs uniformly (the Kleene expression executor evaluates
-/// every leaf under both semantics, i.e. twice).
-Plan PickPlan(const internal::SnapshotState& state,
-              const std::vector<QueryTerm>& terms, MissingSemantics semantics,
-              double estimated_selectivity, double cost_multiplier) {
-  const bool is_point = TermsArePoint(terms);
-  Plan best;
-  best.decision.index_kind = IndexKind::kSequentialScan;
-  best.decision.index_name = "SeqScan";
-  best.decision.is_point_query = is_point;
-  best.decision.estimated_selectivity = estimated_selectivity;
-  best.decision.estimated_cost =
-      cost_multiplier * KindCost(state, IndexKind::kSequentialScan, terms,
-                                 semantics, estimated_selectivity);
-  int best_rank = PreferenceRank(IndexKind::kSequentialScan, is_point);
-  for (const internal::SnapshotIndexEntry& entry : *state.indexes) {
-    const double cost =
-        cost_multiplier *
-        KindCost(state, entry.kind, terms, semantics, estimated_selectivity);
-    const int rank = PreferenceRank(entry.kind, is_point);
-    if (cost < best.decision.estimated_cost ||
-        (cost == best.decision.estimated_cost && rank < best_rank)) {
-      best.entry = &entry;
-      best.decision.index_kind = entry.kind;
-      best.decision.index_name = entry.index->Name();
-      best.decision.estimated_cost = cost;
-      best_rank = rank;
-    }
-  }
-  return best;
-}
-
-Plan PickForRangeQuery(const internal::SnapshotState& state,
-                       const RangeQuery& query) {
-  return PickPlan(state, query.terms, query.semantics,
-                  TermsSelectivity(state, query.terms, query.semantics),
-                  /*cost_multiplier=*/1.0);
-}
-
-Plan PickForExpression(const internal::SnapshotState& state,
-                       const QueryExpr& expr, MissingSemantics semantics) {
-  std::vector<QueryTerm> leaves;
-  CollectLeafTerms(expr, &leaves);
-  return PickPlan(state, leaves, semantics,
-                  ExprSelectivity(state, expr, semantics),
-                  /*cost_multiplier=*/2.0);
-}
-
-/// Strips logically deleted rows from a result sized to the watermark.
-void StripDeleted(const internal::SnapshotState& state, BitVector* result) {
-  if (state.num_deleted == 0 || state.deleted == nullptr) return;
-  BitVector live = *state.deleted;
-  live.Resize(result->size());
-  live.Flip();
-  result->AndWith(live);
-}
-
-/// Masks deletions, then fills count / row_ids per the request.
-void FinishResult(const internal::SnapshotState& state,
-                  const QueryRequest& request, BitVector result,
-                  QueryResult* out) {
-  StripDeleted(state, &result);
-  out->count = result.Count();
-  if (!request.count_only) out->row_ids = result.ToIndices();
-}
-
-}  // namespace
-
-RoutingDecision RouteRangeQuery(const Snapshot& snapshot,
-                                const RangeQuery& query) {
-  return PickForRangeQuery(snapshot.state(), query).decision;
-}
-
-RoutingDecision RouteExpression(const Snapshot& snapshot,
-                                const QueryExpr& expr,
-                                MissingSemantics semantics) {
-  return PickForExpression(snapshot.state(), expr, semantics).decision;
-}
-
-Result<QueryResult> RunOnSnapshot(const Snapshot& snapshot,
-                                  const QueryRequest& request) {
-  if (!snapshot.valid()) {
-    return Status::InvalidArgument("invalid (default-constructed) snapshot");
-  }
-  const internal::SnapshotState& state = snapshot.state();
-  const Table& table = *state.table;
-
-  QueryResult out;
-  out.epoch = state.epoch;
-  out.visible_rows = state.num_rows;
-
-  if (request.shape == QueryRequest::Shape::kTerms) {
-    RangeQuery query;
-    query.semantics = request.semantics;
-    for (const NamedTerm& term : request.terms) {
-      INCDB_ASSIGN_OR_RETURN(QueryTerm resolved,
-                             ResolveNamedTerm(table, term));
-      query.terms.push_back(resolved);
-    }
-    INCDB_RETURN_IF_ERROR(ValidateQuery(query, table));
-    const Plan plan = PickForRangeQuery(state, query);
-    out.routing = plan.decision;
-    out.chosen_index = plan.decision.index_name;
-    if (plan.entry == nullptr) {
-      BitVector result(state.num_rows);
-      for (uint64_t r = 0; r < state.num_rows; ++r) {
-        if (RowMatches(table, r, query)) result.Set(r);
-      }
-      FinishResult(state, request, std::move(result), &out);
-      return out;
-    }
-    const IncompleteIndex& index = *plan.entry->index;
-    const uint64_t covered = plan.entry->covered_rows;
-    if (request.count_only && covered == state.num_rows &&
-        state.num_deleted == 0) {
-      // Count straight off compressed index storage — no result bitvector.
-      INCDB_ASSIGN_OR_RETURN(out.count, index.ExecuteCount(query, &out.stats));
-      return out;
-    }
-    INCDB_ASSIGN_OR_RETURN(BitVector result, index.Execute(query, &out.stats));
-    if (result.size() != covered) {
-      return Status::Internal(index.Name() + " returned " +
-                              std::to_string(result.size()) +
-                              " rows, expected its build coverage " +
-                              std::to_string(covered));
-    }
-    result.Resize(state.num_rows);
-    // Delta scan: rows appended after the index was built.
-    for (uint64_t r = covered; r < state.num_rows; ++r) {
-      if (RowMatches(table, r, query)) result.Set(r);
-    }
-    FinishResult(state, request, std::move(result), &out);
-    return out;
-  }
-
-  // Expression and text requests share the Kleene evaluation path.
-  std::optional<QueryExpr> parsed;
-  if (request.shape == QueryRequest::Shape::kText) {
-    auto parse_result = ParseQuery(request.text, table);
-    if (!parse_result.ok()) return parse_result.status();
-    parsed = std::move(parse_result).value();
-  } else {
-    if (!request.expression.has_value()) {
-      return Status::InvalidArgument(
-          "expression request carries no expression");
-    }
-    parsed = *request.expression;
-  }
-  const QueryExpr& expr = *parsed;
-  INCDB_RETURN_IF_ERROR(expr.Validate(table));
-  const Plan plan = PickForExpression(state, expr, request.semantics);
-  out.routing = plan.decision;
-  out.chosen_index = plan.decision.index_name;
-  BitVector result(0);
-  if (plan.entry == nullptr) {
-    result.Resize(state.num_rows);
-    for (uint64_t r = 0; r < state.num_rows; ++r) {
-      if (ExprMatches(table, r, expr, request.semantics)) result.Set(r);
-    }
-  } else {
-    const IncompleteIndex& index = *plan.entry->index;
-    const uint64_t covered = plan.entry->covered_rows;
-    INCDB_ASSIGN_OR_RETURN(
-        result, ExecuteExpr(index, expr, request.semantics, &out.stats));
-    if (result.size() != covered) {
-      return Status::Internal(index.Name() + " returned " +
-                              std::to_string(result.size()) +
-                              " rows, expected its build coverage " +
-                              std::to_string(covered));
-    }
-    result.Resize(state.num_rows);
-    for (uint64_t r = covered; r < state.num_rows; ++r) {
-      if (ExprMatches(table, r, expr, request.semantics)) result.Set(r);
-    }
-  }
-  FinishResult(state, request, std::move(result), &out);
-  return out;
 }
 
 }  // namespace incdb

@@ -99,36 +99,10 @@ class Snapshot {
 
 /// Resolves a named term against a table's schema into an attribute index
 /// plus a validated interval.
+///
+/// Cost-based routing and execution against a snapshot live in the plan
+/// layer: plan/planner.h (RouteRangeQuery, RouteExpression, RunOnSnapshot).
 Result<QueryTerm> ResolveNamedTerm(const Table& table, const NamedTerm& term);
-
-/// Picks the cheapest registered structure for a conjunctive range query
-/// using the paper's cost guidance (§6) quantified per query: per-dimension
-/// bitvector accesses for the bitmap family (equality pays the interval
-/// width, range/interval encoding a constant 2), approximation-scan words
-/// plus selectivity-scaled refinement for the VA-file, cell reads for the
-/// scan. The estimated selectivity comes from query/selectivity.h with the
-/// snapshot's actual per-attribute missing rates. Ties fall back to the
-/// paper's preference order (equality first for point queries, range first
-/// otherwise).
-RoutingDecision RouteRangeQuery(const Snapshot& snapshot,
-                                const RangeQuery& query);
-
-/// Routing for a boolean expression: costs are summed over the expression's
-/// leaf terms (each leaf is evaluated under both semantics by the Kleene
-/// executor, hence twice the conjunctive per-term cost); the selectivity
-/// estimate combines term probabilities through the expression structure.
-RoutingDecision RouteExpression(const Snapshot& snapshot,
-                                const QueryExpr& expr,
-                                MissingSemantics semantics);
-
-/// Executes one request against a pinned snapshot: resolve/parse the
-/// predicate, route, execute on the serving index (rows beyond its build
-/// coverage are answered by the row oracle — the delta scan), strip
-/// logically deleted rows, and package the answer with routing decision,
-/// stats, and snapshot identity. This is the one execution path under
-/// Database::Run, RunBatch, and the legacy Query* wrappers.
-Result<QueryResult> RunOnSnapshot(const Snapshot& snapshot,
-                                  const QueryRequest& request);
 
 }  // namespace incdb
 

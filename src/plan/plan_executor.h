@@ -1,0 +1,45 @@
+#ifndef INCDB_PLAN_PLAN_EXECUTOR_H_
+#define INCDB_PLAN_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "core/query_api.h"
+#include "plan/plan.h"
+
+namespace incdb {
+namespace plan {
+
+/// Execution knobs. The default is fully serial; parallel mode partitions
+/// leaf work (one task per index probe, scan ranges split into morsels)
+/// across a worker pool and merges per-task stats deterministically, so a
+/// parallel run is bit-identical to the serial one.
+struct ExecOptions {
+  /// Worker threads for leaf evaluation: 1 = serial (default), 0 = hardware
+  /// concurrency.
+  size_t num_threads = 1;
+  /// Rows per scan morsel. Rounded up to a multiple of 64 so concurrent
+  /// morsels write disjoint 64-bit words of the shared output bitvector
+  /// (the morsel grid is word-aligned; a data-race-free merge needs no
+  /// locks).
+  uint64_t morsel_rows = 65536;
+};
+
+/// Runs a snapshot plan (root must be a sink) and shapes the QueryResult:
+/// evaluates leaves (in parallel when options ask for it), combines
+/// And/Or/Not bottom-up, resizes the main tree's output to the visible
+/// watermark, ORs in the delta scan, strips deleted rows, and fills
+/// count / row_ids / stats / realized per-operator figures. Routing,
+/// epoch/visible_rows and the explain rendering are the caller's
+/// (planner's) job.
+Result<QueryResult> ExecutePlan(PhysicalPlan* plan, const ExecOptions& options);
+
+/// Runs a bare-index plan (root is the operator tree, no sink) serially and
+/// returns the root's output bitvector. Per-operator stats are rolled up
+/// into `stats` when non-null.
+Result<BitVector> ExecutePlanToBitVector(PhysicalPlan* plan,
+                                         QueryStats* stats = nullptr);
+
+}  // namespace plan
+}  // namespace incdb
+
+#endif  // INCDB_PLAN_PLAN_EXECUTOR_H_

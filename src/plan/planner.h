@@ -1,0 +1,75 @@
+#ifndef INCDB_PLAN_PLANNER_H_
+#define INCDB_PLAN_PLANNER_H_
+
+#include "core/query_api.h"
+#include "core/snapshot.h"
+#include "plan/plan.h"
+#include "query/expr.h"
+#include "query/query.h"
+
+namespace incdb {
+namespace plan {
+
+/// Picks the cheapest registered structure for a conjunctive range query
+/// using the paper's cost guidance (§6) quantified per query: per-dimension
+/// bitvector accesses for the bitmap family (equality pays the interval
+/// width, range/interval encoding a constant 2), approximation-scan words
+/// plus selectivity-scaled refinement for the VA-file, cell reads for the
+/// scan. The estimated selectivity comes from query/selectivity.h with the
+/// snapshot's actual per-attribute missing rates. Ties fall back to the
+/// paper's preference order (equality first for point queries, range first
+/// otherwise).
+RoutingDecision RouteRangeQuery(const Snapshot& snapshot,
+                                const RangeQuery& query);
+
+/// Routing for a boolean expression: costs are summed over the expression's
+/// leaf terms (the plan executor computes a single Kleene component per
+/// leaf — the effective semantics after NOT parity — so a leaf costs the
+/// same as a conjunctive term); the selectivity estimate combines term
+/// probabilities through the expression structure.
+RoutingDecision RouteExpression(const Snapshot& snapshot,
+                                const QueryExpr& expr,
+                                MissingSemantics semantics);
+
+/// Lowers one request against a pinned snapshot into an executable
+/// operator tree: resolves / parses / validates the predicate, routes by
+/// predicted cost, and emits sink + index probes (or the scan fallback) +
+/// the delta scan for rows the serving index does not cover. Every
+/// QueryRequest shape — terms, expression, text, either semantics,
+/// count-only or materializing, serial or parallel — lowers through here.
+Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
+                                 const QueryRequest& request);
+
+/// Bare-index planning (no snapshot, no sink): lowers a conjunctive range
+/// query into the probe tree the workload executor runs. The plan's root is
+/// the operator tree itself; execute with ExecutePlanToBitVector.
+Result<PhysicalPlan> PlanRangeOverIndex(const IncompleteIndex& index,
+                                        const RangeQuery& query);
+
+/// Bare-index planning for a boolean expression: lowers AND/OR/NOT
+/// structure onto single-component index probes (effective semantics per
+/// leaf), collapsing pure conjunctions of distinct attributes into fused
+/// native probes. ExecuteExpr is a thin caller of this.
+Result<PhysicalPlan> PlanExprOverIndex(const IncompleteIndex& index,
+                                       const QueryExpr& expr,
+                                       MissingSemantics semantics);
+
+/// Plans and executes one request against a pinned snapshot, packaging the
+/// answer with routing decision, per-operator stats rolled up into
+/// QueryResult::stats, snapshot identity, and (when the request asked for
+/// it) the EXPLAIN rendering of the executed tree. This is the one
+/// execution path under Database::Run, RunBatch, and the CLI.
+Result<QueryResult> RunOnSnapshot(const Snapshot& snapshot,
+                                  const QueryRequest& request);
+
+}  // namespace plan
+
+// The planner entry points predate the plan layer and are used throughout
+// tests/examples as incdb:: names; keep them reachable there.
+using plan::RouteExpression;
+using plan::RouteRangeQuery;
+using plan::RunOnSnapshot;
+
+}  // namespace incdb
+
+#endif  // INCDB_PLAN_PLANNER_H_

@@ -17,16 +17,23 @@ Database MakeDb() {
   return db;
 }
 
+std::vector<uint32_t> RunTerms(const Database& db,
+                               std::vector<NamedTerm> terms,
+                               MissingSemantics semantics) {
+  return db.Run(QueryRequest::Terms(std::move(terms), semantics))
+      .value()
+      .row_ids;
+}
+
 TEST(DatabaseDeleteTest, DeletedRowsDisappearFromQueries) {
   Database db = MakeDb();
   const std::vector<NamedTerm> terms = {{"a0", 1, 8}};
-  const auto before =
-      db.Query(terms, MissingSemantics::kMatch).value();
+  const auto before = RunTerms(db, terms, MissingSemantics::kMatch);
   ASSERT_FALSE(before.empty());
   const uint32_t victim = before.front();
   ASSERT_TRUE(db.Delete(victim).ok());
   EXPECT_TRUE(db.IsDeleted(victim));
-  const auto after = db.Query(terms, MissingSemantics::kMatch).value();
+  const auto after = RunTerms(db, terms, MissingSemantics::kMatch);
   EXPECT_EQ(after.size(), before.size() - 1);
   for (uint32_t r : after) EXPECT_NE(r, victim);
 }
@@ -53,16 +60,12 @@ TEST(DatabaseDeleteTest, DeleteThenInsertKeepsMaskAligned) {
   ASSERT_TRUE(db.Insert({1, 1, 1}).ok());
   const uint32_t new_row = static_cast<uint32_t>(db.num_rows() - 1);
   EXPECT_FALSE(db.IsDeleted(new_row));
-  const auto rows =
-      db.Query({{"a0", 1, 1}, {"a1", 1, 1}, {"a2", 1, 1}},
-               MissingSemantics::kNoMatch)
-          .value();
+  const std::vector<NamedTerm> terms = {
+      {"a0", 1, 1}, {"a1", 1, 1}, {"a2", 1, 1}};
+  const auto rows = RunTerms(db, terms, MissingSemantics::kNoMatch);
   EXPECT_NE(std::find(rows.begin(), rows.end(), new_row), rows.end());
   ASSERT_TRUE(db.Delete(new_row).ok());
-  const auto rows_after =
-      db.Query({{"a0", 1, 1}, {"a1", 1, 1}, {"a2", 1, 1}},
-               MissingSemantics::kNoMatch)
-          .value();
+  const auto rows_after = RunTerms(db, terms, MissingSemantics::kNoMatch);
   EXPECT_EQ(std::find(rows_after.begin(), rows_after.end(), new_row),
             rows_after.end());
 }
@@ -72,11 +75,15 @@ TEST(DatabaseDeleteTest, ExpressionQueriesRespectDeletes) {
   const QueryExpr expr =
       QueryExpr::MakeNot(QueryExpr::MakeTerm(0, {1, 4}));
   const auto before =
-      db.QueryExpression(expr, MissingSemantics::kMatch).value();
+      db.Run(QueryRequest::Expression(expr, MissingSemantics::kMatch))
+          .value()
+          .row_ids;
   ASSERT_FALSE(before.empty());
   ASSERT_TRUE(db.Delete(before.front()).ok());
   const auto after =
-      db.QueryExpression(expr, MissingSemantics::kMatch).value();
+      db.Run(QueryRequest::Expression(expr, MissingSemantics::kMatch))
+          .value()
+          .row_ids;
   EXPECT_EQ(after.size(), before.size() - 1);
 }
 
@@ -84,9 +91,9 @@ TEST(DatabaseDeleteTest, ScanPathAlsoMasksDeletes) {
   Database db =
       Database::FromTable(GenerateTable(UniformSpec(100, 5, 0.1, 2, 953)).value())
           .value();  // no indexes: scan route
-  const auto before = db.Query({{"a0", 1, 5}}, MissingSemantics::kMatch).value();
+  const auto before = RunTerms(db, {{"a0", 1, 5}}, MissingSemantics::kMatch);
   ASSERT_TRUE(db.Delete(before.front()).ok());
-  const auto after = db.Query({{"a0", 1, 5}}, MissingSemantics::kMatch).value();
+  const auto after = RunTerms(db, {{"a0", 1, 5}}, MissingSemantics::kMatch);
   EXPECT_EQ(after.size(), before.size() - 1);
 }
 

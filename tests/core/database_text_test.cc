@@ -21,50 +21,51 @@ Database MakeDb() {
 
 TEST(DatabaseTextTest, SimpleConjunction) {
   const Database db = MakeDb();
-  const auto certain = db.QueryText("rating >= 3 AND price <= 7",
-                                    MissingSemantics::kNoMatch);
+  const auto certain = db.Run(QueryRequest::Text(
+      "rating >= 3 AND price <= 7", MissingSemantics::kNoMatch));
   ASSERT_TRUE(certain.ok()) << certain.status().ToString();
-  EXPECT_EQ(certain.value(), (std::vector<uint32_t>{0}));
-  const auto possible =
-      db.QueryText("rating >= 3 AND price <= 7", MissingSemantics::kMatch);
+  EXPECT_EQ(certain->row_ids, (std::vector<uint32_t>{0}));
+  const auto possible = db.Run(QueryRequest::Text(
+      "rating >= 3 AND price <= 7", MissingSemantics::kMatch));
   ASSERT_TRUE(possible.ok());
-  EXPECT_EQ(possible.value(), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(possible->row_ids, (std::vector<uint32_t>{0, 1, 2}));
 }
 
 TEST(DatabaseTextTest, NegationAndDisjunction) {
   const Database db = MakeDb();
-  const auto rows = db.QueryText("NOT rating >= 3 OR price = 9",
-                                 MissingSemantics::kNoMatch);
+  const auto rows = db.Run(QueryRequest::Text(
+      "NOT rating >= 3 OR price = 9", MissingSemantics::kNoMatch));
   ASSERT_TRUE(rows.ok());
   // row 3 (price 9), row 4 (rating 2). Row 2's rating is missing → unknown.
-  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(rows->row_ids, (std::vector<uint32_t>{3, 4}));
 }
 
 TEST(DatabaseTextTest, RoutesThroughIndexWhenPresent) {
   Database db = MakeDb();
   ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
-  std::string chosen;
-  const auto rows =
-      db.QueryText("rating IN [2,4]", MissingSemantics::kMatch, &chosen);
+  const auto rows = db.Run(
+      QueryRequest::Text("rating IN [2,4]", MissingSemantics::kMatch));
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(chosen, "BEE-WAH");
-  EXPECT_EQ(rows.value(), (std::vector<uint32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(rows->chosen_index, "BEE-WAH");
+  EXPECT_EQ(rows->row_ids, (std::vector<uint32_t>{1, 2, 3, 4}));
 }
 
 TEST(DatabaseTextTest, RespectsDeletes) {
   Database db = MakeDb();
   ASSERT_TRUE(db.Delete(4).ok());
-  const auto rows =
-      db.QueryText("rating <= 2", MissingSemantics::kNoMatch);
+  const auto rows = db.Run(
+      QueryRequest::Text("rating <= 2", MissingSemantics::kNoMatch));
   ASSERT_TRUE(rows.ok());
-  EXPECT_TRUE(rows.value().empty());
+  EXPECT_TRUE(rows->row_ids.empty());
 }
 
 TEST(DatabaseTextTest, ParseErrorsSurface) {
   const Database db = MakeDb();
-  const auto bad = db.QueryText("rating <=> 2", MissingSemantics::kMatch);
+  const auto bad = db.Run(
+      QueryRequest::Text("rating <=> 2", MissingSemantics::kMatch));
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
-  const auto unknown = db.QueryText("ratings = 2", MissingSemantics::kMatch);
+  const auto unknown = db.Run(
+      QueryRequest::Text("ratings = 2", MissingSemantics::kMatch));
   EXPECT_FALSE(unknown.ok());
 }
 

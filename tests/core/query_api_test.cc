@@ -100,6 +100,7 @@ TEST(QueryApiTest, CountOnlyAgreesWithMaterializedCountUnderDeltaAndDeletes) {
   EXPECT_EQ(full->count, 2u);  // rows 2 (missing) and 4 (delta insert).
 }
 
+#ifdef INCDB_LEGACY_API
 TEST(QueryApiTest, LegacyWrappersAgreeWithRunOnEveryShape) {
   Database db = MakeSmallDb();
   ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapRange).ok());
@@ -139,6 +140,7 @@ TEST(QueryApiTest, LegacyWrappersAgreeWithRunOnEveryShape) {
     EXPECT_EQ(unified_text->row_ids, unified_expr->row_ids);
   }
 }
+#endif  // INCDB_LEGACY_API
 
 TEST(QueryApiTest, RunRejectsBadRequests) {
   const Database db = MakeSmallDb();

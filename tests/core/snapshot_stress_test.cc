@@ -14,6 +14,7 @@
 
 #include "core/database.h"
 #include "core/snapshot.h"
+#include "plan/planner.h"
 #include "table/generator.h"
 
 namespace incdb {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "plan/planner.h"
 #include "table/generator.h"
 
 namespace incdb {

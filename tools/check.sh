@@ -6,7 +6,8 @@
 #
 # Default is asan (AddressSanitizer + UBSan). tsan (ThreadSanitizer) is the
 # gate for the concurrent snapshot/serving paths — the snapshot stress
-# tests race 8 readers against a mutating writer under it.
+# tests race 8 readers against a mutating writer, and the plan-labeled
+# suite drives the morsel-parallel plan executor, under it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,3 +21,10 @@ fi
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" -j "$(nproc)" "$@"
+
+if [[ "$preset" == "tsan" ]]; then
+  # Explicit second pass over the plan suite: the morsel-parallel executor
+  # (word-aligned scan morsels, concurrent index probes) must be TSan-clean
+  # even when the caller filtered the main invocation with extra ctest args.
+  ctest --preset "$preset" -L plan --output-on-failure
+fi

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   incdb_cli <data.csv> [--index=KIND] [--semantics=match|no-match]
-//             [--count] [--limit=N] "<predicate>"
+//             [--count] [--limit=N] [--explain] [--threads=N] "<predicate>"
 //   incdb_cli <data.csv> --stats
 //   incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] [--point]
 //   incdb_cli <data.csv> [--index=KIND] --save=DIR
@@ -41,6 +41,9 @@ struct CliOptions {
   std::string index = "auto";
   MissingSemantics semantics = MissingSemantics::kMatch;
   bool count_only = false;
+  bool explain = false;
+  // Plan-leaf worker threads: 1 = serial, 0 = hardware concurrency.
+  size_t threads = 1;
   bool stats = false;
   bool advise = false;
   std::string save_dir;
@@ -58,7 +61,7 @@ int Usage() {
       stderr,
       "usage: incdb_cli <data.csv> [--index=bee|bre|bie|bsl|va|va+|scan]\n"
       "                 [--semantics=match|no-match] [--count] [--limit=N]\n"
-      "                 \"<predicate>\"\n"
+      "                 [--explain] [--threads=N] \"<predicate>\"\n"
       "       incdb_cli <data.csv> --stats\n"
       "       incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] "
       "[--point]\n"
@@ -95,6 +98,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--count") {
       options->count_only = true;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options->threads = static_cast<size_t>(std::atoll(arg.c_str() + 10));
     } else if (arg.rfind("--save=", 0) == 0) {
       options->save_dir = arg.substr(7);
     } else if (arg.rfind("--open=", 0) == 0) {
@@ -244,10 +251,17 @@ int Main(int argc, char** argv) {
 int RunQuery(Database& db, const CliOptions& options) {
   const auto result =
       db.Run(QueryRequest::Text(options.query_text, options.semantics)
-                 .CountOnly(options.count_only));
+                 .CountOnly(options.count_only)
+                 .Parallel(options.threads)
+                 .Explain(options.explain));
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (options.explain) {
+    // The operator tree that actually ran, with estimated vs realized
+    // selectivity and per-operator cost counters.
+    std::fprintf(stderr, "%s", result->explain.c_str());
   }
   std::fprintf(
       stderr, "# %llu match(es) via %s [%s] epoch=%llu rows=%llu\n",

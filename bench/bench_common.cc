@@ -20,6 +20,13 @@ struct JsonEntry {
 std::string g_json_path;                 // NOLINT: bench-process lifetime
 std::vector<JsonEntry>* g_json_entries;  // NOLINT
 
+// Function-local static instead of a raw `new` so the storage is
+// RAII-managed; the pointer above doubles as the "--json enabled" flag.
+std::vector<JsonEntry>& JsonEntriesStorage() {
+  static std::vector<JsonEntry> entries;  // NOLINT: bench-process lifetime
+  return entries;
+}
+
 // Benchmark names/configs are plain identifiers, but escape defensively so
 // the output is always valid JSON.
 std::string JsonEscape(const std::string& s) {
@@ -46,7 +53,7 @@ void Init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       g_json_path = argv[++i];
-      if (g_json_entries == nullptr) g_json_entries = new std::vector<JsonEntry>;
+      if (g_json_entries == nullptr) g_json_entries = &JsonEntriesStorage();
     } else {
       std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
       std::exit(2);

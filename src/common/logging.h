@@ -4,8 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 
-/// Aborts with a diagnostic when `cond` is false. Used for programming-error
-/// invariants only; runtime conditions are reported via Status.
+#include "common/status.h"
+
+/// Invariant macros. INCDB_CHECK* abort on violated *programming-error*
+/// invariants; runtime conditions (bad input, I/O failure, corruption) are
+/// reported via Status and propagated with INCDB_RETURN_IF_ERROR instead.
+/// The static-analysis gate (docs/STATIC_ANALYSIS.md) bans plain assert()
+/// in favour of these: they fire in every build type (DCHECK excepted) and
+/// print the file, line, and the violated condition.
+
+/// Aborts with a diagnostic when `cond` is false.
 #define INCDB_CHECK(cond)                                                   \
   do {                                                                      \
     if (!(cond)) {                                                          \
@@ -15,6 +23,7 @@
     }                                                                       \
   } while (false)
 
+/// INCDB_CHECK with an extra human-readable context string.
 #define INCDB_CHECK_MSG(cond, msg)                                          \
   do {                                                                      \
     if (!(cond)) {                                                          \
@@ -24,13 +33,31 @@
     }                                                                       \
   } while (false)
 
-/// Debug-only check, compiled out in NDEBUG builds.
+/// Aborts when a Status-returning expression is not OK. For setup paths and
+/// tests where failure is a programming error; production code paths should
+/// propagate with INCDB_RETURN_IF_ERROR instead.
+#define INCDB_CHECK_OK(expr)                                                \
+  do {                                                                      \
+    const ::incdb::Status _incdb_check_status = (expr);                     \
+    if (!_incdb_check_status.ok()) {                                        \
+      std::fprintf(stderr, "INCDB_CHECK_OK failed at %s:%d: %s -> %s\n",    \
+                   __FILE__, __LINE__, #expr,                               \
+                   _incdb_check_status.ToString().c_str());                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only checks, compiled out in NDEBUG builds.
 #ifdef NDEBUG
 #define INCDB_DCHECK(cond) \
   do {                     \
   } while (false)
+#define INCDB_DCHECK_MSG(cond, msg) \
+  do {                              \
+  } while (false)
 #else
 #define INCDB_DCHECK(cond) INCDB_CHECK(cond)
+#define INCDB_DCHECK_MSG(cond, msg) INCDB_CHECK_MSG(cond, msg)
 #endif
 
 #endif  // INCDB_COMMON_LOGGING_H_

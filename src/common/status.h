@@ -32,7 +32,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Cheap to copy in the OK case (empty message). Construct error statuses via
 /// the named factories, e.g. `Status::InvalidArgument("cardinality must be
 /// positive")`.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status and
+/// drops it on the floor is a compile error under -Werror. Propagate with
+/// INCDB_RETURN_IF_ERROR, assert with INCDB_CHECK_OK (common/logging.h), or
+/// explain the rare deliberate drop with a named local.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -69,12 +74,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -89,8 +94,11 @@ class Status {
 ///
 /// Access the value only after checking `ok()`; accessing the value of an
 /// error Result aborts (programming error, not a runtime condition).
+///
+/// [[nodiscard]] like Status: ignoring a returned Result silently discards
+/// both the value and the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `Result<int> r = 42;`.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -98,10 +106,10 @@ class Result {
   Result(Status status)  // NOLINT(runtime/explicit)
       : payload_(std::move(status)) {}
 
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// The error status; Status::OK() if this holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(payload_);
   }

@@ -1,0 +1,143 @@
+#ifndef INCDB_COMMON_THREAD_ANNOTATIONS_H_
+#define INCDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang Thread Safety Analysis annotations (-Wthread-safety), no-ops on
+/// every other compiler. The project's locking invariants — "writer state
+/// only under writer_mu", "the published head pointer only under head_mu",
+/// "appends only from the single-writer role" — are declared with these
+/// macros so a lock-discipline violation is a *compile error* on the clang
+/// CI cells (which build with -Wthread-safety -Werror), not a TSan find.
+///
+/// How to annotate a new mutex, and how to suppress a false positive, is
+/// documented in docs/STATIC_ANALYSIS.md.
+///
+/// The analysis only understands annotated capabilities, so lock state that
+/// should participate must use incdb::Mutex / incdb::MutexLock below rather
+/// than raw std::mutex / std::lock_guard.
+
+#if defined(__clang__)
+#define INCDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define INCDB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability ("mutex", or a fictitious role such
+/// as "role" for single-writer protocols).
+#define INCDB_CAPABILITY(name) INCDB_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define INCDB_SCOPED_CAPABILITY INCDB_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while holding the given
+/// capability.
+#define INCDB_GUARDED_BY(x) INCDB_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee of the annotated pointer field is protected by the given
+/// capability (the pointer itself is not).
+#define INCDB_PT_GUARDED_BY(x) INCDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the given
+/// capability exclusively / shared.
+#define INCDB_REQUIRES(...) \
+  INCDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define INCDB_REQUIRES_SHARED(...) \
+  INCDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires / releases the given capability.
+#define INCDB_ACQUIRE(...) \
+  INCDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define INCDB_ACQUIRE_SHARED(...) \
+  INCDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define INCDB_RELEASE(...) \
+  INCDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define INCDB_RELEASE_SHARED(...) \
+  INCDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called while holding the given
+/// capability (it acquires it itself; prevents self-deadlock).
+#define INCDB_EXCLUDES(...) INCDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The annotated function returns a reference to the given capability
+/// (accessor pattern: callers lock through the accessor).
+#define INCDB_RETURN_CAPABILITY(x) INCDB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the protocol is sound (and is reviewed
+/// by tools/lint.py's suppression audit).
+#define INCDB_NO_THREAD_SAFETY_ANALYSIS \
+  INCDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace incdb {
+
+/// std::mutex wrapper that participates in thread safety analysis. Same
+/// cost, but lock/unlock sites and GUARDED_BY fields are now checked at
+/// compile time on clang.
+class INCDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() INCDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() INCDB_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for incdb::Mutex (std::lock_guard is invisible to the
+/// analysis; this is not).
+class INCDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) INCDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() INCDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// A fictitious capability modelling an exclusive *role* rather than a
+/// lock: acquiring it costs nothing at runtime, but functions annotated
+/// INCDB_REQUIRES(role) can only be called by code that explicitly claims
+/// the role, making single-writer protocols (table appends, the post-join
+/// stats merge in the plan executor) visible to the compiler. The analysis
+/// is per-thread; cross-thread exclusion is still the job of the mutex or
+/// protocol that hands the role over (and of TSan).
+class INCDB_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  // Roles are stateless: copying the enclosing object (Column, Table) must
+  // stay possible, and the copy starts unclaimed like any fresh role.
+  ThreadRole(const ThreadRole&) {}
+  ThreadRole& operator=(const ThreadRole&) { return *this; }
+
+  void Acquire() INCDB_ACQUIRE() {}
+  void AcquireShared() INCDB_ACQUIRE_SHARED() {}
+  void Release() INCDB_RELEASE() {}
+  void ReleaseShared() INCDB_RELEASE_SHARED() {}
+};
+
+/// RAII claim of a ThreadRole for one scope.
+class INCDB_SCOPED_CAPABILITY ScopedRole {
+ public:
+  explicit ScopedRole(ThreadRole& role) INCDB_ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~ScopedRole() INCDB_RELEASE() { role_.Release(); }
+
+  ScopedRole(const ScopedRole&) = delete;
+  ScopedRole& operator=(const ScopedRole&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -18,6 +18,10 @@ Database::Database(Table table)
       shared_(std::make_unique<Shared>()),
       registry_(
           std::make_shared<const std::vector<internal::SnapshotIndexEntry>>()) {
+  // Nobody else can see `this` yet, but Publish and the guarded fields
+  // require writer_mu, so claim it (uncontended) to keep the thread-safety
+  // analysis airtight instead of suppressing it for constructors.
+  const MutexLock writer_lock(&shared_->writer_mu);
   missing_counts_.resize(table_->num_attributes());
   for (size_t attr = 0; attr < table_->num_attributes(); ++attr) {
     missing_counts_[attr] = table_->column(attr).MissingCount();
@@ -58,6 +62,7 @@ Result<Database> Database::Open(const std::string& dir,
   INCDB_ASSIGN_OR_RETURN(storage::OpenedStore store,
                          storage::OpenStore(dir, options));
   Database db(store.table, OpenTag{});
+  const MutexLock writer_lock(&db.shared_->writer_mu);
   db.mapping_pin_ = store.mapping;
   db.deleted_ = store.deleted;
   db.num_deleted_ = store.num_deleted;
@@ -95,12 +100,12 @@ void Database::Publish() {
   state->num_deleted = num_deleted_;
   state->indexes = registry_;
   state->missing_counts = missing_counts_;
-  std::lock_guard<std::mutex> head_lock(shared_->head_mu);
+  const MutexLock head_lock(&shared_->head_mu);
   shared_->head = std::move(state);
 }
 
 Snapshot Database::GetSnapshot() const {
-  std::lock_guard<std::mutex> head_lock(shared_->head_mu);
+  const MutexLock head_lock(&shared_->head_mu);
   return Snapshot(shared_->head);
 }
 
@@ -163,7 +168,7 @@ BatchResult Database::RunBatch(const std::vector<QueryRequest>& requests,
 }
 
 Status Database::Insert(const std::vector<Value>& row) {
-  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  const MutexLock writer_lock(&shared_->writer_mu);
   INCDB_RETURN_IF_ERROR(table_->AppendRow(row));
   for (size_t attr = 0; attr < row.size(); ++attr) {
     if (row[attr] == kMissingValue) ++missing_counts_[attr];
@@ -174,7 +179,7 @@ Status Database::Insert(const std::vector<Value>& row) {
 }
 
 Status Database::Delete(uint32_t row) {
-  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  const MutexLock writer_lock(&shared_->writer_mu);
   const uint64_t watermark = table_->num_rows();
   if (row >= watermark) {
     return Status::OutOfRange("row " + std::to_string(row) + " out of range");
@@ -207,7 +212,7 @@ uint64_t Database::num_deleted_rows() const {
 }
 
 Status Database::BuildIndex(IndexKind kind) {
-  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  const MutexLock writer_lock(&shared_->writer_mu);
   if (kind == IndexKind::kSequentialScan) {
     return Status::InvalidArgument(
         "the sequential scan is always available; no index to build");
@@ -241,7 +246,7 @@ Status Database::BuildIndex(IndexKind kind) {
 }
 
 Status Database::DropIndex(IndexKind kind) {
-  std::lock_guard<std::mutex> writer_lock(shared_->writer_mu);
+  const MutexLock writer_lock(&shared_->writer_mu);
   auto registry =
       std::make_shared<std::vector<internal::SnapshotIndexEntry>>(*registry_);
   auto pos = std::find_if(registry->begin(), registry->end(),

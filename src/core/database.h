@@ -2,10 +2,10 @@
 #define INCDB_CORE_DATABASE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/incomplete_index.h"
 #include "core/index_factory.h"
 #include "core/query_api.h"
@@ -84,7 +84,7 @@ class Database {
   /// Pins the current epoch. The returned Snapshot is immutable, cheap to
   /// copy, and valid for as long as the Database (and therefore the shared
   /// table) is alive.
-  Snapshot GetSnapshot() const;
+  Snapshot GetSnapshot() const INCDB_EXCLUDES(shared_->head_mu);
 
   /// Executes one request against a freshly pinned snapshot: resolves the
   /// predicate, routes by predicted cost, executes (index + delta scan),
@@ -102,12 +102,13 @@ class Database {
   /// Appends a row and publishes a new epoch. Existing indexes are NOT
   /// extended (they are immutable); queries cover the new row via the
   /// delta scan.
-  Status Insert(const std::vector<Value>& row);
+  Status Insert(const std::vector<Value>& row)
+      INCDB_EXCLUDES(shared_->writer_mu);
 
   /// Logically deletes a row: copy-on-write on the deletion mask, then
   /// publishes a new epoch. Already-pinned snapshots still see the row.
   /// Deleting a row twice is an error.
-  Status Delete(uint32_t row);
+  Status Delete(uint32_t row) INCDB_EXCLUDES(shared_->writer_mu);
 
   /// True if `row` is logically deleted in the current epoch.
   bool IsDeleted(uint32_t row) const;
@@ -119,11 +120,11 @@ class Database {
   /// Builds an index over all rows visible now and publishes a new epoch
   /// (rebuilding if already present — a rebuild is also how appended rows
   /// get re-covered).
-  Status BuildIndex(IndexKind kind);
+  Status BuildIndex(IndexKind kind) INCDB_EXCLUDES(shared_->writer_mu);
   /// Unregisters an index and publishes a new epoch; queries fall back to
   /// other indexes or a scan. In-flight readers that pinned the old epoch
   /// keep the index alive until they finish.
-  Status DropIndex(IndexKind kind);
+  Status DropIndex(IndexKind kind) INCDB_EXCLUDES(shared_->writer_mu);
   bool HasIndex(IndexKind kind) const;
   /// Registered index kinds, ascending.
   std::vector<IndexKind> Indexes() const;
@@ -166,17 +167,20 @@ class Database {
   Database(std::shared_ptr<Table> table, OpenTag);
 
   /// Builds a SnapshotState from the writer-side fields and swaps the head
-  /// pointer. Caller must hold shared_->writer_mu.
-  void Publish();
+  /// pointer. The writer_mu requirement is compiler-enforced on clang.
+  void Publish() INCDB_REQUIRES(shared_->writer_mu)
+      INCDB_EXCLUDES(shared_->head_mu);
 
   /// Mutexes and the head pointer live behind a unique_ptr so the Database
   /// itself stays movable.
   struct Shared {
-    /// Serializes all mutators.
-    std::mutex writer_mu;
+    /// Serializes all mutators; every writer-side field below is
+    /// INCDB_GUARDED_BY it.
+    Mutex writer_mu;
     /// Guards `head` (pointer swap/copy only — never held during work).
-    std::mutex head_mu;
-    std::shared_ptr<const internal::SnapshotState> head;
+    Mutex head_mu;
+    std::shared_ptr<const internal::SnapshotState> head
+        INCDB_GUARDED_BY(head_mu);
   };
 
   // Heap-allocated so snapshot/index back-references to the table stay
@@ -191,14 +195,17 @@ class Database {
 
   // Writer-side state, guarded by shared_->writer_mu. Published versions
   // are immutable; these are the working copies the next epoch is built
-  // from.
-  uint64_t epoch_ = 0;
-  std::shared_ptr<const std::vector<internal::SnapshotIndexEntry>> registry_;
-  std::shared_ptr<const BitVector> deleted_;
-  uint64_t num_deleted_ = 0;
+  // from. The GUARDED_BY annotations make an unlocked access a compile
+  // error on the clang cells.
+  uint64_t epoch_ INCDB_GUARDED_BY(shared_->writer_mu) = 0;
+  std::shared_ptr<const std::vector<internal::SnapshotIndexEntry>> registry_
+      INCDB_GUARDED_BY(shared_->writer_mu);
+  std::shared_ptr<const BitVector> deleted_
+      INCDB_GUARDED_BY(shared_->writer_mu);
+  uint64_t num_deleted_ INCDB_GUARDED_BY(shared_->writer_mu) = 0;
   /// Per-attribute missing-cell counts, maintained incrementally on Insert
   /// (feeds the router's selectivity model without O(n) rescans).
-  std::vector<uint64_t> missing_counts_;
+  std::vector<uint64_t> missing_counts_ INCDB_GUARDED_BY(shared_->writer_mu);
 };
 
 }  // namespace incdb

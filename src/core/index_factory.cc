@@ -15,7 +15,7 @@ template <typename T>
 Result<std::unique_ptr<IncompleteIndex>> Wrap(Result<T> result) {
   if (!result.ok()) return result.status();
   return std::unique_ptr<IncompleteIndex>(
-      new T(std::move(result).value()));
+      std::make_unique<T>(std::move(result).value()));
 }
 
 }  // namespace
@@ -48,7 +48,8 @@ Result<std::unique_ptr<IncompleteIndex>> CreateIndex(IndexKind kind,
                                                      const Table& table) {
   switch (kind) {
     case IndexKind::kSequentialScan:
-      return std::unique_ptr<IncompleteIndex>(new ScanIndex(table));
+      return std::unique_ptr<IncompleteIndex>(
+          std::make_unique<ScanIndex>(table));
     case IndexKind::kBitmapEquality:
       return Wrap(BitmapIndex::Build(
           table, {BitmapEncoding::kEquality, MissingStrategy::kExtraBitmap}));

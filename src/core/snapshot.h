@@ -31,6 +31,17 @@ struct SnapshotIndexEntry {
 /// BuildIndex / DropIndex build a fresh one (copy-on-write for the index
 /// registry and the deletion mask, append-only watermarking for the table)
 /// and swap the Database head pointer.
+///
+/// Immutability is enforced by construction and by the compile-time gate
+/// (docs/STATIC_ANALYSIS.md): a state is only reachable through
+/// shared_ptr<const SnapshotState>, so post-publish mutation does not
+/// type-check; the one mutable handle exists inside Database::Publish,
+/// which clang's thread-safety analysis only admits under writer_mu, and
+/// the head-pointer swap it ends with only under head_mu (both
+/// INCDB_GUARDED_BY-annotated in core/database.h). The writer-side working
+/// copies these states are built from carry the same GUARDED_BY
+/// annotations, so an unlocked write anywhere on the publish path is a
+/// compile error on the clang CI cells.
 struct SnapshotState {
   /// The shared append-only table. Cells of rows < num_rows are immutable
   /// and safe to read concurrently with the single writer.

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace incdb {
 namespace plan {
 
@@ -87,7 +89,15 @@ Status CollectTasks(PlanNode* node, uint64_t morsel_rows,
   return Status::OK();
 }
 
-void RunTask(LeafTask* task) {
+/// Runs one leaf task. Requires the execution phase *shared*: any number of
+/// workers may run tasks concurrently (each owns its claimed task's slots
+/// and writes disjoint output words), but none may touch the cross-task
+/// realized stats — that needs the phase exclusively (see MergeTaskStats).
+/// The phase role is a compile-time protocol marker (ThreadRole, zero
+/// runtime cost); cross-thread exclusion itself is delivered by the atomic
+/// task claim + join and checked by TSan.
+void RunTask(LeafTask* task, ThreadRole& phase) INCDB_REQUIRES_SHARED(phase) {
+  (void)phase;
   PlanNode& node = *task->node;
   if (task->is_probe) {
     auto result = node.index->Execute(node.probe, &task->stats);
@@ -118,35 +128,54 @@ void RunTask(LeafTask* task) {
   task->stats.words_touched += (task->end - task->begin) * cells_per_row;
 }
 
-Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, tasks->size());
-  if (num_threads <= 1) {
-    for (LeafTask& task : *tasks) RunTask(&task);
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back([tasks, &next]() {
-        for (;;) {
-          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= tasks->size()) break;
-          RunTask(&(*tasks)[i]);
-        }
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
-  }
-  // Deterministic merge: task order is plan order regardless of which
-  // worker ran what, so serial and parallel runs report identical stats.
+/// Deterministic post-join merge: task order is plan order regardless of
+/// which worker ran what, so serial and parallel runs report identical
+/// stats. Requires the execution phase *exclusively* — the compiler rejects
+/// a merge that could still race the workers.
+Status MergeTaskStats(std::vector<LeafTask>* tasks, ThreadRole& phase)
+    INCDB_REQUIRES(phase) {
+  (void)phase;
   for (LeafTask& task : *tasks) {
     INCDB_RETURN_IF_ERROR(task.status);
     task.node->realized.stats.MergeFrom(task.stats);
   }
   return Status::OK();
+}
+
+Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads) {
+  // Two-phase worker coordination, made visible to the thread-safety
+  // analysis: workers hold `phase` shared while executing leaf tasks; the
+  // coordinator takes it exclusively (only after join) for the stats merge.
+  ThreadRole phase;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, tasks->size());
+  if (num_threads <= 1) {
+    phase.AcquireShared();
+    for (LeafTask& task : *tasks) RunTask(&task, phase);
+    phase.ReleaseShared();
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([tasks, &next, &phase]() {
+        phase.AcquireShared();
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= tasks->size()) break;
+          RunTask(&(*tasks)[i], phase);
+        }
+        phase.ReleaseShared();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  phase.Acquire();
+  const Status merged = MergeTaskStats(tasks, phase);
+  phase.Release();
+  return merged;
 }
 
 void FinalizeNode(PlanNode* node, const BitVector& out) {

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace incdb {
 
 Column::Column(uint32_t cardinality) : cardinality_(cardinality) {}
 
 Column Column::Borrowed(uint32_t cardinality, const Value* values,
                         uint64_t count) {
+  // Borrowed-view invariant: a non-empty prefix must have real backing
+  // memory — a null base with count > 0 would make every Get a wild read.
+  INCDB_CHECK_MSG(values != nullptr || count == 0,
+                  "borrowed column prefix with null backing memory");
   Column column(cardinality);
   column.borrowed_ = values;
   column.num_borrowed_ = count;
@@ -45,6 +51,7 @@ Status Column::Append(Value v) {
                               " outside domain [1, " +
                               std::to_string(cardinality_) + "]");
   }
+  const ScopedRole role(writer_role());
   AppendUnchecked(v);
   return Status::OK();
 }

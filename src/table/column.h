@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "table/value.h"
 
 namespace incdb {
@@ -53,13 +54,23 @@ class Column {
   /// in-memory column.
   uint64_t borrowed_rows() const { return num_borrowed_; }
 
+  /// The column's single-writer role: the capability every unchecked append
+  /// must hold. Claiming it (ScopedRole) costs nothing at runtime; it makes
+  /// the "one writer, appends never touch published rows" protocol a
+  /// compile-time obligation under clang's -Wthread-safety instead of a
+  /// comment. Table's append machinery claims it per column; any other
+  /// caller of AppendUnchecked must claim it explicitly.
+  ThreadRole& writer_role() const INCDB_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
   /// Appends a value (kMissingValue allowed). Rejects values outside
-  /// [1, cardinality].
+  /// [1, cardinality]. Claims the writer role internally.
   Status Append(Value v);
 
   /// Appends without validation (generator fast path; caller guarantees
-  /// domain membership).
-  void AppendUnchecked(Value v) {
+  /// domain membership and must hold the writer role).
+  void AppendUnchecked(Value v) INCDB_REQUIRES(writer_role_) {
     const uint64_t biased = (size_ - num_borrowed_) + kFirstBlockSize;
     const int high_bit = 63 - __builtin_clzll(biased);
     const size_t block = static_cast<size_t>(high_bit) - kFirstBlockBits;
@@ -108,6 +119,8 @@ class Column {
 
   uint32_t cardinality_;
   uint64_t size_ = 0;
+  /// See writer_role(). Mutable: claiming a role is not a logical mutation.
+  mutable ThreadRole writer_role_;
   /// Non-owning prefix of rows [0, num_borrowed_); see Borrowed(). Blocks
   /// then hold rows num_borrowed_.. (block math is relative to the prefix).
   const Value* borrowed_ = nullptr;

@@ -1,8 +1,11 @@
 #include "table/csv.h"
 
+#include <charconv>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <system_error>
 #include <vector>
 
 namespace incdb {
@@ -16,6 +19,22 @@ std::vector<std::string> SplitComma(const std::string& line) {
   while (std::getline(stream, field, ',')) fields.push_back(field);
   if (!line.empty() && line.back() == ',') fields.push_back("");
   return fields;
+}
+
+/// Parses a whole field as a decimal integer without throwing. Unlike the
+/// std::sto* family this rejects partial parses ("12abc"), leading
+/// whitespace, and empty fields, so a malformed cell surfaces as a
+/// diagnosable Status instead of a silently mangled value.
+Result<int64_t> ParseNumber(std::string_view field) {
+  int64_t parsed = 0;
+  const char* const first = field.data();
+  const char* const last = first + field.size();
+  const std::from_chars_result r = std::from_chars(first, last, parsed);
+  if (r.ec != std::errc() || r.ptr != last || field.empty()) {
+    return Status::InvalidArgument("'" + std::string(field) +
+                                   "' is not a decimal integer");
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -62,13 +81,14 @@ Result<Table> ReadCsv(const std::string& path) {
     }
     AttributeSpec spec;
     spec.name = field.substr(0, colon);
-    try {
-      spec.cardinality =
-          static_cast<uint32_t>(std::stoul(field.substr(colon + 1)));
-    } catch (...) {
+    const Result<int64_t> cardinality =
+        ParseNumber(std::string_view(field).substr(colon + 1));
+    if (!cardinality.ok() || *cardinality < 0 ||
+        *cardinality > std::numeric_limits<uint32_t>::max()) {
       return Status::InvalidArgument("header field '" + field +
                                      "' has non-numeric cardinality");
     }
+    spec.cardinality = static_cast<uint32_t>(*cardinality);
     attrs.push_back(spec);
   }
   INCDB_ASSIGN_OR_RETURN(Table table, Table::Create(Schema(attrs)));
@@ -89,13 +109,14 @@ Result<Table> ReadCsv(const std::string& path) {
       if (fields[i] == "?") {
         row[i] = kMissingValue;
       } else {
-        try {
-          row[i] = static_cast<Value>(std::stol(fields[i]));
-        } catch (...) {
+        const Result<int64_t> value = ParseNumber(fields[i]);
+        if (!value.ok() || *value < std::numeric_limits<Value>::min() ||
+            *value > std::numeric_limits<Value>::max()) {
           return Status::InvalidArgument("'" + path + "' line " +
                                          std::to_string(line_no) +
                                          ": bad value '" + fields[i] + "'");
         }
+        row[i] = static_cast<Value>(*value);
       }
     }
     INCDB_RETURN_IF_ERROR(table.AppendRow(row));

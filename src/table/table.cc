@@ -65,6 +65,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
     }
   }
   for (size_t i = 0; i < row.size(); ++i) {
+    const ScopedRole role(columns_[i].writer_role());
     columns_[i].AppendUnchecked(row[i]);
   }
   // Release so a reader that observes the new count also observes the cells.
@@ -75,6 +76,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
 void Table::AppendRowUnchecked(const std::vector<Value>& row) {
   INCDB_DCHECK(row.size() == columns_.size());
   for (size_t i = 0; i < row.size(); ++i) {
+    const ScopedRole role(columns_[i].writer_role());
     columns_[i].AppendUnchecked(row[i]);
   }
   num_rows_.fetch_add(1, std::memory_order_release);

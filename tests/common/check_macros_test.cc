@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace incdb {
+namespace {
+
+TEST(CheckMacrosTest, PassingChecksAreSilent) {
+  INCDB_CHECK(1 + 1 == 2);
+  INCDB_CHECK_MSG(true, "never printed");
+  INCDB_CHECK_OK(Status::OK());
+  INCDB_DCHECK(true);
+  INCDB_DCHECK_MSG(true, "never printed");
+}
+
+TEST(CheckMacrosDeathTest, CheckAbortsWithConditionText) {
+  EXPECT_DEATH(INCDB_CHECK(2 + 2 == 5), "INCDB_CHECK failed.*2 \\+ 2 == 5");
+}
+
+TEST(CheckMacrosDeathTest, CheckMsgAbortsWithContext) {
+  EXPECT_DEATH(INCDB_CHECK_MSG(false, "run boundary violated"),
+               "run boundary violated");
+}
+
+TEST(CheckMacrosDeathTest, CheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(INCDB_CHECK_OK(Status::IOError("disk gone")),
+               "INCDB_CHECK_OK failed.*IOError.*disk gone");
+}
+
+TEST(CheckMacrosDeathTest, CheckOkEvaluatesExpressionOnce) {
+  int calls = 0;
+  const auto count_and_succeed = [&]() {
+    ++calls;
+    return Status::OK();
+  };
+  INCDB_CHECK_OK(count_and_succeed());
+  EXPECT_EQ(calls, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckMacrosDeathTest, DcheckCompiledOutInReleaseBuilds) {
+  // Must not abort, and must not even evaluate the condition.
+  int evaluations = 0;
+  INCDB_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  INCDB_DCHECK_MSG(false, "ignored");
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckMacrosDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(INCDB_DCHECK(false), "INCDB_CHECK failed");
+  EXPECT_DEATH(INCDB_DCHECK_MSG(false, "debug-only context"),
+               "debug-only context");
+}
+#endif
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace incdb {
+namespace {
+
+Status FailWith(StatusCode code) { return Status(code, "boom"); }
+
+// --- INCDB_RETURN_IF_ERROR --------------------------------------------------
+
+Status PropagateAfterCounting(const Status& input, int* evaluations) {
+  ++*evaluations;
+  INCDB_RETURN_IF_ERROR(input);
+  ++*evaluations;
+  return Status::OK();
+}
+
+TEST(ReturnIfErrorTest, OkFallsThrough) {
+  int evaluations = 0;
+  const Status s = PropagateAfterCounting(Status::OK(), &evaluations);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(ReturnIfErrorTest, ErrorReturnsEarlyWithSameStatus) {
+  int evaluations = 0;
+  const Status s =
+      PropagateAfterCounting(FailWith(StatusCode::kIOError), &evaluations);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(evaluations, 1) << "statements after the macro must not run";
+}
+
+Status EvaluateOnce(int* calls) {
+  ++*calls;
+  return Status::OK();
+}
+
+TEST(ReturnIfErrorTest, EvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  const Status s = [&]() -> Status {
+    INCDB_RETURN_IF_ERROR(EvaluateOnce(&calls));
+    return Status::OK();
+  }();
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+// --- INCDB_ASSIGN_OR_RETURN -------------------------------------------------
+
+Result<int> MakeInt(bool ok) {
+  if (!ok) return Status::NotFound("no int");
+  return 42;
+}
+
+Status SumTwo(bool first_ok, bool second_ok, int* out) {
+  INCDB_ASSIGN_OR_RETURN(const int a, MakeInt(first_ok));
+  INCDB_ASSIGN_OR_RETURN(const int b, MakeInt(second_ok));
+  *out = a + b;
+  return Status::OK();
+}
+
+TEST(AssignOrReturnTest, BindsValueOnOk) {
+  int out = 0;
+  EXPECT_TRUE(SumTwo(true, true, &out).ok());
+  EXPECT_EQ(out, 84);
+}
+
+TEST(AssignOrReturnTest, PropagatesFirstError) {
+  int out = 0;
+  const Status s = SumTwo(false, true, &out);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(out, 0) << "the body after a failing macro must not run";
+}
+
+TEST(AssignOrReturnTest, PropagatesSecondError) {
+  int out = 0;
+  EXPECT_EQ(SumTwo(true, false, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(out, 0);
+}
+
+// The macro must move the value out of the Result, so move-only payloads
+// (unique_ptr-owned indexes are the common case in src/core) work without
+// a copy.
+Result<std::unique_ptr<int>> MakeOwned(bool ok) {
+  if (!ok) return Status::Internal("no box");
+  return std::make_unique<int>(7);
+}
+
+Status UnwrapOwned(bool ok, int* out) {
+  INCDB_ASSIGN_OR_RETURN(const std::unique_ptr<int> box, MakeOwned(ok));
+  *out = *box;
+  return Status::OK();
+}
+
+TEST(AssignOrReturnTest, SupportsMoveOnlyValues) {
+  int out = 0;
+  EXPECT_TRUE(UnwrapOwned(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UnwrapOwned(false, &out).code(), StatusCode::kInternal);
+}
+
+// Assigning into a pre-declared variable (no declaration in the lhs) must
+// also work; two uses in one scope exercise the __LINE__-based temp names.
+Status AssignTwiceIntoExisting(int* out) {
+  int value = 0;
+  INCDB_ASSIGN_OR_RETURN(value, MakeInt(true));
+  const int first = value;
+  INCDB_ASSIGN_OR_RETURN(value, MakeInt(true));
+  *out = first + value;
+  return Status::OK();
+}
+
+TEST(AssignOrReturnTest, AssignsIntoExistingVariableTwicePerScope) {
+  int out = 0;
+  EXPECT_TRUE(AssignTwiceIntoExisting(&out).ok());
+  EXPECT_EQ(out, 84);
+}
+
+}  // namespace
+}  // namespace incdb

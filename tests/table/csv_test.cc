@@ -84,6 +84,43 @@ TEST_F(CsvTest, ReadRejectsNonNumericValue) {
   EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
 }
 
+// Regression: the pre-Result parser used std::stol inside catch(...), which
+// silently accepted any numeric *prefix* — "12abc" parsed as 12. The
+// from_chars-based parser must consume the whole field or reject it.
+TEST_F(CsvTest, ReadRejectsTrailingGarbageAfterNumber) {
+  const std::string path = TempPath("trailinggarbage.csv");
+  std::ofstream(path) << "a:30\n12abc\n";
+  const auto loaded = ReadCsv(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("12abc"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+// Regression: values past the int64 range used to throw std::out_of_range
+// into catch(...); worse, values that fit int64 but not Value (int32) were
+// silently truncated by the narrowing cast. Both must now reject the cell.
+TEST_F(CsvTest, ReadRejectsValueOverflow) {
+  const std::string path = TempPath("overflow.csv");
+  std::ofstream(path) << "a:3\n99999999999999999999\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+
+  const std::string path2 = TempPath("overflow32.csv");
+  std::ofstream(path2) << "a:3\n4294967296\n";
+  EXPECT_EQ(ReadCsv(path2).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ReadRejectsHeaderCardinalityWithTrailingGarbage) {
+  const std::string path = TempPath("badcard.csv");
+  std::ofstream(path) << "a:3x\n1\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ReadRejectsNegativeCardinality) {
+  const std::string path = TempPath("negcard.csv");
+  std::ofstream(path) << "a:-3\n1\n";
+  EXPECT_EQ(ReadCsv(path).status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(CsvTest, SkipsBlankLines) {
   const std::string path = TempPath("blank.csv");
   std::ofstream(path) << "a:3\n1\n\n2\n";

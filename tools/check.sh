@@ -1,30 +1,68 @@
 #!/usr/bin/env bash
-# One-command sanitizer gate: configure + build a sanitizer preset and run
-# the full test suite under it.
+# One-command correctness gates: sanitizer presets and the static-analysis
+# pass (docs/STATIC_ANALYSIS.md).
 #
-# Usage: tools/check.sh [asan|tsan] [extra ctest args]
+# Usage: tools/check.sh [asan|ubsan|tsan|lint] [extra ctest args]
 #
-# Default is asan (AddressSanitizer + UBSan). tsan (ThreadSanitizer) is the
-# gate for the concurrent snapshot/serving paths — the snapshot stress
-# tests race 8 readers against a mutating writer, and the plan-labeled
-# suite drives the morsel-parallel plan executor, under it.
+#   asan   AddressSanitizer over the full test suite (default).
+#   ubsan  UndefinedBehaviorSanitizer (undefined,float-divide-by-zero, plus
+#          implicit-conversion on clang) over the full test suite.
+#   tsan   ThreadSanitizer — the gate for the concurrent snapshot/serving
+#          paths: the snapshot stress tests race 8 readers against a
+#          mutating writer, and the plan-labeled suite drives the
+#          morsel-parallel plan executor.
+#   lint   Static analysis without running anything: tools/lint.py (always),
+#          then clang-format --check and clang-tidy when installed. The CI
+#          `lint` job runs this with both tools present; locally, missing
+#          tools are skipped with a notice so the script stays usable on
+#          gcc-only machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-preset=asan
-if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
-  preset="$1"
+mode=asan
+if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "ubsan" || "$1" == "tsan" \
+      || "$1" == "lint" ) ]]; then
+  mode="$1"
   shift
 fi
 
-cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset" -j "$(nproc)" "$@"
+if [[ "$mode" == "lint" ]]; then
+  python3 tools/lint.py
 
-if [[ "$preset" == "tsan" ]]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    tools/format.sh --check
+  else
+    echo "check.sh: clang-format not installed; skipping format check" >&2
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # clang-tidy needs a compilation database; configure a dedicated build
+    # dir with clang so the thread-safety attributes are parsed natively.
+    tidy_cc=clang++
+    command -v clang++ >/dev/null 2>&1 || tidy_cc=c++
+    cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_COMPILER="$tidy_cc" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build-tidy -quiet "${tidy_sources[@]}"
+    else
+      clang-tidy -p build-tidy --quiet "${tidy_sources[@]}"
+    fi
+  else
+    echo "check.sh: clang-tidy not installed; skipping tidy pass" >&2
+  fi
+  exit 0
+fi
+
+cmake --preset "$mode"
+cmake --build --preset "$mode" -j "$(nproc)"
+ctest --preset "$mode" -j "$(nproc)" "$@"
+
+if [[ "$mode" == "tsan" ]]; then
   # Explicit second pass over the plan suite: the morsel-parallel executor
   # (word-aligned scan morsels, concurrent index probes) must be TSan-clean
   # even when the caller filtered the main invocation with extra ctest args.
-  ctest --preset "$preset" -L plan --output-on-failure
+  ctest --preset "$mode" -L plan --output-on-failure
 fi

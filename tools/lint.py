@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""incdb project lint: the correctness rules clang-tidy cannot express.
+
+Part 3 of the compile-time correctness gate (docs/STATIC_ANALYSIS.md).
+Checks, over the committed sources (no build needed):
+
+  no-throw          `throw` / `catch` are banned: the library reports every
+                    runtime failure through Status/Result (common/status.h).
+                    An exception crossing a public boundary would bypass the
+                    [[nodiscard]] discipline entirely.
+  raw-new           Raw `new` / `delete` are banned; ownership goes through
+                    make_unique/make_shared/containers. The private-ctor
+                    factory idiom may suppress per line (see below).
+  banned-call       std::rand / srand / time(nullptr) / time(0): incdb has a
+                    seeded, deterministic RNG (common/rng.h); wall-clock
+                    seeding makes failures irreproducible.
+  layering          #include across src/ modules must follow the dependency
+                    DAG declared in the CMake target graph. In particular a
+                    public header must never reach into a module that sits
+                    above it (e.g. core/*.h including plan/*.h — the plan
+                    layer sits between core_base and core, so only core
+                    *implementation* files may).
+  header-guard      src headers open with `#ifndef INCDB_<PATH>_H_`.
+  using-namespace   `using namespace std` (or any namespace) at file scope.
+  no-tsa-audit      INCDB_NO_THREAD_SAFETY_ANALYSIS is an escape hatch;
+                    every use must be suppressed explicitly so it shows up
+                    in review.
+
+A finding on one line can be suppressed — with justification in an adjacent
+comment — by appending `lint:allow(<rule>)` in a comment on that line.
+
+Exit status 0 = clean, 1 = findings, 2 = usage/config error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned for the behavioural rules (no-throw, raw-new, ...).
+SCAN_DIRS = ("src", "tests", "tools", "bench", "examples")
+# Layering and header-guard rules apply to the library only.
+LIB_DIR = "src"
+
+CXX_EXTENSIONS = (".cc", ".h")
+
+# Files allowed to use throw/catch. Empty: the last catch sites (the CSV
+# parser's std::sto* shims) were converted to Result-returning parsing.
+THROW_ALLOWLIST: frozenset = frozenset()
+
+# Module dependency DAG for headers, mirroring src/*/CMakeLists.txt target
+# link edges (transitively closed). A header in module M may include only
+# headers of M itself and of ALLOWED_HEADER_DEPS[M].
+ALLOWED_HEADER_DEPS = {
+    "common": set(),
+    "bitvector": {"common"},
+    "btree": {"common"},
+    "rtree": {"common"},
+    "table": {"common"},
+    "compression": {"common", "bitvector"},
+    "query": {"common", "bitvector", "table"},
+    "stats": {"common", "bitvector", "table", "query"},
+    "bitmap": {"common", "bitvector", "compression", "table", "query"},
+    "vafile": {"common", "bitvector", "table", "query"},
+    "baselines": {"common", "bitvector", "btree", "rtree", "table", "query"},
+    "storage": {
+        "common", "bitvector", "compression", "btree", "rtree", "table",
+        "query", "bitmap", "vafile", "baselines",
+    },
+    "core": {
+        "common", "bitvector", "compression", "btree", "rtree", "table",
+        "query", "stats", "bitmap", "vafile", "baselines", "storage",
+    },
+    "plan": {
+        "common", "bitvector", "compression", "btree", "rtree", "table",
+        "query", "stats", "bitmap", "vafile", "baselines", "storage", "core",
+    },
+}
+
+# Implementation files may additionally include these modules' headers.
+# core/*.cc call down into the plan layer (Database::Run lowers through the
+# planner); core *headers* must not, so the public API stays below plan.
+ALLOWED_IMPL_EXTRA_DEPS = {
+    "core": {"plan"},
+}
+
+SUPPRESS_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals, and char literals, preserving
+    line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, lineno, rule, message, raw_line):
+        suppressed = {m.group(1) for m in SUPPRESS_RE.finditer(raw_line)}
+        if rule in suppressed:
+            return
+        rel = os.path.relpath(path, REPO)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    # ---- per-file rules -------------------------------------------------
+
+    def check_file(self, path):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        raw_lines = text.split("\n")
+        code_lines = strip_comments_and_strings(text).split("\n")
+        rel = os.path.relpath(path, REPO)
+        in_lib = rel.startswith(LIB_DIR + os.sep)
+
+        for idx, code in enumerate(code_lines):
+            lineno = idx + 1
+            raw = raw_lines[idx] if idx < len(raw_lines) else ""
+
+            if rel not in THROW_ALLOWLIST:
+                if re.search(r"\bthrow\b", code):
+                    self.report(path, lineno, "no-throw",
+                                "`throw` is banned; return a Status "
+                                "(common/status.h)", raw)
+                if re.search(r"\bcatch\s*\(", code):
+                    self.report(path, lineno, "no-throw",
+                                "`catch` is banned; use non-throwing APIs "
+                                "and propagate Status", raw)
+
+            if re.search(r"\bnew\s+[A-Za-z_:(]", code) and \
+                    not re.search(r"\boperator\s+new\b", code):
+                self.report(path, lineno, "raw-new",
+                            "raw `new`; use std::make_unique/make_shared "
+                            "or a container", raw)
+            if re.search(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_(*]", code):
+                self.report(path, lineno, "raw-new",
+                            "raw `delete`; ownership must be RAII-managed",
+                            raw)
+
+            if re.search(r"\bstd::rand\b|\bsrand\s*\(", code):
+                self.report(path, lineno, "banned-call",
+                            "std::rand/srand; use the deterministic "
+                            "common/rng.h", raw)
+            if re.search(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)", code):
+                self.report(path, lineno, "banned-call",
+                            "wall-clock seeding makes runs irreproducible; "
+                            "use common/rng.h", raw)
+
+            if re.search(r"\busing\s+namespace\b", code):
+                self.report(path, lineno, "using-namespace",
+                            "`using namespace` at file scope", raw)
+
+            if "INCDB_NO_THREAD_SAFETY_ANALYSIS" in code and \
+                    not rel.endswith("common/thread_annotations.h"):
+                self.report(path, lineno, "no-tsa-audit",
+                            "thread-safety analysis suppressed; justify "
+                            "with a comment and lint:allow(no-tsa-audit)",
+                            raw)
+
+            if in_lib:
+                self.check_include(path, lineno, code, raw, rel)
+
+        if in_lib and path.endswith(".h"):
+            self.check_header_guard(path, code_lines, rel)
+
+    def check_include(self, path, lineno, code, raw, rel):
+        m = re.match(r'\s*#\s*include\s+"([^"]+)"', code)
+        if not m:
+            return
+        target = m.group(1)
+        parts = target.split("/")
+        if len(parts) < 2:
+            return  # not a project-module include
+        target_module = parts[0]
+        if target_module not in ALLOWED_HEADER_DEPS:
+            return  # third-party or non-module quoted include
+        module = rel.split(os.sep)[1]
+        if module not in ALLOWED_HEADER_DEPS:
+            return
+        allowed = {module} | ALLOWED_HEADER_DEPS[module]
+        if path.endswith(".cc"):
+            allowed |= ALLOWED_IMPL_EXTRA_DEPS.get(module, set())
+        if target_module not in allowed:
+            kind = "implementation file" if path.endswith(".cc") else \
+                "public header"
+            self.report(path, lineno, "layering",
+                        f"{kind} of module '{module}' must not include "
+                        f"'{target}': '{target_module}' is not below "
+                        f"'{module}' in the module DAG", raw)
+
+    def check_header_guard(self, path, code_lines, rel):
+        stem = rel[len(LIB_DIR) + 1:]
+        expected = "INCDB_" + re.sub(r"[/.]", "_", stem.upper()) + "_"
+        for lineno, line in enumerate(code_lines, start=1):
+            m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+            if m:
+                if m.group(1) != expected:
+                    self.report(path, lineno, "header-guard",
+                                f"guard '{m.group(1)}' should be "
+                                f"'{expected}'", code_lines[lineno - 1])
+                return
+            if line.strip() and not line.lstrip().startswith("#"):
+                break
+        self.report(path, 1, "header-guard",
+                    f"missing include guard '{expected}'", "")
+
+
+def main() -> int:
+    linter = Linter()
+    scanned = 0
+    for top in SCAN_DIRS:
+        root = os.path.join(REPO, top)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                linter.check_file(os.path.join(dirpath, name))
+                scanned += 1
+    if linter.findings:
+        print(f"tools/lint.py: {len(linter.findings)} finding(s) over "
+              f"{scanned} files:", file=sys.stderr)
+        for finding in linter.findings:
+            print("  " + finding, file=sys.stderr)
+        return 1
+    print(f"tools/lint.py: OK ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

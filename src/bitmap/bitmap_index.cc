@@ -34,6 +34,29 @@ class SetBitBuilder {
   uint64_t appended_ = 0;
 };
 
+/// Adapts the fused WAH kernels' per-operation accounting (WahOpStats) into
+/// the query counters: dense SIMD windows and decoded group words fold into
+/// QueryStats at scope exit. get() is null when no stats were requested, so
+/// the kernels skip the bookkeeping entirely.
+class WahStatsScope {
+ public:
+  explicit WahStatsScope(QueryStats* stats) : stats_(stats) {}
+  ~WahStatsScope() {
+    if (stats_ != nullptr) {
+      stats_->simd_path += op_stats_.dense_windows;
+      stats_->words_decoded += op_stats_.words_decoded;
+    }
+  }
+  WahStatsScope(const WahStatsScope&) = delete;
+  WahStatsScope& operator=(const WahStatsScope&) = delete;
+
+  WahOpStats* get() { return stats_ != nullptr ? &op_stats_ : nullptr; }
+
+ private:
+  QueryStats* stats_;
+  WahOpStats op_stats_;
+};
+
 }  // namespace
 
 std::string_view BitmapEncodingToString(BitmapEncoding encoding) {
@@ -318,7 +341,8 @@ WahBitVector BitmapIndex::EvaluateIntervalEncoded(
     if (width > m) ops.push_back(&bitmap(hi - m + 1));
     if (or_in_missing) ops.push_back(&missing_bitmap());
     if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
-    return WahBitVector::OrMany(ops);
+    WahStatsScope op_scope(stats);
+    return WahBitVector::OrMany(ops, op_scope.get());
   }
 
   WahBitVector result;
@@ -365,7 +389,8 @@ WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
       -> WahBitVector {
     if (ops.empty()) return WahBitVector::Fill(num_rows_, false);
     if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
-    return WahBitVector::OrMany(ops);
+    WahStatsScope op_scope(stats);
+    return WahBitVector::OrMany(ops, op_scope.get());
   };
 
   // Paper Fig. 2: use the direct OR when the interval covers at most half
@@ -583,7 +608,9 @@ WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
       ops.push_back({&slice(k), ((v >> k) & 1) == 0});
     }
     count_op(num_slices);
-    return WahBitVector::AndMany(std::span<const WahBitVector::Operand>(ops));
+    WahStatsScope op_scope(stats);
+    return WahBitVector::AndMany(std::span<const WahBitVector::Operand>(ops),
+                                 op_scope.get());
   };
   auto less_equal = [&](Value v) -> WahBitVector {
     WahBitVector blt = WahBitVector::Fill(num_rows_, false);
@@ -680,8 +707,9 @@ uint64_t FusedSlicedValueCount(const WahBitVector& acc,
     stats->words_touched += acc.NumWords();
     for (const WahBitVector& s : slices) stats->words_touched += s.NumWords();
   }
+  WahStatsScope op_scope(stats);
   return WahBitVector::AndManyCount(
-      std::span<const WahBitVector::Operand>(ops));
+      std::span<const WahBitVector::Operand>(ops), op_scope.get());
 }
 
 }  // namespace
@@ -693,7 +721,8 @@ Result<WahBitVector> BitmapIndex::ExecuteCompressed(const RangeQuery& query,
   if (terms.size() == 1) return std::move(terms.front());
   // Cross-attribute conjunction as one fused k-way AND.
   if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
-  return WahBitVector::AndMany(Pointers(terms));
+  WahStatsScope op_scope(stats);
+  return WahBitVector::AndMany(Pointers(terms), op_scope.get());
 }
 
 Result<BitVector> BitmapIndex::Execute(const RangeQuery& query,
@@ -711,6 +740,7 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
   INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
   const AttributeBitmaps& ab = attributes_[agg_attr];
   Aggregate aggregate;
+  WahStatsScope op_scope(stats);
 
   if (options_.encoding == BitmapEncoding::kBitSliced) {
     // Bit-sliced fast path: SUM = Σ_k 2^k * |acc ∧ S_k|; COUNT = matching
@@ -724,8 +754,9 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
         ++stats->bitvector_ops;
         stats->words_touched += acc.NumWords() + ab.values[k].NumWords();
       }
-      aggregate.sum +=
-          (uint64_t{1} << k) * WahBitVector::AndCount(acc, ab.values[k]);
+      aggregate.sum += (uint64_t{1} << k) *
+                       WahBitVector::AndCount(acc, ab.values[k],
+                                              op_scope.get());
     }
     if (ab.missing.has_value()) {
       if (stats != nullptr) {
@@ -733,7 +764,8 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
         ++stats->bitvector_ops;
         stats->words_touched += acc.NumWords() + ab.missing->NumWords();
       }
-      aggregate.missing_count = WahBitVector::AndCount(acc, *ab.missing);
+      aggregate.missing_count =
+          WahBitVector::AndCount(acc, *ab.missing, op_scope.get());
     }
     aggregate.count = acc.Count() - aggregate.missing_count;
     // Min/max still need the per-value walk (early-exit from each end);
@@ -764,14 +796,14 @@ Result<BitmapIndex::Aggregate> BitmapIndex::ExecuteAggregate(
           ++stats->bitvector_ops;
           stats->words_touched += acc.NumWords() + group.NumWords();
         }
-        count = WahBitVector::AndCount(acc, group);
+        count = WahBitVector::AndCount(acc, group, op_scope.get());
       } else {
         INCDB_ASSIGN_OR_RETURN(
             WahBitVector group,
             EvaluateInterval(agg_attr,
                              {static_cast<Value>(v), static_cast<Value>(v)},
                              MissingSemantics::kNoMatch, stats));
-        count = WahBitVector::AndCount(acc, group);
+        count = WahBitVector::AndCount(acc, group, op_scope.get());
         if (stats != nullptr) {
           ++stats->bitvector_ops;
           stats->words_touched += acc.NumWords() + group.NumWords();
@@ -800,7 +832,8 @@ Result<uint64_t> BitmapIndex::ExecuteCount(const RangeQuery& query,
   // Fused count over the term conjunction: the AND result itself is never
   // materialized (for a single term this degenerates to Count()).
   if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
-  return WahBitVector::AndManyCount(Pointers(terms));
+  WahStatsScope op_scope(stats);
+  return WahBitVector::AndManyCount(Pointers(terms), op_scope.get());
 }
 
 Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
@@ -811,6 +844,7 @@ Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
   }
   INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
   const AttributeBitmaps& ab = attributes_[group_attr];
+  WahStatsScope op_scope(stats);
   std::vector<uint64_t> counts(ab.cardinality + 1, 0);
   uint64_t grouped = 0;
   // Every per-group count runs through a fused count kernel; no result
@@ -828,7 +862,7 @@ Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
         ++stats->bitvector_ops;
         stats->words_touched += acc.NumWords() + group.NumWords();
       }
-      counts[v] = WahBitVector::AndCount(acc, group);
+      counts[v] = WahBitVector::AndCount(acc, group, op_scope.get());
     } else if (options_.encoding == BitmapEncoding::kBitSliced) {
       counts[v] = FusedSlicedValueCount(acc, ab.values, v, stats);
     } else {
@@ -839,7 +873,7 @@ Result<std::vector<uint64_t>> BitmapIndex::ExecuteGroupCount(
           EvaluateInterval(group_attr,
                            {static_cast<Value>(v), static_cast<Value>(v)},
                            MissingSemantics::kNoMatch, stats));
-      counts[v] = WahBitVector::AndCount(acc, group);
+      counts[v] = WahBitVector::AndCount(acc, group, op_scope.get());
       if (stats != nullptr) {
         ++stats->bitvector_ops;
         stats->words_touched += acc.NumWords() + group.NumWords();

@@ -1,7 +1,11 @@
 #include "bitvector/bitvector.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "simd/simd.h"
 
 namespace incdb {
 
@@ -71,6 +75,25 @@ void BitVector::Set(uint64_t index, bool value) {
   }
 }
 
+void BitVector::SetRange(uint64_t begin, uint64_t end) {
+  INCDB_DCHECK(begin <= end && end <= size_);
+  if (begin == end) return;
+  const uint64_t first_word = begin / kWordBits;
+  const uint64_t last_word = (end - 1) / kWordBits;
+  const uint64_t head_mask = ~uint64_t{0} << (begin % kWordBits);
+  const uint64_t tail_bits = end % kWordBits;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? ~uint64_t{0} : (uint64_t{1} << tail_bits) - 1;
+  if (first_word == last_word) {
+    words_[first_word] |= head_mask & tail_mask;
+    return;
+  }
+  words_[first_word] |= head_mask;
+  std::fill(words_.begin() + static_cast<ptrdiff_t>(first_word) + 1,
+            words_.begin() + static_cast<ptrdiff_t>(last_word), ~uint64_t{0});
+  words_[last_word] |= tail_mask;
+}
+
 void BitVector::PushBack(bool value) {
   if (size_ % kWordBits == 0) words_.push_back(0);
   ++size_;
@@ -93,9 +116,8 @@ void BitVector::SetAll() {
 }
 
 uint64_t BitVector::Count() const {
-  uint64_t count = 0;
-  for (uint64_t w : words_) count += static_cast<uint64_t>(bitutil::PopCount(w));
-  return count;
+  return simd::ActiveKernels().popcount(words_.data(),
+                                        words_.size() * sizeof(uint64_t));
 }
 
 double BitVector::Density() const {
@@ -105,17 +127,20 @@ double BitVector::Density() const {
 
 void BitVector::AndWith(const BitVector& other) {
   INCDB_CHECK(size_ == other.size_);
-  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::ActiveKernels().and_into(words_.data(), other.words_.data(),
+                                 words_.size() * sizeof(uint64_t));
 }
 
 void BitVector::OrWith(const BitVector& other) {
   INCDB_CHECK(size_ == other.size_);
-  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::ActiveKernels().or_into(words_.data(), other.words_.data(),
+                                words_.size() * sizeof(uint64_t));
 }
 
 void BitVector::XorWith(const BitVector& other) {
   INCDB_CHECK(size_ == other.size_);
-  for (uint64_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  simd::ActiveKernels().xor_into(words_.data(), other.words_.data(),
+                                 words_.size() * sizeof(uint64_t));
 }
 
 void BitVector::Flip() {
@@ -124,9 +149,11 @@ void BitVector::Flip() {
 }
 
 std::vector<uint32_t> BitVector::ToIndices() const {
-  std::vector<uint32_t> indices;
-  indices.reserve(Count());
-  ForEachSetBit([&](uint64_t i) { indices.push_back(static_cast<uint32_t>(i)); });
+  std::vector<uint32_t> indices(Count());
+  const size_t written = simd::ActiveKernels().extract_set_bits(
+      words_.data(), words_.size(), /*base=*/0, indices.data());
+  INCDB_DCHECK(written == indices.size());
+  (void)written;
   return indices;
 }
 

@@ -51,6 +51,10 @@ class BitVector {
   /// Sets bit `index` to `value`. Requires index < size().
   void Set(uint64_t index, bool value = true);
 
+  /// Sets every bit in [begin, end) to one. Requires begin <= end <= size().
+  /// Word-at-a-time; used by WAH decompression to expand one-fills.
+  void SetRange(uint64_t begin, uint64_t end);
+
   /// Appends one bit at the end.
   void PushBack(bool value);
 

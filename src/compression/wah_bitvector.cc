@@ -1,12 +1,53 @@
 #include "compression/wah_bitvector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 
 #include "common/bitutil.h"
 #include "common/logging.h"
 
 namespace incdb {
+
+namespace wah_internal {
+namespace {
+
+// Default dense-block threshold, in literal groups per operand-group: the
+// measured crossover from bench_simd_kernels (derivation in
+// docs/KERNELS.md) below which run-at-a-time merging over the compressed
+// form beats stream-combining through the vector kernels. Uniform 5%-bit
+// inputs (~0.8 literal fraction) win on the dense path at every level and
+// k; clustered 1% inputs (~0.03) win on the sparse strategies; the
+// break-even sits near the cost ratio of a scatter store vs its share of a
+// kernel pass, ~0.1-0.2 on both tested word widths. Overridable via
+// INCDB_DENSE_THRESHOLD (<=0 forces dense, >1 disables the dense path).
+constexpr double kDefaultDenseBlockThreshold = 0.15;
+
+std::atomic<double>& ThresholdStorage() {
+  static std::atomic<double> threshold{[] {
+    const char* env = std::getenv("INCDB_DENSE_THRESHOLD");
+    if (env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env) return parsed;
+    }
+    return kDefaultDenseBlockThreshold;
+  }()};
+  return threshold;
+}
+
+}  // namespace
+
+double DenseBlockThreshold() {
+  return ThresholdStorage().load(std::memory_order_relaxed);
+}
+
+double SetDenseBlockThresholdForTesting(double threshold) {
+  return ThresholdStorage().exchange(threshold, std::memory_order_relaxed);
+}
+
+}  // namespace wah_internal
 
 namespace {
 
@@ -27,64 +68,6 @@ WordT ApplyOp(WordT a, WordT b, int op) {
   }
 }
 
-// The k-way fusion engine: walks all operands' run streams in lockstep and
-// calls `emit(view, n)` for each maximal stretch of n groups over which the
-// result is the constant literal view `view` (n > 1 only for fill output).
-// Returns the total number of groups emitted.
-//
-// Fast paths:
-//  * absorbing fill (a 1-fill under OR, a 0-fill under AND): the result is
-//    the absorbing value for that operand's entire remaining run, so the
-//    output leaps over the whole run and every other operand just skips —
-//    no per-group work, no operator applications;
-//  * absorbing accumulator: once the group accumulator reaches the
-//    absorbing value mid-scan, the remaining operands are not consulted;
-//  * all-fill alignment: when every operand sits in a fill, the shortest
-//    remaining run length is processed as one output fill.
-template <typename WordT, typename EmitFn>
-uint64_t FuseMany(
-    std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
-    bool is_or, EmitFn&& emit) {
-  const WordT kFull = Traits<WordT>::kFullLiteral;
-  const WordT absorbing = is_or ? kFull : WordT{0};
-  const WordT identity = is_or ? WordT{0} : kFull;
-  std::vector<BasicWahRunIterator<WordT>> its;
-  its.reserve(ops.size());
-  for (const auto& op : ops) its.emplace_back(*op.vec);
-  uint64_t groups_emitted = 0;
-  while (!its[0].done()) {
-    WordT acc = identity;
-    uint64_t n_min = UINT64_MAX;
-    uint64_t absorb = 0;
-    bool all_fill = true;
-    for (size_t i = 0; i < its.size(); ++i) {
-      const BasicWahRunIterator<WordT>& it = its[i];
-      WordT view = it.LiteralView();
-      if (ops[i].negate) view = ~view & kFull;
-      if (it.is_fill()) {
-        if (view == absorbing) absorb = std::max(absorb, it.groups_left());
-      } else {
-        all_fill = false;
-      }
-      if (it.groups_left() < n_min) n_min = it.groups_left();
-      acc = is_or ? static_cast<WordT>(acc | view)
-                  : static_cast<WordT>(acc & view);
-      if (acc == absorbing) break;  // remaining operands cannot change it
-    }
-    uint64_t n;
-    if (acc == absorbing) {
-      n = absorb > 0 ? absorb : 1;
-    } else {
-      n = all_fill ? n_min : 1;
-    }
-    emit(acc, n);
-    for (auto& it : its) it.Skip(n);
-    groups_emitted += n;
-  }
-  for (const auto& it : its) INCDB_CHECK(it.done());
-  return groups_emitted;
-}
-
 // Per-operand view of the partial trailing group.
 template <typename WordT>
 WordT ActiveView(const typename BasicWahBitVector<WordT>::Operand& op,
@@ -93,30 +76,356 @@ WordT ActiveView(const typename BasicWahBitVector<WordT>::Operand& op,
   return v & mask;
 }
 
-// ORs one operand's code words into a verbatim group accumulator (one WordT
-// per W-1-bit group; bits above kFullLiteral stay zero). This is the k-way
-// OR strategy: OR's absorbing runs are 1-fills, which sparse bitmap-index
-// operands rarely contain, so the run-merging engine degrades to O(k) work
-// per group. A single O(k * compressed words) scatter followed by one
-// recompression pass touches each operand word exactly once instead.
+// ---------------------------------------------------------------------------
+// The windowed hybrid k-way fusion engine.
+//
+// The stream of groups is processed in fixed windows of kWindowGroups groups
+// (64 Ki payload bits, so the accumulator and scratch buffers stay resident
+// in L1/L2). Each window is classified by an estimate of the operands'
+// literal density (seeded from compressed size, then carried forward from
+// the density the previous window actually saw — see FuseHybrid); windows
+// at or above wah_internal::DenseBlockThreshold() take the dense path —
+// materialize the lead operand and stream the rest's literal runs straight
+// from their compressed form into the runtime-dispatched SIMD kernels —
+// while sparse windows stay on compressed-form strategies:
+//  * OR: scatter each operand's runs into the zeroed accumulator (one store
+//    per literal, one fill per 1-run), then hand the window to the sink;
+//  * AND: the classic lockstep run merge with absorbing-fill leaps, which
+//    skips whole 0-fill runs without touching the other operands' payloads.
+//
+// All decoded buffers hold one group per WordT with the fill-flag MSB zero,
+// so combines can never produce a word the re-encode scan would mistake for
+// a fill code word.
+// ---------------------------------------------------------------------------
+
 template <typename WordT>
-void ScatterOrWords(std::span<const WordT> words, bool negate,
-                    std::vector<WordT>& buf) {
+constexpr uint64_t kWindowGroups =
+    uint64_t{65536} / static_cast<uint64_t>(Traits<WordT>::kGroupBits);
+
+// The kFullLiteral pattern replicated across a 64-bit lane, for masked
+// OR-NOT combines (keeps complemented group words' fill flags clear).
+template <typename WordT>
+constexpr uint64_t ReplicatedFullLiteral() {
+  if constexpr (sizeof(WordT) == 4) {
+    return (uint64_t{Traits<WordT>::kFullLiteral} << 32) |
+           uint64_t{Traits<WordT>::kFullLiteral};
+  } else {
+    return uint64_t{Traits<WordT>::kFullLiteral};
+  }
+}
+
+// Decodes the next `w` groups of one operand into `buf`, one group word per
+// slot (fill-flag MSB always zero). Consecutive literal code words are
+// adjacent in the compressed stream, so literal runs bulk-copy. Returns the
+// number of literal groups decoded (feeds the density estimate).
+template <typename WordT>
+uint64_t DecodeWindow(BasicWahRunIterator<WordT>& it, WordT* buf, uint64_t w) {
   uint64_t pos = 0;
-  for (WordT w : words) {
-    if (Traits<WordT>::IsFill(w)) {
-      const uint64_t n = Traits<WordT>::FillGroups(w);
-      if (Traits<WordT>::FillBit(w) != negate) {
-        std::fill_n(buf.begin() + static_cast<ptrdiff_t>(pos), n,
-                    Traits<WordT>::kFullLiteral);
-      }
+  uint64_t literals = 0;
+  while (pos < w) {
+    if (it.is_fill()) {
+      const uint64_t n = std::min(it.groups_left(), w - pos);
+      std::fill_n(buf + pos,
+                  n, it.fill_bit() ? Traits<WordT>::kFullLiteral : WordT{0});
+      it.Consume(n);
       pos += n;
     } else {
-      buf[pos++] |= negate ? static_cast<WordT>(~w & Traits<WordT>::kFullLiteral)
-                           : w;
+      const uint64_t n = it.CopyLiteralRun(buf + pos, w - pos);
+      literals += n;
+      pos += n;
     }
   }
-  INCDB_DCHECK(pos == buf.size());
+  return literals;
+}
+
+struct CombineResult {
+  uint64_t literals = 0;  // literal groups consumed (density estimate feed)
+  uint64_t any = 0;       // OR-fold of every accumulator word this operand
+                          // wrote (AND only)
+  bool covered = true;    // every window group was written by this operand;
+                          // false once a stretch was left untouched (an
+                          // AND 1-fill), making `any` a lower bound only
+};
+
+// Combines the next `w` groups of one operand into `acc` straight from the
+// compressed stream: fills are O(1) skips or bulk std::fill_n, literal runs
+// feed the SIMD kernels directly (a literal code word IS its decoded group
+// word), so no scratch buffer is ever materialized. Short literal runs are
+// folded inline — an indirect kernel call per 1-2-word run would cost more
+// than the combine itself. For AND ops the result's `any`/`covered` pair
+// answers "is the accumulator now provably all-zero?" without any rescan.
+template <typename WordT>
+CombineResult CombineWindow(BasicWahRunIterator<WordT>& it, WordT* acc,
+                            uint64_t w, bool is_or, bool negate,
+                            const simd::Kernels& kernels) {
+  const WordT kFull = Traits<WordT>::kFullLiteral;
+  constexpr uint64_t kInlineRun = 16;
+  CombineResult result;
+  uint64_t pos = 0;
+  while (pos < w) {
+    if (it.is_fill()) {
+      const uint64_t n = std::min(it.groups_left(), w - pos);
+      const bool bit = it.fill_bit() != negate;
+      if (is_or) {
+        if (bit) std::fill_n(acc + pos, n, kFull);
+      } else {
+        if (!bit) {
+          std::fill_n(acc + pos, n, WordT{0});
+        } else {
+          result.covered = false;  // acc unchanged here, contents unknown
+        }
+      }
+      it.Consume(n);
+      pos += n;
+    } else {
+      uint64_t n = 0;
+      const WordT* run = it.ViewLiteralRun(w - pos, &n);
+      WordT* dst = acc + pos;
+      if (n < kInlineRun) {
+        uint64_t any = 0;
+        if (is_or) {
+          if (negate) {
+            for (uint64_t i = 0; i < n; ++i) {
+              dst[i] = static_cast<WordT>(dst[i] | (~run[i] & kFull));
+            }
+          } else {
+            for (uint64_t i = 0; i < n; ++i) dst[i] |= run[i];
+          }
+        } else {
+          if (negate) {
+            for (uint64_t i = 0; i < n; ++i) {
+              dst[i] = static_cast<WordT>(dst[i] & ~run[i]);
+              any |= dst[i];
+            }
+          } else {
+            for (uint64_t i = 0; i < n; ++i) {
+              dst[i] &= run[i];
+              any |= dst[i];
+            }
+          }
+        }
+        result.any |= any;
+      } else {
+        const size_t bytes = static_cast<size_t>(n) * sizeof(WordT);
+        if (is_or) {
+          if (negate) {
+            kernels.ornot_mask_into(dst, run, ReplicatedFullLiteral<WordT>(),
+                                    bytes);
+          } else {
+            kernels.or_into(dst, run, bytes);
+          }
+        } else {
+          if (negate) {
+            result.any |= kernels.andnot_into(dst, run, bytes);
+          } else {
+            result.any |= kernels.and_into(dst, run, bytes);
+          }
+        }
+      }
+      result.literals += n;
+      pos += n;
+    }
+  }
+  return result;
+}
+
+// Dense window: decode the first non-negated operand into the accumulator,
+// then stream-combine every other operand straight from its compressed
+// form with the active SIMD kernel table. Negated operands are folded
+// through AND-NOT / masked OR-NOT so their group words are never
+// materialized in complemented form. Returns the literal density realized
+// over the operand windows it actually walked (the next window's
+// classification estimate).
+template <typename WordT>
+double DenseWindow(
+    std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
+    std::vector<BasicWahRunIterator<WordT>>& its, bool is_or, uint64_t w,
+    WordT* acc) {
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  uint64_t literals = 0;
+  uint64_t examined = 0;
+  size_t lead = ops.size();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].negate) {
+      lead = i;
+      break;
+    }
+  }
+  if (lead < ops.size()) {
+    literals += DecodeWindow(its[lead], acc, w);
+    examined += w;
+  } else {
+    std::fill_n(acc, w, is_or ? WordT{0} : Traits<WordT>::kFullLiteral);
+  }
+  // AND early-exit: the CombineResult of each operand proves (or fails to
+  // prove) the accumulator empty as a byproduct of the combine, so the
+  // remaining operands only need their cursors advanced — no rescans.
+  bool empty = false;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i == lead) continue;
+    if (empty) {
+      its[i].Skip(w);
+      continue;
+    }
+    const CombineResult r =
+        CombineWindow(its[i], acc, w, is_or, ops[i].negate, kernels);
+    literals += r.literals;
+    examined += w;
+    if (!is_or) empty = r.covered && r.any == 0;
+  }
+  return examined == 0
+             ? 1.0
+             : static_cast<double>(literals) / static_cast<double>(examined);
+}
+
+// Sparse OR window: scatter every operand's runs into the zeroed
+// accumulator. One store per literal group, one std::fill_n per
+// effective 1-fill; 0-runs cost nothing. Returns the realized literal
+// density of the window (the next window's classification estimate).
+template <typename WordT>
+double ScatterOrWindow(
+    std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
+    std::vector<BasicWahRunIterator<WordT>>& its, uint64_t w, WordT* acc) {
+  const WordT kFull = Traits<WordT>::kFullLiteral;
+  std::fill_n(acc, w, WordT{0});
+  uint64_t literals = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    BasicWahRunIterator<WordT>& it = its[i];
+    const bool negate = ops[i].negate;
+    uint64_t pos = 0;
+    while (pos < w) {
+      if (it.is_fill()) {
+        const uint64_t n = std::min(it.groups_left(), w - pos);
+        if (it.fill_bit() != negate) std::fill_n(acc + pos, n, kFull);
+        it.Consume(n);
+        pos += n;
+      } else {
+        const WordT lit = it.LiteralView();
+        acc[pos] |= negate ? static_cast<WordT>(~lit & kFull) : lit;
+        ++literals;
+        ++pos;
+        it.Consume(1);
+      }
+    }
+  }
+  return static_cast<double>(literals) / static_cast<double>(w * ops.size());
+}
+
+// Sparse AND stretch: the lockstep run merge. Emits `emit_run(view, n)` for
+// each maximal stretch of n groups with constant view (n > 1 only for fill
+// output) until at least `limit` groups have been produced. Absorbing-fill
+// leaps may overshoot the window boundary — that is deliberate: a long
+// 0-fill should be jumped in one step, and the next window's classification
+// simply happens wherever the cursors land. Returns the number of groups
+// emitted; `*literal_groups` accumulates the operand literal words it
+// stepped through (groups leapt over inside absorbing fills count as fills,
+// biasing the density estimate low — exactly the windows this path wins on).
+template <typename WordT, typename RunFn>
+uint64_t SparseAndStretch(
+    std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
+    std::vector<BasicWahRunIterator<WordT>>& its, uint64_t limit,
+    RunFn&& emit_run, uint64_t* literal_groups) {
+  const WordT kFull = Traits<WordT>::kFullLiteral;
+  uint64_t emitted = 0;
+  uint64_t literals = 0;  // local: a through-pointer count would alias
+  while (emitted < limit && !its[0].done()) {
+    WordT acc = kFull;
+    uint64_t n_min = UINT64_MAX;
+    uint64_t absorb = 0;
+    bool all_fill = true;
+    for (size_t i = 0; i < its.size(); ++i) {
+      const BasicWahRunIterator<WordT>& it = its[i];
+      WordT view = it.LiteralView();
+      if (ops[i].negate) view = ~view & kFull;
+      if (it.is_fill()) {
+        if (view == 0) absorb = std::max(absorb, it.groups_left());
+      } else {
+        all_fill = false;
+        ++literals;
+      }
+      if (it.groups_left() < n_min) n_min = it.groups_left();
+      acc = static_cast<WordT>(acc & view);
+      if (acc == 0) break;  // remaining operands cannot change it
+    }
+    uint64_t n;
+    if (acc == 0) {
+      n = absorb > 0 ? absorb : 1;
+    } else {
+      n = all_fill ? n_min : 1;
+    }
+    emit_run(acc, n);
+    for (auto& it : its) it.Skip(n);
+    emitted += n;
+  }
+  *literal_groups += literals;
+  return emitted;
+}
+
+// Drives the full fusion: windows the group stream, classifies each window
+// dense/sparse, and feeds results to the sinks. `emit_run(view, n)` receives
+// constant-view stretches from the sparse AND path; `emit_dense(buf, w)`
+// receives decoded window buffers from the dense and scatter-OR paths.
+//
+// Classification is adaptive and costs O(1) per window: the first window
+// is classified from the operands' compressed sizes (code words per group
+// is a direct proxy for literal density — a literal group costs one word,
+// a fill amortizes to ~zero); every window after that is classified by the
+// literal density the previous window realized while doing its real work
+// (all three window routines report it as a near-free byproduct). On
+// homogeneous inputs classification cost vanishes; on regime changes it
+// mispredicts at most one window, which only costs a suboptimal strategy
+// there, never a wrong answer.
+template <typename WordT, typename RunFn, typename DenseFn>
+void FuseHybrid(std::span<const typename BasicWahBitVector<WordT>::Operand> ops,
+                bool is_or, uint64_t groups_total, RunFn&& emit_run,
+                DenseFn&& emit_dense, WahOpStats* op_stats) {
+  if (groups_total == 0) return;
+  std::vector<BasicWahRunIterator<WordT>> its;
+  its.reserve(ops.size());
+  for (const auto& op : ops) its.emplace_back(*op.vec);
+  const double threshold = wah_internal::DenseBlockThreshold();
+  const bool dense_enabled = threshold <= 1.0;
+  const bool force_dense = threshold <= 0.0;
+  const uint64_t window = kWindowGroups<WordT>;
+  std::vector<WordT> acc(std::min<uint64_t>(window, groups_total));
+  uint64_t done = 0;
+  double est_density = 0.0;
+  if (dense_enabled && !force_dense) {
+    uint64_t code_words = 0;
+    for (const auto& op : ops) code_words += op.vec->NumWords();
+    est_density = static_cast<double>(code_words) /
+                  static_cast<double>(groups_total * ops.size());
+  }
+  while (done < groups_total) {
+    const uint64_t w = std::min(window, groups_total - done);
+    bool dense = false;
+    if (force_dense) {
+      dense = true;
+    } else if (dense_enabled) {
+      dense = est_density >= threshold;
+    }
+    if (dense) {
+      est_density = DenseWindow<WordT>(ops, its, is_or, w, acc.data());
+      emit_dense(acc.data(), w);
+      if (op_stats != nullptr) {
+        op_stats->dense_windows += 1;
+        op_stats->words_decoded += w * ops.size();
+      }
+      done += w;
+    } else if (is_or) {
+      est_density = ScatterOrWindow<WordT>(ops, its, w, acc.data());
+      emit_dense(acc.data(), w);
+      done += w;
+    } else {
+      uint64_t literals = 0;
+      const uint64_t n =
+          SparseAndStretch<WordT>(ops, its, w, emit_run, &literals);
+      est_density = static_cast<double>(literals) /
+                    static_cast<double>(n * ops.size());
+      done += n;
+    }
+  }
+  for (const auto& it : its) INCDB_CHECK(it.done());
 }
 
 // Word-width-dispatched scalar I/O for serialization.
@@ -274,13 +583,11 @@ BitVector BasicWahBitVector<WordT>::Decompress() const {
   };
   for (WordT w : code_words()) {
     if (Traits<WordT>::IsFill(w)) {
-      const uint64_t groups = Traits<WordT>::FillGroups(w);
+      const uint64_t span = Traits<WordT>::FillGroups(w) * kGroupBits;
       if (Traits<WordT>::FillBit(w)) {
-        for (uint64_t i = 0; i < groups * kGroupBits; ++i) {
-          out.Set(bit_pos + i);
-        }
+        out.SetRange(bit_pos, bit_pos + span);
       }
-      bit_pos += groups * kGroupBits;
+      bit_pos += span;
     } else {
       write_literal(w);
     }
@@ -393,7 +700,7 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::BinaryOp(
 
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
-    std::span<const Operand> operands, bool is_or) {
+    std::span<const Operand> operands, bool is_or, WahOpStats* op_stats) {
   INCDB_CHECK(!operands.empty());
   const BasicWahBitVector& first = *operands[0].vec;
   for (const Operand& op : operands) {
@@ -405,21 +712,28 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
     return is_or ? first.Or(*operands[1].vec) : first.And(*operands[1].vec);
   }
   BasicWahBitVector out;
-  if (is_or) {
-    // Scatter every operand into a verbatim group accumulator, then
-    // compress the accumulator once (rationale at ScatterOrWords).
-    const uint64_t groups =
-        (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
-    std::vector<WordT> buf(groups, WordT{0});
-    for (const Operand& op : operands) {
-      ScatterOrWords<WordT>(op.vec->code_words(), op.negate, buf);
+  const uint64_t groups =
+      (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
+  auto emit_run = [&out](WordT view, uint64_t n) {
+    if (view == 0) {
+      out.EmitFill(false, n);
+    } else if (view == Traits<WordT>::kFullLiteral) {
+      out.EmitFill(true, n);
+    } else {
+      INCDB_DCHECK(n == 1);
+      out.EmitLiteral(view);
     }
+  };
+  // Re-encode a decoded window: fills for 0 / all-ones stretches, literals
+  // otherwise. EmitFill merges across window boundaries, so the output is
+  // canonical no matter how the engine partitioned the stream.
+  auto emit_dense = [&out](const WordT* buf, uint64_t w) {
     uint64_t i = 0;
-    while (i < groups) {
+    while (i < w) {
       const WordT v = buf[i];
       if (v == 0 || v == Traits<WordT>::kFullLiteral) {
         uint64_t j = i + 1;
-        while (j < groups && buf[j] == v) ++j;
+        while (j < w && buf[j] == v) ++j;
         out.EmitFill(v != 0, j - i);
         i = j;
       } else {
@@ -427,32 +741,8 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
         ++i;
       }
     }
-    out.size_ = groups * static_cast<uint64_t>(kGroupBits);
-    if (first.active_bits_ > 0) {
-      const WordT mask =
-          static_cast<WordT>(bitutil::LowBitsMask(first.active_bits_));
-      WordT acc = 0;
-      for (const Operand& op : operands) {
-        acc |= ActiveView<WordT>(op, op.vec->active_word_, mask);
-      }
-      out.active_word_ = acc;
-      out.active_bits_ = first.active_bits_;
-      out.size_ += static_cast<uint64_t>(first.active_bits_);
-    }
-    INCDB_CHECK(out.size_ == first.size_);
-    return out;
-  }
-  const uint64_t groups = FuseMany<WordT>(
-      operands, is_or, [&out](WordT view, uint64_t n) {
-        if (view == 0) {
-          out.EmitFill(false, n);
-        } else if (view == Traits<WordT>::kFullLiteral) {
-          out.EmitFill(true, n);
-        } else {
-          INCDB_DCHECK(n == 1);
-          out.EmitLiteral(view);
-        }
-      });
+  };
+  FuseHybrid<WordT>(operands, is_or, groups, emit_run, emit_dense, op_stats);
   out.size_ = groups * static_cast<uint64_t>(kGroupBits);
   if (first.active_bits_ > 0) {
     const WordT mask =
@@ -472,28 +762,23 @@ BasicWahBitVector<WordT> BasicWahBitVector<WordT>::FuseToVector(
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::FuseToCount(
-    std::span<const Operand> operands, bool is_or) {
+    std::span<const Operand> operands, bool is_or, WahOpStats* op_stats) {
   INCDB_CHECK(!operands.empty());
   const BasicWahBitVector& first = *operands[0].vec;
   for (const Operand& op : operands) {
     INCDB_CHECK(op.vec != nullptr && op.vec->size_ == first.size_);
   }
+  const uint64_t groups =
+      (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
   uint64_t count = 0;
-  if (is_or && operands.size() > 2) {
-    // Same verbatim-accumulator strategy as the OR vector kernel, with a
-    // popcount pass in place of recompression.
-    const uint64_t groups =
-        (first.size_ - first.active_bits_) / static_cast<uint64_t>(kGroupBits);
-    std::vector<WordT> buf(groups, WordT{0});
-    for (const Operand& op : operands) {
-      ScatterOrWords<WordT>(op.vec->code_words(), op.negate, buf);
-    }
-    for (WordT v : buf) count += static_cast<uint64_t>(std::popcount(v));
-  } else {
-    FuseMany<WordT>(operands, is_or, [&count](WordT view, uint64_t n) {
-      count += static_cast<uint64_t>(std::popcount(view)) * n;
-    });
-  }
+  auto emit_run = [&count](WordT view, uint64_t n) {
+    count += static_cast<uint64_t>(std::popcount(view)) * n;
+  };
+  auto emit_dense = [&count](const WordT* buf, uint64_t w) {
+    count += simd::ActiveKernels().popcount(
+        buf, static_cast<size_t>(w) * sizeof(WordT));
+  };
+  FuseHybrid<WordT>(operands, is_or, groups, emit_run, emit_dense, op_stats);
   if (first.active_bits_ > 0) {
     const WordT mask =
         static_cast<WordT>(bitutil::LowBitsMask(first.active_bits_));
@@ -524,49 +809,54 @@ std::vector<typename BasicWahBitVector<WordT>::Operand> PlainOperands(
 
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::OrMany(
-    std::span<const BasicWahBitVector* const> operands) {
+    std::span<const BasicWahBitVector* const> operands,
+    WahOpStats* op_stats) {
   const auto ops = PlainOperands<WordT>(operands);
-  return FuseToVector(ops, /*is_or=*/true);
+  return FuseToVector(ops, /*is_or=*/true, op_stats);
 }
 
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndMany(
-    std::span<const BasicWahBitVector* const> operands) {
+    std::span<const BasicWahBitVector* const> operands,
+    WahOpStats* op_stats) {
   const auto ops = PlainOperands<WordT>(operands);
-  return FuseToVector(ops, /*is_or=*/false);
+  return FuseToVector(ops, /*is_or=*/false, op_stats);
 }
 
 template <typename WordT>
 BasicWahBitVector<WordT> BasicWahBitVector<WordT>::AndMany(
-    std::span<const Operand> operands) {
-  return FuseToVector(operands, /*is_or=*/false);
+    std::span<const Operand> operands, WahOpStats* op_stats) {
+  return FuseToVector(operands, /*is_or=*/false, op_stats);
 }
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::OrManyCount(
-    std::span<const BasicWahBitVector* const> operands) {
+    std::span<const BasicWahBitVector* const> operands,
+    WahOpStats* op_stats) {
   const auto ops = PlainOperands<WordT>(operands);
-  return FuseToCount(ops, /*is_or=*/true);
+  return FuseToCount(ops, /*is_or=*/true, op_stats);
 }
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::AndManyCount(
-    std::span<const BasicWahBitVector* const> operands) {
+    std::span<const BasicWahBitVector* const> operands,
+    WahOpStats* op_stats) {
   const auto ops = PlainOperands<WordT>(operands);
-  return FuseToCount(ops, /*is_or=*/false);
+  return FuseToCount(ops, /*is_or=*/false, op_stats);
 }
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::AndManyCount(
-    std::span<const Operand> operands) {
-  return FuseToCount(operands, /*is_or=*/false);
+    std::span<const Operand> operands, WahOpStats* op_stats) {
+  return FuseToCount(operands, /*is_or=*/false, op_stats);
 }
 
 template <typename WordT>
 uint64_t BasicWahBitVector<WordT>::AndCount(const BasicWahBitVector& a,
-                                            const BasicWahBitVector& b) {
+                                            const BasicWahBitVector& b,
+                                            WahOpStats* op_stats) {
   const Operand ops[] = {{&a, false}, {&b, false}};
-  return FuseToCount(ops, /*is_or=*/false);
+  return FuseToCount(ops, /*is_or=*/false, op_stats);
 }
 
 template <typename WordT>

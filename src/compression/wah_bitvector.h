@@ -10,10 +10,43 @@
 
 #include "bitvector/bitvector.h"
 #include "common/io.h"
+#include "simd/simd.h"
 
 namespace incdb {
 
+/// Counters the fused multiway kernels report about how they executed —
+/// whether the SIMD dense-block fast path ran and how much it decoded.
+/// Surfaced per operator as QueryStats::simd_path / words_decoded, so the
+/// dense-path decision is observable in EXPLAIN and `incdb_cli --stats`.
+struct WahOpStats {
+  /// Windows routed through the dense path: lead operand materialized into
+  /// an uncompressed accumulator and the rest stream-combined through the
+  /// vectorized kernels, instead of run-at-a-time merging over the
+  /// compressed form.
+  uint64_t dense_windows = 0;
+  /// Group words the dense path processed in uncompressed form (operands x
+  /// window groups — the word traffic the fast path trades for vector
+  /// throughput).
+  uint64_t words_decoded = 0;
+
+  void MergeFrom(const WahOpStats& other) {
+    dense_windows += other.dense_windows;
+    words_decoded += other.words_decoded;
+  }
+};
+
 namespace wah_internal {
+
+/// Literal-group density (literal groups / total groups in a window,
+/// averaged over operands) at or above which the fused kernels take the
+/// dense-block path. The default is the measured crossover from
+/// bench_simd_kernels (docs/KERNELS.md has the derivation); the
+/// INCDB_DENSE_THRESHOLD environment variable overrides it at startup.
+double DenseBlockThreshold();
+
+/// Test/bench hook: 0.0 forces every window dense, anything above 1.0
+/// disables the dense path entirely. Returns the previous value.
+double SetDenseBlockThresholdForTesting(double threshold);
 
 /// Per-word-type constants and code-word accessors. With W = bits per word:
 /// the top bit flags a fill, the next bit is the fill value, the remaining
@@ -85,6 +118,56 @@ class BasicWahRunIterator {
       Consume(take);
       n -= take;
     }
+  }
+
+  /// Bulk literal copy, the dense path's decode primitive: positioned on a
+  /// literal (!is_fill()), copies the current literal and up to max-1
+  /// immediately following literal words into dst, consuming them all.
+  /// Consecutive literals are adjacent in the code-word stream, so this is
+  /// a straight scan-and-copy. Returns the number copied (>= 1).
+  uint64_t CopyLiteralRun(WordT* dst, uint64_t max) {
+    dst[0] = literal_;
+    uint64_t n = 1;
+    while (n < max && pos_ < words_.size() && !Traits::IsFill(words_[pos_])) {
+      dst[n++] = words_[pos_++];
+    }
+    groups_left_ = 0;
+    Load();
+    return n;
+  }
+
+  /// CopyLiteralRun without even the copy: positioned on a literal, returns
+  /// a pointer into the code-word stream covering this literal and up to
+  /// max-1 immediately following literal words, consuming them all and
+  /// storing the count in *n. A literal code word IS its decoded group word
+  /// (the fill-flag MSB is 0), so callers can feed the returned span to the
+  /// bulk kernels directly — the dense fast path's zero-copy primitive.
+  const WordT* ViewLiteralRun(uint64_t max, uint64_t* n) {
+    const WordT* run = &words_[pos_ - 1];
+    uint64_t count = 1;
+    while (count < max && pos_ < words_.size() &&
+           !Traits::IsFill(words_[pos_])) {
+      ++count;
+      ++pos_;
+    }
+    groups_left_ = 0;
+    Load();
+    *n = count;
+    return run;
+  }
+
+  /// CopyLiteralRun without the copy: consumes up to `max` consecutive
+  /// literal groups and returns how many. One fill test per code word, no
+  /// decode.
+  uint64_t SkipLiteralRun(uint64_t max) {
+    uint64_t n = 1;
+    while (n < max && pos_ < words_.size() && !Traits::IsFill(words_[pos_])) {
+      ++n;
+      ++pos_;
+    }
+    groups_left_ = 0;
+    Load();
+    return n;
   }
 
  private:
@@ -219,7 +302,18 @@ class BasicWahBitVector {
       if (Traits::IsFill(w)) {
         const uint64_t span_bits = Traits::FillGroups(w) * kGroupBits;
         if (Traits::FillBit(w)) {
-          for (uint64_t i = 0; i < span_bits; ++i) fn(bit_pos + i);
+          // Emit the one-fill as whole 64-bit chunks through the extraction
+          // primitive (a counted loop per chunk) instead of one indexed
+          // loop iteration per bit with a 64-bit bound compare each.
+          uint64_t i = 0;
+          for (; i + 64 <= span_bits; i += 64) {
+            simd::ForEachSetBitInWord(~uint64_t{0}, bit_pos + i, fn);
+          }
+          if (i < span_bits) {
+            const uint64_t tail =
+                (uint64_t{1} << (span_bits - i)) - 1;
+            simd::ForEachSetBitInWord(tail, bit_pos + i, fn);
+          }
         }
         bit_pos += span_bits;
       } else {
@@ -260,32 +354,43 @@ class BasicWahBitVector {
     bool negate = false;
   };
 
-  /// Fused k-way OR / AND: a single pass over all operands accumulating
-  /// one (W-1)-bit group at a time, re-compressing once at the end instead
-  /// of k-1 times as the pairwise fold does. Fill fast paths: an absorbing
-  /// fill run (1-fill for OR, 0-fill for AND) short-circuits the remaining
-  /// operands and leaps the output over the whole run in O(1) per operand.
-  /// Operands must be non-empty and of equal size().
+  /// Fused k-way OR / AND over the compressed form, re-compressing once at
+  /// the end instead of k-1 times as the pairwise fold does. The engine is
+  /// windowed and hybrid: each group-aligned window is routed by literal
+  /// density either through the sparse path (run-at-a-time merging with
+  /// absorbing-fill leaps / windowed scatter) or, above the dense-block
+  /// threshold, through the SIMD dense path — operand windows are decoded
+  /// into uncompressed word buffers, combined with the runtime-dispatched
+  /// vector kernels (simd/simd.h), and re-encoded at the sink.
+  /// Operands must be non-empty and of equal size(). `op_stats`, when
+  /// non-null, accumulates which path ran (EXPLAIN's simd=/decoded=).
   static BasicWahBitVector OrMany(
-      std::span<const BasicWahBitVector* const> operands);
+      std::span<const BasicWahBitVector* const> operands,
+      WahOpStats* op_stats = nullptr);
   static BasicWahBitVector AndMany(
-      std::span<const BasicWahBitVector* const> operands);
+      std::span<const BasicWahBitVector* const> operands,
+      WahOpStats* op_stats = nullptr);
   /// AND with per-operand complement, e.g. the bit-sliced equality circuit
   /// AND_k (bit k set ? S_k : NOT S_k) in one fused pass.
-  static BasicWahBitVector AndMany(std::span<const Operand> operands);
+  static BasicWahBitVector AndMany(std::span<const Operand> operands,
+                                   WahOpStats* op_stats = nullptr);
 
   /// Fused count kernels: identical walks to OrMany/AndMany that produce
   /// only the popcount of the result — no result vector is materialized.
   /// The workhorses of ExecuteCount / ExecuteGroupCount / ExecuteAggregate.
   static uint64_t OrManyCount(
-      std::span<const BasicWahBitVector* const> operands);
+      std::span<const BasicWahBitVector* const> operands,
+      WahOpStats* op_stats = nullptr);
   static uint64_t AndManyCount(
-      std::span<const BasicWahBitVector* const> operands);
-  static uint64_t AndManyCount(std::span<const Operand> operands);
+      std::span<const BasicWahBitVector* const> operands,
+      WahOpStats* op_stats = nullptr);
+  static uint64_t AndManyCount(std::span<const Operand> operands,
+                               WahOpStats* op_stats = nullptr);
   /// Count of a AND b without materializing it (the per-group kernel of
   /// GROUP BY / aggregates).
   static uint64_t AndCount(const BasicWahBitVector& a,
-                           const BasicWahBitVector& b);
+                           const BasicWahBitVector& b,
+                           WahOpStats* op_stats = nullptr);
 
   /// Content equality: a borrowed vector equals an owned one holding the
   /// same code words.
@@ -316,8 +421,9 @@ class BasicWahBitVector {
 
   // Shared single-pass engines behind the public fused kernels.
   static BasicWahBitVector FuseToVector(std::span<const Operand> operands,
-                                        bool is_or);
-  static uint64_t FuseToCount(std::span<const Operand> operands, bool is_or);
+                                        bool is_or, WahOpStats* op_stats);
+  static uint64_t FuseToCount(std::span<const Operand> operands, bool is_or,
+                              WahOpStats* op_stats);
 
   // Emits into words_ only (no size_ accounting), merging adjacent fills
   // and converting all-zero / all-one literals to fills.

@@ -38,6 +38,14 @@ struct QueryStats {
   /// also charge words_touched with one unit per cell read, so routing's
   /// predicted-vs-realized cost comparison covers the tail.
   uint64_t rows_scanned = 0;
+  /// Bitmap indexes: windows the fused WAH kernels routed through the
+  /// dense-block SIMD fast path (decode + vector combine). Zero means every
+  /// window stayed on the compressed-form sparse strategies.
+  uint64_t simd_path = 0;
+  /// Bitmap indexes: group words the dense fast path processed in
+  /// uncompressed form (operands x window groups, the word traffic the
+  /// dense path pays for its vector combines).
+  uint64_t words_decoded = 0;
 
   void Reset() { *this = QueryStats(); }
 
@@ -52,6 +60,8 @@ struct QueryStats {
     nodes_accessed += other.nodes_accessed;
     subqueries += other.subqueries;
     rows_scanned += other.rows_scanned;
+    simd_path += other.simd_path;
+    words_decoded += other.words_decoded;
   }
 };
 

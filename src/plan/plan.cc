@@ -51,6 +51,8 @@ void AppendCounters(const QueryStats& stats, std::string* out) {
   add("fp", stats.false_positives);
   add("nodes", stats.nodes_accessed);
   add("subq", stats.subqueries);
+  add("simd", stats.simd_path);
+  add("decoded", stats.words_decoded);
 }
 
 void RenderNode(const PlanNode& node, const std::string& prefix, bool is_last,

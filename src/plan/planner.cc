@@ -10,6 +10,7 @@
 #include "plan/plan_executor.h"
 #include "query/parser.h"
 #include "query/selectivity.h"
+#include "simd/simd.h"
 
 namespace incdb {
 namespace plan {
@@ -49,6 +50,28 @@ double Log2Ceil(uint32_t cardinality) {
   return std::ceil(std::log2(static_cast<double>(std::max(2u, cardinality))));
 }
 
+/// Effective per-word cost of the fused bitmap kernels relative to the
+/// scalar dispatch level (which still runs the hybrid dense-block engine,
+/// so these capture only the vector-width gain). The constants are the
+/// geometric-mean time ratios vs the scalar level over the full
+/// bench_simd_kernels matrix — density x k x word width x kernel (see
+/// docs/KERNELS.md; sparse cells never touch the kernels, which is why the
+/// all-matrix means sit well above the ~0.3 dense-only ratios). They scale
+/// every bitmap kind equally — bitmap-vs-bitmap ranking is untouched — but
+/// shift the crossover against the row-oracle scans, whose per-cell cost
+/// the wider kernels do not change.
+double SimdWordCostFactor() {
+  switch (simd::ActiveLevel()) {
+    case simd::Level::kAvx2:
+      return 0.79;
+    case simd::Level::kSse2:
+      return 0.83;
+    case simd::Level::kScalar:
+      return 1.0;
+  }
+  return 1.0;
+}
+
 /// Predicted words touched when `kind` serves one conjunctive term list.
 /// Bitmap kinds pay (bitvector accesses) x (words per full bitvector); the
 /// VA-file pays the packed approximation scan plus selectivity-scaled exact
@@ -61,7 +84,7 @@ double KindCost(const internal::SnapshotState& state, IndexKind kind,
                 MissingSemantics semantics, double estimated_selectivity) {
   const Schema& schema = state.table->schema();
   const double n = static_cast<double>(state.num_rows);
-  const double bitvector_words = n / 31.0;
+  const double bitvector_words = n / 31.0 * SimdWordCostFactor();
   // Under missing-is-match every dimension also reads the missing bitmap.
   const double missing_extra =
       semantics == MissingSemantics::kMatch ? 1.0 : 0.0;

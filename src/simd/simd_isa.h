@@ -1,0 +1,51 @@
+#ifndef INCDB_SIMD_SIMD_ISA_H_
+#define INCDB_SIMD_SIMD_ISA_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "simd/simd.h"
+
+// Internal seam between the dispatcher and the per-ISA translation units.
+// Each ISA's kernels live in their own .cc compiled with that ISA's flags
+// (-msse4.2 / -mavx2); this header stays intrinsic-free so including it
+// never leaks ISA requirements into other translation units. When a TU is
+// built without its ISA (non-x86 targets), its accessor returns the scalar
+// table, so the dispatcher can link unconditionally.
+
+namespace incdb {
+namespace simd {
+namespace internal {
+
+const Kernels& ScalarKernels();
+const Kernels& Sse2Kernels();
+const Kernels& Avx2Kernels();
+
+/// Unaligned, size-exact word I/O for the sub-8-byte buffer tails every
+/// kernel level shares. memcpy keeps them defined behavior on any
+/// alignment; at -O1+ both compile to plain moves.
+inline uint64_t LoadPartialWord(const void* src, size_t bytes) {
+  uint64_t word = 0;
+  std::memcpy(&word, src, bytes);
+  return word;
+}
+
+inline void StorePartialWord(void* dst, uint64_t word, size_t bytes) {
+  std::memcpy(dst, &word, bytes);
+}
+
+inline uint64_t LoadWord(const void* src) {
+  uint64_t word;
+  std::memcpy(&word, src, sizeof(word));
+  return word;
+}
+
+inline void StoreWord(void* dst, uint64_t word) {
+  std::memcpy(dst, &word, sizeof(word));
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace incdb
+
+#endif  // INCDB_SIMD_SIMD_ISA_H_

@@ -1,0 +1,118 @@
+// Scalar kernel level: the bit-identical reference implementation the
+// vectorized levels are property-tested against, and the fallback on CPUs
+// (or builds) without SSE4.2/AVX2. Compiled with the project's baseline
+// flags only — no ISA options — so it runs anywhere.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd_isa.h"
+
+namespace incdb {
+namespace simd {
+namespace internal {
+namespace {
+
+template <typename Op>
+void BinaryInto(void* dst, const void* src, size_t bytes, Op op) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    StoreWord(d + i, op(LoadWord(d + i), LoadWord(s + i)));
+  }
+  if (i < bytes) {
+    const size_t tail = bytes - i;
+    StorePartialWord(d + i,
+                     op(LoadPartialWord(d + i, tail),
+                        LoadPartialWord(s + i, tail)),
+                     tail);
+  }
+}
+
+// BinaryInto that also folds every stored word into an OR accumulator and
+// returns it (the and_into/andnot_into all-zero probe).
+template <typename Op>
+uint64_t BinaryIntoAny(void* dst, const void* src, size_t bytes, Op op) {
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  uint64_t any = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    const uint64_t r = op(LoadWord(d + i), LoadWord(s + i));
+    StoreWord(d + i, r);
+    any |= r;
+  }
+  if (i < bytes) {
+    const size_t tail = bytes - i;
+    const uint64_t r =
+        op(LoadPartialWord(d + i, tail), LoadPartialWord(s + i, tail));
+    StorePartialWord(d + i, r, tail);
+    any |= r;
+  }
+  return any;
+}
+
+uint64_t AndInto(void* dst, const void* src, size_t bytes) {
+  return BinaryIntoAny(dst, src, bytes,
+                       [](uint64_t a, uint64_t b) { return a & b; });
+}
+
+void OrInto(void* dst, const void* src, size_t bytes) {
+  BinaryInto(dst, src, bytes, [](uint64_t a, uint64_t b) { return a | b; });
+}
+
+void XorInto(void* dst, const void* src, size_t bytes) {
+  BinaryInto(dst, src, bytes, [](uint64_t a, uint64_t b) { return a ^ b; });
+}
+
+uint64_t AndNotInto(void* dst, const void* src, size_t bytes) {
+  return BinaryIntoAny(dst, src, bytes,
+                       [](uint64_t a, uint64_t b) { return a & ~b; });
+}
+
+void OrNotMaskInto(void* dst, const void* src, uint64_t mask, size_t bytes) {
+  BinaryInto(dst, src, bytes,
+             [mask](uint64_t a, uint64_t b) { return a | (~b & mask); });
+}
+
+uint64_t Popcount(const void* src, size_t bytes) {
+  const auto* s = static_cast<const unsigned char*>(src);
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    count += static_cast<uint64_t>(std::popcount(LoadWord(s + i)));
+  }
+  if (i < bytes) {
+    count += static_cast<uint64_t>(
+        std::popcount(LoadPartialWord(s + i, bytes - i)));
+  }
+  return count;
+}
+
+size_t ExtractSetBits(const uint64_t* words, size_t n, uint64_t base,
+                      uint32_t* out) {
+  size_t written = 0;
+  for (size_t w = 0; w < n; ++w) {
+    const uint64_t word_base = base + 64 * static_cast<uint64_t>(w);
+    for (uint64_t word = words[w]; word != 0; word &= word - 1) {
+      out[written++] = static_cast<uint32_t>(
+          word_base + static_cast<uint64_t>(std::countr_zero(word)));
+    }
+  }
+  return written;
+}
+
+constexpr Kernels kScalarKernels = {
+    AndInto, OrInto,   XorInto,        AndNotInto,
+    OrNotMaskInto, Popcount, ExtractSetBits, Level::kScalar,
+};
+
+}  // namespace
+
+const Kernels& ScalarKernels() { return kScalarKernels; }
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace incdb

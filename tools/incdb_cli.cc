@@ -273,12 +273,14 @@ int RunQuery(Database& db, const CliOptions& options) {
   std::fprintf(
       stderr,
       "# plan: est_selectivity=%.4f est_cost=%.0f | bitvectors=%llu ops=%llu "
-      "words=%llu candidates=%llu\n",
+      "words=%llu candidates=%llu simd=%llu decoded=%llu\n",
       result->routing.estimated_selectivity, result->routing.estimated_cost,
       static_cast<unsigned long long>(result->stats.bitvectors_accessed),
       static_cast<unsigned long long>(result->stats.bitvector_ops),
       static_cast<unsigned long long>(result->stats.words_touched),
-      static_cast<unsigned long long>(result->stats.candidates));
+      static_cast<unsigned long long>(result->stats.candidates),
+      static_cast<unsigned long long>(result->stats.simd_path),
+      static_cast<unsigned long long>(result->stats.words_decoded));
   if (options.count_only) {
     std::printf("%llu\n", static_cast<unsigned long long>(result->count));
     return 0;

@@ -25,6 +25,13 @@ Checks, over the committed sources (no build needed):
   no-tsa-audit      INCDB_NO_THREAD_SAFETY_ANALYSIS is an escape hatch;
                     every use must be suppressed explicitly so it shows up
                     in review.
+  simd-isolation    Raw CPU intrinsics (<immintrin.h> and friends, _mm*/
+                    __m128/__m256 identifiers) are banned outside src/simd/.
+                    The simd module compiles its ISA-specific TUs with their
+                    own -m flags; an intrinsic elsewhere would either fail to
+                    build or silently leak AVX2 codegen into TUs that must
+                    run on baseline hardware. Everyone else goes through the
+                    runtime-dispatched simd::ActiveKernels() table.
 
 A finding on one line can be suppressed — with justification in an adjacent
 comment — by appending `lint:allow(<rule>)` in a comment on that line.
@@ -54,29 +61,54 @@ THROW_ALLOWLIST: frozenset = frozenset()
 # headers of M itself and of ALLOWED_HEADER_DEPS[M].
 ALLOWED_HEADER_DEPS = {
     "common": set(),
-    "bitvector": {"common"},
+    "simd": {"common"},
+    "bitvector": {"common", "simd"},
     "btree": {"common"},
     "rtree": {"common"},
     "table": {"common"},
-    "compression": {"common", "bitvector"},
-    "query": {"common", "bitvector", "table"},
-    "stats": {"common", "bitvector", "table", "query"},
-    "bitmap": {"common", "bitvector", "compression", "table", "query"},
-    "vafile": {"common", "bitvector", "table", "query"},
-    "baselines": {"common", "bitvector", "btree", "rtree", "table", "query"},
+    "compression": {"common", "simd", "bitvector"},
+    "query": {"common", "simd", "bitvector", "table"},
+    "stats": {"common", "simd", "bitvector", "table", "query"},
+    "bitmap": {"common", "simd", "bitvector", "compression", "table",
+               "query"},
+    "vafile": {"common", "simd", "bitvector", "table", "query"},
+    "baselines": {"common", "simd", "bitvector", "btree", "rtree", "table",
+                  "query"},
     "storage": {
-        "common", "bitvector", "compression", "btree", "rtree", "table",
-        "query", "bitmap", "vafile", "baselines",
+        "common", "simd", "bitvector", "compression", "btree", "rtree",
+        "table", "query", "bitmap", "vafile", "baselines",
     },
     "core": {
-        "common", "bitvector", "compression", "btree", "rtree", "table",
-        "query", "stats", "bitmap", "vafile", "baselines", "storage",
+        "common", "simd", "bitvector", "compression", "btree", "rtree",
+        "table", "query", "stats", "bitmap", "vafile", "baselines", "storage",
     },
     "plan": {
-        "common", "bitvector", "compression", "btree", "rtree", "table",
-        "query", "stats", "bitmap", "vafile", "baselines", "storage", "core",
+        "common", "simd", "bitvector", "compression", "btree", "rtree",
+        "table", "query", "stats", "bitmap", "vafile", "baselines", "storage",
+        "core",
     },
 }
+
+# Dependency-inversion seam: interface headers that live in `core` but are
+# *implemented* by the modules below it (IncompleteIndex by every index
+# family, SnapshotSource by storage). Including them upward is the point of
+# the inversion — the implementing module sees only the abstract interface —
+# so the layering rule exempts exactly these targets and nothing else.
+INTERFACE_HEADERS = frozenset({
+    "core/incomplete_index.h",
+    "core/snapshot.h",
+})
+
+# Everything outside this directory must use the dispatch table in
+# simd/simd.h instead of raw intrinsics (see simd-isolation above).
+SIMD_DIR = "src/simd/"
+SIMD_HEADER_RE = re.compile(
+    r'#\s*include\s+<('
+    r'immintrin|x86intrin|x86gprintrin|'
+    r'xmmintrin|emmintrin|pmmintrin|tmmintrin|smmintrin|nmmintrin|'
+    r'wmmintrin|ammintrin|avxintrin|avx2intrin|popcntintrin'
+    r')\.h>')
+SIMD_IDENT_RE = re.compile(r'\b(_mm\d*_\w+|__m\d+[id]?|__v\d+\w+)\b')
 
 # Implementation files may additionally include these modules' headers.
 # core/*.cc call down into the plan layer (Database::Run lowers through the
@@ -210,6 +242,16 @@ class Linter:
                             "with a comment and lint:allow(no-tsa-audit)",
                             raw)
 
+            if not rel.replace(os.sep, "/").startswith(SIMD_DIR):
+                if SIMD_HEADER_RE.search(code):
+                    self.report(path, lineno, "simd-isolation",
+                                "intrinsic header outside src/simd/; use "
+                                "the dispatch table in simd/simd.h", raw)
+                elif SIMD_IDENT_RE.search(code):
+                    self.report(path, lineno, "simd-isolation",
+                                "raw CPU intrinsic outside src/simd/; use "
+                                "the dispatch table in simd/simd.h", raw)
+
             if in_lib:
                 self.check_include(path, lineno, code, raw, rel)
 
@@ -217,10 +259,17 @@ class Linter:
             self.check_header_guard(path, code_lines, rel)
 
     def check_include(self, path, lineno, code, raw, rel):
-        m = re.match(r'\s*#\s*include\s+"([^"]+)"', code)
+        # Detect the directive on the *stripped* line (so commented-out
+        # includes stay ignored) but pull the target out of the raw line:
+        # the stripper blanks quoted literals, include paths included.
+        if not re.match(r"\s*#\s*include\b", code):
+            return
+        m = re.match(r'\s*#\s*include\s+"([^"]+)"', raw)
         if not m:
             return
         target = m.group(1)
+        if target in INTERFACE_HEADERS:
+            return  # dependency-inversion seam, see INTERFACE_HEADERS
         parts = target.split("/")
         if len(parts) < 2:
             return  # not a project-module include

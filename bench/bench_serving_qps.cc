@@ -1,0 +1,168 @@
+// End-to-end serving throughput through the real network stack: a live
+// incdb_serverd-equivalent Server on loopback, N client threads each with
+// their own TCP connection firing queries back-to-back, measured as QPS
+// versus client count — with and without a concurrent writer publishing
+// new epochs for the whole measurement. Unlike bench_concurrent_serving
+// (which calls Database::RunBatch in-process), every request here pays
+// the full tax: frame encode, syscalls, admission, the worker-pool queue,
+// snapshot pinning, and the response frame back.
+//
+// The spread between the two benchmarks is the cost of the serving layer
+// itself; the writer-on/off spread is the epoch-churn tax, which snapshot
+// pinning should keep near zero.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+std::vector<QueryRequest> MakeRequests(const Table& table,
+                                       const std::vector<RangeQuery>& queries) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const RangeQuery& query : queries) {
+    std::vector<NamedTerm> terms;
+    terms.reserve(query.terms.size());
+    for (const QueryTerm& term : query.terms) {
+      terms.push_back({table.schema().attribute(term.attribute).name,
+                       term.interval.lo, term.interval.hi});
+    }
+    requests.push_back(
+        QueryRequest::Terms(std::move(terms), query.semantics).CountOnly(true));
+  }
+  return requests;
+}
+
+void RunConfig(const Database& db, const std::vector<QueryRequest>& requests,
+               size_t clients, bool with_writer, Database* writable) {
+  server::ServerOptions options;
+  options.queue_capacity = 1024;  // measure throughput, not backpressure
+  auto server = server::Server::Start(&db, std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "FATAL: Server::Start: %s\n",
+                 server.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([writable, &stop]() {
+      const size_t dims = writable->table().num_attributes();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<Value> row(dims);
+        for (size_t a = 0; a < dims; ++a) {
+          row[a] = static_cast<Value>(1 + (i * 7 + a * 3) % 10);
+        }
+        if (!writable->Insert(row).ok()) break;
+        ++i;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  // Static sharding: client c owns every (clients)-th request.
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> matches{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c]() {
+      auto client = server::Client::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t i = c; i < requests.size(); i += clients) {
+        const auto result = client->Run(requests[i]);
+        if (result.ok()) {
+          matches.fetch_add(result->count, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  const double wall_millis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+  const server::wire::ServerStats stats = (*server)->StatsSnapshot();
+  (*server)->Shutdown();
+
+  const double qps =
+      wall_millis > 0.0
+          ? 1000.0 * static_cast<double>(requests.size()) / wall_millis
+          : 0.0;
+  const std::string config = "clients=" + std::to_string(clients) +
+                             ",writer=" + (with_writer ? "on" : "off");
+  bench::PrintRow({std::to_string(clients), with_writer ? "on" : "off",
+                   std::to_string(requests.size()),
+                   bench::FormatDouble(wall_millis, 2),
+                   bench::FormatDouble(qps, 1),
+                   std::to_string(stats.p50_micros),
+                   std::to_string(stats.p99_micros),
+                   std::to_string(errors.load())});
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "FATAL: %llu failed requests in %s\n",
+                 static_cast<unsigned long long>(errors.load()),
+                 config.c_str());
+    std::exit(1);
+  }
+  bench::RecordResult("serving_qps", config, wall_millis, matches.load());
+}
+
+int Main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  // Paper-scale default: a multi-million-row table. CI smoke runs shrink
+  // it via INCDB_BENCH_ROWS.
+  const uint64_t rows = bench::BenchRows(2000000);
+
+  const Table base = GenerateTable(UniformSpec(rows, 10, 0.1, 4, 42)).value();
+  Database db = Database::FromTable(Table(base)).value();
+  if (!db.BuildIndex(IndexKind::kBitmapEquality).ok() ||
+      !db.BuildIndex(IndexKind::kBitmapRange).ok()) {
+    std::fprintf(stderr, "FATAL: BuildIndex failed\n");
+    std::exit(1);
+  }
+
+  WorkloadParams params;
+  params.num_queries = bench::BenchQueries() * 8;
+  params.dims = 4;
+  params.global_selectivity = 0.01;
+  params.semantics = MissingSemantics::kMatch;
+  params.seed = 7;
+  const std::vector<QueryRequest> requests =
+      MakeRequests(base, bench::MustGenerateWorkload(base, params));
+
+  bench::PrintHeader({"clients", "writer", "queries", "wall_ms", "qps",
+                      "p50_us", "p99_us", "errors"});
+  for (const bool with_writer : {false, true}) {
+    for (const size_t clients : {1, 2, 4, 8}) {
+      RunConfig(db, requests, clients, with_writer, &db);
+    }
+  }
+  bench::WriteJson();
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::Main(argc, argv); }

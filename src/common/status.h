@@ -1,6 +1,7 @@
 #ifndef INCDB_COMMON_STATUS_H_
 #define INCDB_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -13,16 +14,39 @@ namespace incdb {
 /// The library never throws across public boundaries; every fallible
 /// operation returns a Status (or a Result<T>, which bundles a value with a
 /// Status), following the RocksDB/Arrow idiom.
-enum class StatusCode {
+///
+/// STABLE WIRE CONTRACT: the numeric values are part of the serving
+/// protocol (src/server/wire.h returns them verbatim in Error frames), so
+/// they are assigned explicitly, never renumbered, and never reused. New
+/// codes append at the end with the next free number; a retired code's
+/// number is retired with it. tests/common/status_code_golden_test.cc
+/// asserts every value — changing one is a deliberate, test-visible act.
+enum class StatusCode : uint32_t {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kOutOfRange,
-  kAlreadyExists,
-  kNotSupported,
-  kIOError,
-  kInternal,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kNotSupported = 5,
+  kIOError = 6,
+  kInternal = 7,
+  /// A cooperative per-request deadline expired — either queued past its
+  /// deadline (the server sheds it unexecuted) or caught mid-execution at a
+  /// morsel boundary (plan/plan_executor.h ExecOptions::deadline).
+  kDeadlineExceeded = 8,
+  /// Admission control rejected the request because the server's task queue
+  /// was at its high-water mark (backpressure: fail fast instead of
+  /// degrading every queued request). Retry against a less loaded server
+  /// or after a backoff.
+  kOverloaded = 9,
+  /// The endpoint exists but cannot serve right now (connection closed,
+  /// server draining for shutdown). Transient, unlike kNotFound.
+  kUnavailable = 10,
 };
+
+/// Widest numeric value a valid StatusCode takes — wire decoding clamps
+/// unknown (future) codes to kInternal rather than fabricating enum values.
+inline constexpr uint32_t kMaxStatusCode = 10;
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
 std::string_view StatusCodeToString(StatusCode code);
@@ -72,6 +96,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -276,35 +276,6 @@ Result<QueryTerm> Database::ResolveTerm(const NamedTerm& term) const {
   return ResolveNamedTerm(*table_, term);
 }
 
-#ifdef INCDB_LEGACY_API
-Result<std::vector<uint32_t>> Database::Query(
-    const std::vector<NamedTerm>& terms, MissingSemantics semantics,
-    std::string* chosen) const {
-  INCDB_ASSIGN_OR_RETURN(QueryResult result,
-                         Run(QueryRequest::Terms(terms, semantics)));
-  if (chosen != nullptr) *chosen = result.chosen_index;
-  return std::move(result.row_ids);
-}
-
-Result<std::vector<uint32_t>> Database::QueryExpression(
-    const QueryExpr& expr, MissingSemantics semantics,
-    std::string* chosen) const {
-  INCDB_ASSIGN_OR_RETURN(QueryResult result,
-                         Run(QueryRequest::Expression(expr, semantics)));
-  if (chosen != nullptr) *chosen = result.chosen_index;
-  return std::move(result.row_ids);
-}
-
-Result<std::vector<uint32_t>> Database::QueryText(
-    const std::string& text, MissingSemantics semantics,
-    std::string* chosen) const {
-  INCDB_ASSIGN_OR_RETURN(QueryResult result,
-                         Run(QueryRequest::Text(text, semantics)));
-  if (chosen != nullptr) *chosen = result.chosen_index;
-  return std::move(result.row_ids);
-}
-#endif  // INCDB_LEGACY_API
-
 uint64_t Database::IndexSizeInBytes() const {
   return GetSnapshot().IndexSizeInBytes();
 }

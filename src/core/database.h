@@ -129,28 +129,6 @@ class Database {
   /// Registered index kinds, ascending.
   std::vector<IndexKind> Indexes() const;
 
-#ifdef INCDB_LEGACY_API
-  /// DEPRECATED — thin wrapper over Run(QueryRequest::Terms(...)). Returns
-  /// matching row ids ascending; `chosen`, when non-null, receives the
-  /// serving structure's name. Prefer Run: it also surfaces QueryStats and
-  /// the full RoutingDecision instead of dropping them. Compiled only with
-  /// -DINCDB_LEGACY_API=ON; every in-tree caller has been migrated to Run.
-  Result<std::vector<uint32_t>> Query(const std::vector<NamedTerm>& terms,
-                                      MissingSemantics semantics,
-                                      std::string* chosen = nullptr) const;
-
-  /// DEPRECATED — thin wrapper over Run(QueryRequest::Expression(...)).
-  Result<std::vector<uint32_t>> QueryExpression(
-      const QueryExpr& expr, MissingSemantics semantics,
-      std::string* chosen = nullptr) const;
-
-  /// DEPRECATED — thin wrapper over Run(QueryRequest::Text(...)); see
-  /// query/parser.h for the grammar.
-  Result<std::vector<uint32_t>> QueryText(const std::string& text,
-                                          MissingSemantics semantics,
-                                          std::string* chosen = nullptr) const;
-#endif  // INCDB_LEGACY_API
-
   /// Resolves a named term to an attribute index + validated interval.
   Result<QueryTerm> ResolveTerm(const NamedTerm& term) const;
 

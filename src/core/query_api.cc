@@ -1,0 +1,77 @@
+#include "core/query_api.h"
+
+#include <string>
+
+namespace incdb {
+
+namespace {
+
+/// Walks an expression for request-level problems (interval order). Schema
+/// checks (attribute range, domain bounds) stay in QueryExpr::Validate.
+Status ValidateExpr(const QueryExpr& expr) {
+  if (expr.kind() == QueryExpr::Kind::kTerm) {
+    const Interval interval = expr.interval();
+    if (interval.lo > interval.hi) {
+      return Status::InvalidArgument(
+          "expression term interval inverted: [" +
+          std::to_string(interval.lo) + "," + std::to_string(interval.hi) +
+          "]");
+    }
+    return Status::OK();
+  }
+  if (expr.children().empty()) {
+    return Status::InvalidArgument("AND/OR expression without children");
+  }
+  for (const QueryExpr& child : expr.children()) {
+    INCDB_RETURN_IF_ERROR(ValidateExpr(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status QueryRequest::Validate() const {
+  switch (shape) {
+    case Shape::kTerms: {
+      if (terms.empty()) {
+        return Status::InvalidArgument(
+            "terms request carries no terms; a query needs at least one "
+            "predicate");
+      }
+      for (const NamedTerm& term : terms) {
+        if (term.attribute.empty()) {
+          return Status::InvalidArgument("term with empty attribute name");
+        }
+        if (term.lo > term.hi) {
+          return Status::InvalidArgument(
+              "term '" + term.attribute + "' interval inverted: [" +
+              std::to_string(term.lo) + "," + std::to_string(term.hi) + "]");
+        }
+      }
+      break;
+    }
+    case Shape::kExpression: {
+      if (!expression.has_value()) {
+        return Status::InvalidArgument(
+            "expression request carries no expression");
+      }
+      INCDB_RETURN_IF_ERROR(ValidateExpr(*expression));
+      break;
+    }
+    case Shape::kText: {
+      if (text.empty()) {
+        return Status::InvalidArgument("text request carries empty text");
+      }
+      break;
+    }
+  }
+  if (count_only && limit != 0) {
+    return Status::InvalidArgument(
+        "conflicting count/materialize flags: count_only computes no row "
+        "ids, so a row limit of " + std::to_string(limit) +
+        " cannot apply; drop one of the two");
+  }
+  return Status::OK();
+}
+
+}  // namespace incdb

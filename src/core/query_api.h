@@ -29,6 +29,27 @@ struct NamedTerm {
 ///   Database::Run(QueryRequest::Text("rating >= 4 AND NOT region = 3",
 ///                                    MissingSemantics::kNoMatch)
 ///                     .CountOnly());
+///
+/// FROZEN WIRE CONTRACT. This struct (and QueryResult / QueryStats below)
+/// is also the serving daemon's request schema: src/server/wire.h encodes
+/// it field by field under the explicit field numbers listed here, so the
+/// in-process API and the network API are one contract. Compatibility
+/// rules, enforced by tests/server/wire_test.cc:
+///
+///   * every field has a number that is never changed or reused; new
+///     fields take the next free number and must be optional (a decoder
+///     that does not know them skips them, a decoder that expects them
+///     falls back to the default when absent);
+///   * decoders skip unknown field numbers (forward compatibility) and
+///     default absent known fields (backward compatibility);
+///   * semantic changes to an existing field require a new field number
+///     plus a protocol-version bump (server/wire.h kProtocolVersion).
+///
+/// Field numbers: 1 shape (u8), 2 semantics (u8), 3 count_only (u8),
+/// 4 parallelism (u64), 5 explain (u8), 6 terms (repeated submessage:
+/// 1 attribute name, 2 lo i64, 3 hi i64), 7 text (string), 8 expression
+/// (recursive submessage: 1 kind u8, 2 attribute u64, 3 lo i64, 4 hi i64,
+/// 5 child submessage repeated), 9 deadline_millis (u64), 10 limit (u64).
 struct QueryRequest {
   enum class Shape { kTerms, kExpression, kText };
 
@@ -85,6 +106,37 @@ struct QueryRequest {
     return *this;
   }
 
+  /// Cooperative deadline for the whole request, measured from the moment
+  /// execution starts (for the daemon: from admission). 0 = none. The plan
+  /// executor checks it at morsel boundaries and fails the query with
+  /// StatusCode::kDeadlineExceeded; an expired request queued behind others
+  /// is shed by the server without executing at all. Chainable.
+  QueryRequest& DeadlineMillis(uint64_t millis) {
+    deadline_millis = millis;
+    return *this;
+  }
+
+  /// Caps QueryResult::row_ids at the first `n` matches (ascending row
+  /// order). QueryResult::count still reports the full match count.
+  /// 0 = unlimited. Conflicts with CountOnly — a count-only request has no
+  /// rows to limit — which Validate() rejects. Chainable.
+  QueryRequest& Limit(uint64_t n) {
+    limit = n;
+    return *this;
+  }
+
+  /// Structural validation of the request itself (no table needed): a
+  /// predicate form matching `shape` and non-empty (at least one term, a
+  /// present expression, non-empty text), attribute names non-empty,
+  /// term intervals ordered lo <= hi, and no conflicting count/materialize
+  /// flags (count_only with a row limit). Called at both API boundaries —
+  /// plan::PlanRequest for in-process callers and wire decode in the
+  /// serving daemon — so no malformed request is ever planned. Returns
+  /// StatusCode::kInvalidArgument with a precise message on failure.
+  /// Schema-dependent checks (attribute exists, interval inside the
+  /// domain) happen later, at name resolution against the table.
+  Status Validate() const;
+
   Shape shape = Shape::kTerms;
   /// Conjunctive named terms (Shape::kTerms).
   std::vector<NamedTerm> terms;
@@ -99,6 +151,10 @@ struct QueryRequest {
   size_t parallelism = 1;
   /// Fill QueryResult::explain after execution.
   bool explain = false;
+  /// Cooperative deadline in milliseconds; 0 = none. See DeadlineMillis().
+  uint64_t deadline_millis = 0;
+  /// Row-id materialization cap; 0 = unlimited. See Limit().
+  uint64_t limit = 0;
 };
 
 /// How the router decided to serve a query — recorded in every QueryResult
@@ -120,12 +176,20 @@ struct RoutingDecision {
 };
 
 /// Outcome of one QueryRequest: the answer plus everything the engine knows
-/// about how it was produced. Replaces the old `std::string* chosen`
-/// out-param and surfaces the per-query QueryStats counters (bitvector
-/// ops, words touched, VA candidates, ...) that the three legacy overloads
-/// dropped on the floor.
+/// about how it was produced — the one result shape of the unified API
+/// (the deprecated Query*/chosen out-param surface is gone).
+///
+/// FROZEN WIRE CONTRACT (see QueryRequest above for the rules). Field
+/// numbers: 1 count (u64), 2 row_ids (packed u32), 3 chosen_index
+/// (string), 4 epoch (u64), 5 visible_rows (u64), 6 explain (string),
+/// 7 stats (submessage: 1 bitvectors_accessed, 2 bitvector_ops,
+/// 3 words_touched, 4 candidates, 5 false_positives, 6 nodes_accessed,
+/// 7 subqueries, 8 rows_scanned, 9 simd_path, 10 words_decoded — all u64),
+/// 8 routing (submessage: 1 index_name string, 2 is_point_query u8,
+/// 3 estimated_selectivity f64, 4 estimated_cost f64).
 struct QueryResult {
-  /// Matching row ids, ascending. Empty when the request was count_only.
+  /// Matching row ids, ascending, truncated to QueryRequest::limit when one
+  /// was set. Empty when the request was count_only.
   std::vector<uint32_t> row_ids;
   /// COUNT(*) of the result — always filled, with or without count_only.
   uint64_t count = 0;

@@ -110,6 +110,8 @@ struct PhysicalPlan {
   RoutingDecision routing;
   MissingSemantics semantics = MissingSemantics::kMatch;
   bool count_only = false;
+  /// Row-id materialization cap (QueryRequest::limit); 0 = unlimited.
+  uint64_t limit = 0;
   /// Rows visible to the snapshot (the main tree output is resized to this
   /// before the delta is OR'd in).
   uint64_t visible_rows = 0;

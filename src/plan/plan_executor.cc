@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -142,7 +143,16 @@ Status MergeTaskStats(std::vector<LeafTask>* tasks, ThreadRole& phase)
   return Status::OK();
 }
 
-Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads) {
+/// True when `deadline` is armed and already past. One clock read per call;
+/// callers invoke it once per leaf task (morsel boundary), so the cost is
+/// amortized over tens of thousands of rows.
+bool DeadlinePassed(std::chrono::steady_clock::time_point deadline) {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
+Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads,
+                std::chrono::steady_clock::time_point deadline) {
   // Two-phase worker coordination, made visible to the thread-safety
   // analysis: workers hold `phase` shared while executing leaf tasks; the
   // coordinator takes it exclusively (only after join) for the stats merge.
@@ -151,18 +161,34 @@ Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, tasks->size());
+  // Cooperative cancellation: each worker re-checks the deadline before
+  // claiming the next leaf task. The first expiry observation stops every
+  // worker at its next claim; tasks already running finish (their output is
+  // then discarded with the whole query).
+  std::atomic<bool> expired{false};
   if (num_threads <= 1) {
     phase.AcquireShared();
-    for (LeafTask& task : *tasks) RunTask(&task, phase);
+    for (LeafTask& task : *tasks) {
+      if (DeadlinePassed(deadline)) {
+        expired.store(true, std::memory_order_relaxed);
+        break;
+      }
+      RunTask(&task, phase);
+    }
     phase.ReleaseShared();
   } else {
     std::atomic<size_t> next{0};
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
     for (size_t t = 0; t < num_threads; ++t) {
-      threads.emplace_back([tasks, &next, &phase]() {
+      threads.emplace_back([tasks, &next, &phase, &expired, deadline]() {
         phase.AcquireShared();
         for (;;) {
+          if (expired.load(std::memory_order_relaxed) ||
+              DeadlinePassed(deadline)) {
+            expired.store(true, std::memory_order_relaxed);
+            break;
+          }
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= tasks->size()) break;
           RunTask(&(*tasks)[i], phase);
@@ -171,6 +197,11 @@ Status RunTasks(std::vector<LeafTask>* tasks, size_t num_threads) {
       });
     }
     for (std::thread& thread : threads) thread.join();
+  }
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(
+        "query deadline expired at a morsel boundary (" +
+        std::to_string(tasks->size()) + " leaf tasks planned)");
   }
   phase.Acquire();
   const Status merged = MergeTaskStats(tasks, phase);
@@ -289,6 +320,12 @@ Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
 
   QueryResult out;
 
+  // A request that arrives with its deadline already spent fails before any
+  // work — the same fast-fail the serving daemon's queue shedding gives.
+  if (DeadlinePassed(options.deadline)) {
+    return Status::DeadlineExceeded("query deadline expired before execution");
+  }
+
   // Count straight off compressed index storage — no result bitvector.
   if (main->kind == OpKind::kIndexProbe && main->count_direct) {
     INCDB_ASSIGN_OR_RETURN(
@@ -311,7 +348,8 @@ Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
     INCDB_RETURN_IF_ERROR(
         CollectTasks(child.get(), options.morsel_rows, &tasks));
   }
-  INCDB_RETURN_IF_ERROR(RunTasks(&tasks, options.num_threads));
+  INCDB_RETURN_IF_ERROR(
+      RunTasks(&tasks, options.num_threads, options.deadline));
 
   INCDB_ASSIGN_OR_RETURN(BitVector result, Combine(main));
   if (result.size() != plan->covered_rows) {
@@ -333,7 +371,14 @@ Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
   }
   StripDeleted(plan->state, &result);
   out.count = result.Count();
-  if (!plan->count_only) out.row_ids = result.ToIndices();
+  if (!plan->count_only) {
+    out.row_ids = result.ToIndices();
+    // Row-limit cap: count above stays the full match count; only the
+    // materialized ids are truncated (QueryRequest::Limit contract).
+    if (plan->limit != 0 && out.row_ids.size() > plan->limit) {
+      out.row_ids.resize(plan->limit);
+    }
+  }
   FinalizeSink(sink, out.count, plan->visible_rows);
   out.stats = AggregateStats(*sink);
   return out;
@@ -351,7 +396,8 @@ Result<BitVector> ExecutePlanToBitVector(PhysicalPlan* plan,
   std::vector<LeafTask> tasks;
   INCDB_RETURN_IF_ERROR(
       CollectTasks(plan->root.get(), ExecOptions().morsel_rows, &tasks));
-  INCDB_RETURN_IF_ERROR(RunTasks(&tasks, /*num_threads=*/1));
+  INCDB_RETURN_IF_ERROR(RunTasks(&tasks, /*num_threads=*/1,
+                                 ExecOptions().deadline));
   INCDB_ASSIGN_OR_RETURN(BitVector result, Combine(plan->root.get()));
   if (stats != nullptr) stats->MergeFrom(AggregateStats(*plan->root));
   return result;

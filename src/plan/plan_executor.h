@@ -1,6 +1,7 @@
 #ifndef INCDB_PLAN_PLAN_EXECUTOR_H_
 #define INCDB_PLAN_PLAN_EXECUTOR_H_
 
+#include <chrono>
 #include <cstdint>
 
 #include "core/query_api.h"
@@ -22,6 +23,14 @@ struct ExecOptions {
   /// (the morsel grid is word-aligned; a data-race-free merge needs no
   /// locks).
   uint64_t morsel_rows = 65536;
+  /// Cooperative deadline. Checked once up front and again before every
+  /// leaf task claim (morsel boundaries — a single probe or morsel that is
+  /// already running finishes; granularity is one morsel, not one row).
+  /// An expired deadline fails the query with
+  /// StatusCode::kDeadlineExceeded; no partial result escapes. The default
+  /// (time_point::max) never fires.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Runs a snapshot plan (root must be a sink) and shapes the QueryResult:

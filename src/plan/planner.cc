@@ -1,6 +1,7 @@
 #include "plan/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -439,6 +440,11 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
   if (!snapshot.valid()) {
     return Status::InvalidArgument("invalid (default-constructed) snapshot");
   }
+  // The request-level contract (non-empty predicate, ordered intervals, no
+  // conflicting flags) is checked here for every in-process caller; the
+  // serving daemon additionally checks it at wire decode so a malformed
+  // request never even reaches the planner's queue slot.
+  INCDB_RETURN_IF_ERROR(request.Validate());
   const internal::SnapshotState& state = snapshot.state();
   const Table& table = *state.table;
   // Any parallelism degree other than "exactly one thread" makes the
@@ -449,6 +455,7 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
   plan.state = &state;
   plan.semantics = request.semantics;
   plan.count_only = request.count_only;
+  plan.limit = request.limit;
   plan.visible_rows = state.num_rows;
 
   if (request.shape == QueryRequest::Shape::kTerms) {
@@ -574,6 +581,10 @@ Result<QueryResult> RunOnSnapshot(const Snapshot& snapshot,
   INCDB_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanRequest(snapshot, request));
   ExecOptions options;
   options.num_threads = request.parallelism;
+  if (request.deadline_millis != 0) {
+    options.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(request.deadline_millis);
+  }
   INCDB_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(&plan, options));
   result.routing = plan.routing;
   result.chosen_index = plan.routing.index_name;

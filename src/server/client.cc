@@ -1,0 +1,89 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "server/frame.h"
+
+namespace incdb {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               ClientOptions options) {
+  INCDB_ASSIGN_OR_RETURN(Fd fd, ConnectTcp(host, port));
+  Client client(std::move(fd), std::move(options));
+
+  wire::Hello hello;
+  hello.peer_name = client.options_.client_name;
+  INCDB_RETURN_IF_ERROR(WriteFrame(client.fd_, wire::MsgType::kHello,
+                                   wire::EncodeHello(hello)));
+  wire::MsgType type;
+  std::vector<uint8_t> body;
+  INCDB_RETURN_IF_ERROR(ReadFrame(client.fd_, client.options_.timeout_millis,
+                                  client.options_.max_frame_bytes, &type,
+                                  &body, /*clean_eof=*/nullptr));
+  if (type == wire::MsgType::kError) return wire::DecodeStatus(body);
+  if (type != wire::MsgType::kHelloAck) {
+    return Status::Internal("handshake answered with message type " +
+                            std::to_string(static_cast<int>(type)) +
+                            ", expected a HelloAck");
+  }
+  INCDB_ASSIGN_OR_RETURN(client.server_hello_, wire::DecodeHello(body));
+  return client;
+}
+
+Result<std::vector<uint8_t>> Client::Call(
+    wire::MsgType request_type, const std::vector<uint8_t>& request_body,
+    wire::MsgType expected_response) {
+  if (!fd_.valid()) {
+    return Status::Unavailable("client connection is closed");
+  }
+  INCDB_RETURN_IF_ERROR(WriteFrame(fd_, request_type, request_body));
+  wire::MsgType type;
+  std::vector<uint8_t> body;
+  const Status read =
+      ReadFrame(fd_, options_.timeout_millis, options_.max_frame_bytes, &type,
+                &body, /*clean_eof=*/nullptr);
+  if (!read.ok()) {
+    // The stream is no longer synchronized with the server; further calls
+    // would misparse, so the connection is dead from here on.
+    fd_.Close();
+    return read;
+  }
+  if (type == wire::MsgType::kError) return wire::DecodeStatus(body);
+  if (type != expected_response) {
+    fd_.Close();
+    return Status::Internal(
+        "server answered with message type " +
+        std::to_string(static_cast<int>(type)) + ", expected " +
+        std::to_string(static_cast<int>(expected_response)));
+  }
+  return body;
+}
+
+Result<QueryResult> Client::Run(const QueryRequest& request) {
+  // Fail locally before spending a round trip on a request the server
+  // would reject at decode anyway.
+  INCDB_RETURN_IF_ERROR(request.Validate());
+  INCDB_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> body,
+      Call(wire::MsgType::kQuery, wire::EncodeQueryRequest(request),
+           wire::MsgType::kQueryResult));
+  return wire::DecodeQueryResult(body);
+}
+
+Result<wire::ServerStats> Client::Stats() {
+  INCDB_ASSIGN_OR_RETURN(const std::vector<uint8_t> body,
+                         Call(wire::MsgType::kServerStats, {},
+                              wire::MsgType::kServerStatsResult));
+  return wire::DecodeServerStats(body);
+}
+
+Status Client::Ping() {
+  INCDB_ASSIGN_OR_RETURN(const std::vector<uint8_t> body,
+                         Call(wire::MsgType::kPing, {}, wire::MsgType::kPong));
+  (void)body;
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace incdb

@@ -1,0 +1,79 @@
+#ifndef INCDB_SERVER_CLIENT_H_
+#define INCDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_api.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace incdb {
+namespace server {
+
+/// Connection settings for a Client.
+struct ClientOptions {
+  /// Bound on any one network stall while a frame is in flight, AND the
+  /// wait for a response to start arriving. Cover the longest query you
+  /// expect to run plus queueing — a slow answer past this bound surfaces
+  /// as kDeadlineExceeded client-side.
+  int timeout_millis = 30000;
+  /// Advisory name sent in the Hello.
+  std::string client_name = "incdb_client";
+  /// Largest response frame this client will accept.
+  size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+};
+
+/// Blocking client for the incdb serving protocol: one TCP connection, one
+/// outstanding request at a time (run several Clients for concurrency —
+/// the daemon multiplexes connections server-side). Movable, not copyable,
+/// not thread-safe; a Client is meant to live on one thread.
+///
+/// Server-reported failures come back as the ORIGINAL Status — the wire
+/// carries the numeric StatusCode verbatim, so
+/// `client.Run(...).status().code()` distinguishes kOverloaded (back off
+/// and retry) from kDeadlineExceeded (the query itself was too slow) from
+/// kInvalidArgument (fix the request) exactly like an in-process caller.
+class Client {
+ public:
+  /// Connects and performs the Hello handshake (magic + protocol version).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                ClientOptions options = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Executes one query remotely. The request's deadline budget starts at
+  /// server admission (see QueryRequest::DeadlineMillis).
+  Result<QueryResult> Run(const QueryRequest& request);
+
+  /// Fetches the server's observability counters.
+  Result<wire::ServerStats> Stats();
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  /// The server's HelloAck (name, negotiated version).
+  const wire::Hello& server_hello() const { return server_hello_; }
+
+ private:
+  Client(Fd fd, ClientOptions options)
+      : fd_(std::move(fd)), options_(std::move(options)) {}
+
+  /// Sends one frame and reads the response frame. A kError response is
+  /// decoded into its Status and returned as the error.
+  Result<std::vector<uint8_t>> Call(wire::MsgType request_type,
+                                    const std::vector<uint8_t>& request_body,
+                                    wire::MsgType expected_response);
+
+  Fd fd_;
+  ClientOptions options_;
+  wire::Hello server_hello_;
+};
+
+}  // namespace server
+}  // namespace incdb
+
+#endif  // INCDB_SERVER_CLIENT_H_

@@ -1,0 +1,37 @@
+#include "server/frame.h"
+
+#include <cstring>
+
+namespace incdb {
+namespace server {
+
+Status WriteFrame(const Fd& fd, wire::MsgType type,
+                  const std::vector<uint8_t>& body) {
+  // One buffered send per frame: header and body leave in the same
+  // segment, so a reader never stalls between the two.
+  std::vector<uint8_t> out(wire::kFrameHeaderBytes + body.size());
+  wire::PutFrameHeader(type, static_cast<uint32_t>(body.size()), out.data());
+  if (!body.empty()) {
+    std::memcpy(out.data() + wire::kFrameHeaderBytes, body.data(),
+                body.size());
+  }
+  return WriteAll(fd, out.data(), out.size());
+}
+
+Status ReadFrame(const Fd& fd, int timeout_millis, size_t max_body,
+                 wire::MsgType* type, std::vector<uint8_t>* body,
+                 bool* clean_eof) {
+  uint8_t header[wire::kFrameHeaderBytes];
+  INCDB_RETURN_IF_ERROR(
+      ReadFull(fd, header, sizeof(header), timeout_millis, clean_eof));
+  uint32_t body_len = 0;
+  INCDB_RETURN_IF_ERROR(
+      wire::ParseFrameHeader(header, max_body, type, &body_len));
+  body->resize(body_len);
+  if (body_len == 0) return Status::OK();
+  // The header already arrived, so EOF from here on is always mid-frame.
+  return ReadFull(fd, body->data(), body_len, timeout_millis, nullptr);
+}
+
+}  // namespace server
+}  // namespace incdb

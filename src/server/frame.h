@@ -1,0 +1,35 @@
+#ifndef INCDB_SERVER_FRAME_H_
+#define INCDB_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace incdb {
+namespace server {
+
+/// Frame transport: one wire frame in, one wire frame out, over a
+/// connected socket. Composes net.h (bytes) with wire.h (layout); both the
+/// daemon and the client library speak through these two calls.
+
+/// Writes one complete frame (header + body) to the socket.
+Status WriteFrame(const Fd& fd, wire::MsgType type,
+                  const std::vector<uint8_t>& body);
+
+/// Reads one complete frame. `timeout_millis` bounds each stall while the
+/// frame is in flight (net.h ReadFull semantics), `max_body` rejects
+/// hostile length prefixes before any allocation. Outcomes follow ReadFull:
+/// clean EOF before the first header byte reports kUnavailable with
+/// `*clean_eof = true` (peer hung up between frames — not an error for a
+/// server); anything else non-OK means the stream is unusable.
+Status ReadFrame(const Fd& fd, int timeout_millis, size_t max_body,
+                 wire::MsgType* type, std::vector<uint8_t>* body,
+                 bool* clean_eof);
+
+}  // namespace server
+}  // namespace incdb
+
+#endif  // INCDB_SERVER_FRAME_H_

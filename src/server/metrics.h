@@ -1,0 +1,93 @@
+#ifndef INCDB_SERVER_METRICS_H_
+#define INCDB_SERVER_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "server/wire.h"
+
+namespace incdb {
+namespace server {
+
+/// Lock-free counters plus a small mutex-guarded latency ring, filled by
+/// every server thread and snapshotted on demand (the kServerStats
+/// endpoint and the test suite). Counters are monotonically increasing
+/// except the two gauges; relaxed ordering is enough because a stats
+/// snapshot is advisory, not a synchronization point.
+class ServerMetrics {
+ public:
+  /// Most recent completed-request latencies kept for the quantile
+  /// estimate. Power of two so the ring index is a mask.
+  static constexpr size_t kLatencyRingSize = 1024;
+
+  std::atomic<uint64_t> accepted_connections{0};
+  std::atomic<uint64_t> active_connections{0};  // gauge
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected_overloaded{0};
+  std::atomic<uint64_t> rejected_invalid{0};
+  std::atomic<uint64_t> shed_expired{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+
+  /// Records one admission-to-completion latency in the ring.
+  void RecordLatencyMicros(uint64_t micros) {
+    const MutexLock lock(&ring_mu_);
+    ring_[ring_next_ & (kLatencyRingSize - 1)] = micros;
+    ++ring_next_;
+  }
+
+  /// p50/p99 over the latencies currently in the ring; zeros when empty.
+  void LatencyQuantiles(uint64_t* p50, uint64_t* p99) const {
+    std::vector<uint64_t> sample;
+    {
+      const MutexLock lock(&ring_mu_);
+      const size_t n = std::min<size_t>(ring_next_, kLatencyRingSize);
+      sample.assign(ring_.begin(), ring_.begin() + n);
+    }
+    if (sample.empty()) {
+      *p50 = 0;
+      *p99 = 0;
+      return;
+    }
+    std::sort(sample.begin(), sample.end());
+    *p50 = sample[sample.size() / 2];
+    *p99 = sample[(sample.size() * 99) / 100];
+  }
+
+  /// Point-in-time copy of every counter (the wire-facing struct, minus
+  /// the config echoes the Server fills in itself).
+  wire::ServerStats Snapshot() const {
+    wire::ServerStats stats;
+    stats.accepted_connections =
+        accepted_connections.load(std::memory_order_relaxed);
+    stats.active_connections =
+        active_connections.load(std::memory_order_relaxed);
+    stats.admitted = admitted.load(std::memory_order_relaxed);
+    stats.rejected_overloaded =
+        rejected_overloaded.load(std::memory_order_relaxed);
+    stats.rejected_invalid = rejected_invalid.load(std::memory_order_relaxed);
+    stats.shed_expired = shed_expired.load(std::memory_order_relaxed);
+    stats.deadline_exceeded =
+        deadline_exceeded.load(std::memory_order_relaxed);
+    stats.completed = completed.load(std::memory_order_relaxed);
+    stats.failed = failed.load(std::memory_order_relaxed);
+    LatencyQuantiles(&stats.p50_micros, &stats.p99_micros);
+    return stats;
+  }
+
+ private:
+  mutable Mutex ring_mu_;
+  std::array<uint64_t, kLatencyRingSize> ring_ INCDB_GUARDED_BY(ring_mu_) = {};
+  size_t ring_next_ INCDB_GUARDED_BY(ring_mu_) = 0;
+};
+
+}  // namespace server
+}  // namespace incdb
+
+#endif  // INCDB_SERVER_METRICS_H_

@@ -1,0 +1,168 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace incdb {
+namespace server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host +
+                                   "' (use a dotted quad or 'localhost')");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  INCDB_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  INCDB_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  // Request/response RPC: answer frames should leave immediately, not sit
+  // in Nagle's buffer waiting for a second segment that never comes.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<Fd> AcceptConnection(const Fd& listener) {
+  int rc;
+  do {
+    rc = ::accept(listener.get(), nullptr, nullptr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("accept");
+  Fd fd(rc);
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<bool> WaitReadable(const Fd& fd, int timeout_millis) {
+  pollfd pfd{};
+  pfd.fd = fd.get();
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_millis);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  return rc > 0;
+}
+
+Status WriteAll(const Fd& fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd.get(), p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed the connection mid-write");
+      }
+      return Errno("send");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadFull(const Fd& fd, void* data, size_t len, int timeout_millis,
+                bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    INCDB_ASSIGN_OR_RETURN(const bool readable,
+                           WaitReadable(fd, timeout_millis));
+    if (!readable) {
+      return Status::DeadlineExceeded(
+          "peer stalled for " + std::to_string(timeout_millis) +
+          " ms mid-message (" + std::to_string(got) + "/" +
+          std::to_string(len) + " bytes)");
+    }
+    const ssize_t n = ::recv(fd.get(), p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection reset by peer");
+      }
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof != nullptr) *clean_eof = true;
+      return Status::Unavailable(
+          got == 0 ? "peer closed the connection"
+                   : "peer closed the connection mid-message (" +
+                         std::to_string(got) + "/" + std::to_string(len) +
+                         " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace incdb

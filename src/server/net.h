@@ -1,0 +1,88 @@
+#ifndef INCDB_SERVER_NET_H_
+#define INCDB_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace incdb {
+namespace server {
+
+/// Thin RAII + Status wrappers over POSIX TCP sockets. This file (and the
+/// rest of src/server/) is the ONLY place in the tree allowed to touch the
+/// socket API — tools/lint.py's `net-isolation` rule keeps every other
+/// module speaking the wire protocol through the Client library instead.
+///
+/// All reads are poll-gated with a caller-supplied timeout so a stalled or
+/// malicious peer (slow-loris) can never park a server thread forever, and
+/// so server threads notice shutdown promptly. SIGPIPE is suppressed per
+/// send (MSG_NOSIGNAL); a closed peer surfaces as a Status, never a signal.
+
+/// Owned file descriptor. Closes on destruction; movable, not copyable.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (IPv4 dotted quad or "localhost").
+/// port 0 picks an ephemeral port; read it back with LocalPort.
+Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog);
+
+/// The port a listening socket is actually bound to.
+Result<uint16_t> LocalPort(const Fd& fd);
+
+/// Blocking connect to `host:port`.
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Waits up to `timeout_millis` for `fd` to become readable.
+/// Returns true = readable, false = timed out; error Status on poll failure.
+Result<bool> WaitReadable(const Fd& fd, int timeout_millis);
+
+/// Accepts one pending connection (call after WaitReadable on the listener).
+Result<Fd> AcceptConnection(const Fd& listener);
+
+/// Writes exactly `len` bytes, looping over partial writes and EINTR.
+/// A peer that went away surfaces as StatusCode::kUnavailable.
+Status WriteAll(const Fd& fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes. Each wait for more bytes is bounded by
+/// `timeout_millis` (an overall stall bound per read unit, resetting on
+/// progress — a peer trickling one byte per poll interval still completes,
+/// one stalling longer than the timeout does not). Outcomes:
+///   ok                          — `len` bytes read;
+///   kUnavailable, eof=true      — clean EOF before the FIRST byte (peer
+///                                 closed between messages);
+///   kUnavailable, eof=false     — EOF mid-read (truncated message) or
+///                                 connection reset;
+///   kDeadlineExceeded           — stalled past timeout_millis.
+Status ReadFull(const Fd& fd, void* data, size_t len, int timeout_millis,
+                bool* clean_eof);
+
+}  // namespace server
+}  // namespace incdb
+
+#endif  // INCDB_SERVER_NET_H_

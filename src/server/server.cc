@@ -1,0 +1,401 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "plan/planner.h"
+#include "server/frame.h"
+
+namespace incdb {
+namespace server {
+
+namespace {
+
+/// How often blocked loops (accept, idle connections, paused workers)
+/// re-check their stop flags. Shutdown latency, not request latency.
+constexpr int kPollMillis = 100;
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MillisSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Start(const Database* db,
+                                              ServerOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("server needs a database to serve");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  if (options.workers == 0) {
+    options.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  INCDB_ASSIGN_OR_RETURN(Fd listener,
+                         ListenTcp(options.host, options.port, /*backlog=*/128));
+  INCDB_ASSIGN_OR_RETURN(const uint16_t port, LocalPort(listener));
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<Server> server(
+      new Server(db, std::move(options), std::move(listener),  // lint:allow(raw-new)
+                 port));
+  return server;
+}
+
+Server::Server(const Database* db, ServerOptions options, Fd listener,
+               uint16_t port)
+    : db_(db),
+      options_(std::move(options)),
+      listener_(std::move(listener)),
+      port_(port),
+      started_at_(Clock::now()) {
+  worker_threads_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // Phase 1: stop taking new work. The listener stops accepting and every
+  // admission from here on answers kUnavailable.
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  stop_accepting_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Close the listening socket so late connects are refused outright
+  // instead of parking in the kernel backlog with nobody to accept them.
+  listener_.Close();
+
+  // Phase 2: drain. Workers finish everything already queued — their exit
+  // condition only fires on an empty queue — so every connection thread
+  // blocked on a future gets its answer.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_should_exit_ = true;
+    workers_paused_ = false;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  // Phase 3: release the connections. Their requests have all been
+  // answered; idle ones notice the flag within a poll interval.
+  stop_connections_.store(true, std::memory_order_release);
+  std::vector<std::unique_ptr<ConnState>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+wire::ServerStats Server::StatsSnapshot() const {
+  wire::ServerStats stats = metrics_.Snapshot();
+  stats.queue_capacity = options_.queue_capacity;
+  stats.workers = options_.workers;
+  stats.uptime_millis = MillisSince(started_at_);
+  {
+    auto* self = const_cast<Server*>(this);
+    const std::lock_guard<std::mutex> lock(self->queue_mu_);
+    stats.queue_depth = self->queue_.size();
+    stats.draining = self->draining_;
+  }
+  return stats;
+}
+
+void Server::PauseWorkersForTesting() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_paused_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::ResumeWorkersForTesting() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_accepting_.load(std::memory_order_acquire)) {
+    ReapFinishedConnections();
+    const auto readable = WaitReadable(listener_, kPollMillis);
+    if (!readable.ok() || !*readable) continue;
+    auto accepted = AcceptConnection(listener_);
+    if (!accepted.ok()) continue;
+    metrics_.accepted_connections.fetch_add(1, std::memory_order_relaxed);
+    metrics_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<ConnState>();
+    ConnState* state = conn.get();
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    // The thread starts after registration so Shutdown always sees it.
+    state->thread = std::thread(
+        [this, state, fd = std::move(*accepted)]() mutable {
+          ServeConnection(std::move(fd));
+          metrics_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+          state->done.store(true, std::memory_order_release);
+        });
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<ConnState>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    auto alive = conns_.begin();
+    for (auto& conn : conns_) {
+      if (conn->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(conn));
+      } else {
+        *alive++ = std::move(conn);
+      }
+    }
+    conns_.erase(alive, conns_.end());
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+Result<std::future<Result<QueryResult>>> Server::Admit(QueryRequest request) {
+  Task task;
+  task.admitted_at = Clock::now();
+  task.deadline = request.deadline_millis == 0
+                      ? Clock::time_point::max()
+                      : task.admitted_at + std::chrono::milliseconds(
+                                               request.deadline_millis);
+  task.request = std::move(request);
+  std::future<Result<QueryResult>> future = task.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      return Status::Unavailable("server is draining for shutdown");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      metrics_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+      return Status::Overloaded(
+          "task queue at its high-water mark (" +
+          std::to_string(options_.queue_capacity) +
+          " queued); retry after a backoff");
+    }
+    // Pin the snapshot at admission: the request answers against the
+    // database as of arrival, however long it waits behind others.
+    task.snapshot = db_->GetSnapshot();
+    metrics_.admitted.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        if (workers_paused_) return workers_should_exit_;
+        return !queue_.empty() || workers_should_exit_;
+      });
+      if (queue_.empty() || (workers_paused_ && !workers_should_exit_)) {
+        if (workers_should_exit_ && queue_.empty()) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const Clock::time_point now = Clock::now();
+    if (now >= task.deadline) {
+      // Shed without executing: the client's budget is already gone, and
+      // burning a worker on it would delay everyone behind it.
+      metrics_.shed_expired.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(Status::DeadlineExceeded(
+          "deadline of " + std::to_string(task.request.deadline_millis) +
+          " ms expired while the request was queued"));
+      continue;
+    }
+    if (task.deadline != Clock::time_point::max()) {
+      // Hand the plan executor what is LEFT of the admission-relative
+      // budget, not the original figure.
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          task.deadline - now);
+      task.request.deadline_millis =
+          std::max<int64_t>(1, remaining.count());
+    }
+
+    Result<QueryResult> result =
+        plan::RunOnSnapshot(task.snapshot, task.request);
+    if (result.ok()) {
+      metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.RecordLatencyMicros(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - task.admitted_at)
+              .count()));
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    task.promise.set_value(std::move(result));
+  }
+}
+
+void Server::ServeConnection(Fd fd) {
+  // Handshake first: anything that is not a well-formed, version-matched
+  // Hello gets one best-effort error frame and the connection closes.
+  {
+    wire::MsgType type;
+    std::vector<uint8_t> body;
+    const Status read =
+        ReadFrame(fd, options_.io_stall_timeout_millis,
+                  options_.max_frame_bytes, &type, &body,
+                  /*clean_eof=*/nullptr);
+    if (!read.ok()) {
+      (void)WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(read));
+      return;
+    }
+    if (type != wire::MsgType::kHello) {
+      const Status err = Status::InvalidArgument(
+          "expected a Hello frame to open the connection");
+      (void)WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(err));
+      return;
+    }
+    const auto hello = wire::DecodeHello(body);
+    if (!hello.ok()) {
+      (void)WriteFrame(fd, wire::MsgType::kError,
+                       wire::EncodeStatus(hello.status()));
+      return;
+    }
+    if (hello->magic != wire::kMagic) {
+      const Status err = Status::InvalidArgument(
+          "bad magic in Hello: this is not the incdb serving protocol");
+      (void)WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(err));
+      return;
+    }
+    if (hello->version != wire::kProtocolVersion) {
+      const Status err = Status::InvalidArgument(
+          "unsupported protocol version " + std::to_string(hello->version) +
+          "; this server speaks version " +
+          std::to_string(wire::kProtocolVersion));
+      (void)WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(err));
+      return;
+    }
+    wire::Hello ack;
+    ack.peer_name = options_.server_name;
+    if (!WriteFrame(fd, wire::MsgType::kHelloAck, wire::EncodeHello(ack))
+             .ok()) {
+      return;
+    }
+  }
+
+  // Request loop: one frame in, one frame out, until the peer hangs up,
+  // the stream breaks, or the server shuts down.
+  while (!stop_connections_.load(std::memory_order_acquire)) {
+    // Idle-wait in poll slices so shutdown is never blocked on a silent
+    // peer; the io-stall timeout only starts once a frame is in flight.
+    const auto readable = WaitReadable(fd, kPollMillis);
+    if (!readable.ok()) return;
+    if (!*readable) continue;
+
+    wire::MsgType type;
+    std::vector<uint8_t> body;
+    bool clean_eof = false;
+    const Status read =
+        ReadFrame(fd, options_.io_stall_timeout_millis,
+                  options_.max_frame_bytes, &type, &body, &clean_eof);
+    if (!read.ok()) {
+      if (!clean_eof) {
+        // Truncated frame, oversized length, stall, reset: report once if
+        // the pipe still works, then drop the connection — the stream
+        // cannot be resynchronized.
+        (void)WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(read));
+      }
+      return;
+    }
+
+    switch (type) {
+      case wire::MsgType::kPing: {
+        if (!WriteFrame(fd, wire::MsgType::kPong, {}).ok()) return;
+        break;
+      }
+      case wire::MsgType::kServerStats: {
+        const std::vector<uint8_t> stats =
+            wire::EncodeServerStats(StatsSnapshot());
+        if (!WriteFrame(fd, wire::MsgType::kServerStatsResult, stats).ok()) {
+          return;
+        }
+        break;
+      }
+      case wire::MsgType::kQuery: {
+        auto request = wire::DecodeQueryRequest(body);
+        if (!request.ok()) {
+          // Framing survived, the payload did not: answer and keep the
+          // connection — the stream is still synchronized.
+          metrics_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+          if (!WriteFrame(fd, wire::MsgType::kError,
+                          wire::EncodeStatus(request.status()))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        auto admitted = Admit(std::move(*request));
+        if (!admitted.ok()) {
+          if (!WriteFrame(fd, wire::MsgType::kError,
+                          wire::EncodeStatus(admitted.status()))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        Result<QueryResult> result = admitted->get();
+        const Status written =
+            result.ok()
+                ? WriteFrame(fd, wire::MsgType::kQueryResult,
+                             wire::EncodeQueryResult(*result))
+                : WriteFrame(fd, wire::MsgType::kError,
+                             wire::EncodeStatus(result.status()));
+        if (!written.ok()) return;
+        break;
+      }
+      default: {
+        const Status err = Status::InvalidArgument(
+            "unexpected message type " +
+            std::to_string(static_cast<int>(type)) + " on the wire");
+        if (!WriteFrame(fd, wire::MsgType::kError, wire::EncodeStatus(err))
+                 .ok()) {
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace incdb

@@ -1,0 +1,155 @@
+#ifndef INCDB_SERVER_SERVER_H_
+#define INCDB_SERVER_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "server/metrics.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace incdb {
+namespace server {
+
+/// Serving daemon configuration. Defaults suit tests and local benches;
+/// incdb_serverd exposes the knobs as flags.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port; read it back with Server::port().
+  uint16_t port = 0;
+  /// Fixed worker pool executing queries. 0 = hardware concurrency.
+  size_t workers = 0;
+  /// Admission-control high-water mark: a query arriving while this many
+  /// requests already wait is rejected with StatusCode::kOverloaded
+  /// instead of queued (fail fast; see docs/SERVING.md).
+  size_t queue_capacity = 64;
+  /// Bound on any one network stall mid-frame (slow-loris defence).
+  int io_stall_timeout_millis = 5000;
+  /// Largest frame body this server will read.
+  size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+  /// Name echoed in the HelloAck.
+  std::string server_name = "incdb_serverd";
+};
+
+/// The serving daemon: a TCP listener speaking the versioned wire protocol
+/// (server/wire.h) in front of one Database.
+///
+/// Threading model (docs/SERVING.md has the full prose):
+///
+///   * one accept thread multiplexing the listener with a stop flag;
+///   * one I/O thread per connection — it performs the Hello handshake,
+///     then reads request frames, runs admission control, and writes the
+///     response frames its requests resolve to;
+///   * a fixed pool of `workers` query threads pulling from one bounded
+///     queue. Each admitted request pins its snapshot AT ADMISSION, so the
+///     answer reflects the database as of arrival no matter how long the
+///     request waits behind others, and carries the deadline measured from
+///     admission too — a worker sheds a request whose deadline expired
+///     while it sat in the queue (StatusCode::kDeadlineExceeded, never
+///     executed) and passes the remaining budget to the plan executor for
+///     cooperative mid-query cancellation otherwise.
+///
+/// Backpressure: the queue never exceeds queue_capacity; beyond it clients
+/// get StatusCode::kOverloaded immediately. During Shutdown the server
+/// drains — it stops accepting connections and admitting work
+/// (StatusCode::kUnavailable), finishes everything already queued, answers
+/// the waiting clients, then closes.
+class Server {
+ public:
+  /// Binds, spins up the thread pool, and starts serving `db` (borrowed;
+  /// must outlive the server). Writers may keep mutating `db` while the
+  /// server runs — every request reads a pinned snapshot.
+  static Result<std::unique_ptr<Server>> Start(const Database* db,
+                                               ServerOptions options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (useful with ServerOptions::port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain, idempotent: stop accepting, reject new work, finish
+  /// the queue, answer in-flight clients, join every thread.
+  void Shutdown();
+
+  /// Point-in-time observability counters (same data the kServerStats
+  /// protocol message serves).
+  wire::ServerStats StatsSnapshot() const;
+
+  /// Test hooks: freeze the worker pool so tests can deterministically
+  /// fill the queue (OVERLOADED) or let queued deadlines expire (shed).
+  void PauseWorkersForTesting();
+  void ResumeWorkersForTesting();
+
+ private:
+  /// One admitted request: everything a worker needs, plus the promise the
+  /// connection thread is waiting on.
+  struct Task {
+    QueryRequest request;
+    Snapshot snapshot;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  struct ConnState {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Server(const Database* db, ServerOptions options, Fd listener,
+         uint16_t port);
+
+  void AcceptLoop();
+  void ServeConnection(Fd fd);
+  void WorkerLoop();
+  /// Runs admission control and either returns the future to wait on or
+  /// the rejection to report.
+  Result<std::future<Result<QueryResult>>> Admit(QueryRequest request);
+  void ReapFinishedConnections();
+
+  const Database* db_;
+  const ServerOptions options_;
+  Fd listener_;
+  const uint16_t port_;
+  const std::chrono::steady_clock::time_point started_at_;
+
+  ServerMetrics metrics_;
+
+  // Task queue. std::mutex (not incdb::Mutex) because the workers park on
+  // a std::condition_variable, which requires the std lock type.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool draining_ = false;
+  bool workers_should_exit_ = false;
+  bool workers_paused_ = false;
+
+  std::atomic<bool> stop_accepting_{false};
+  std::atomic<bool> stop_connections_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<ConnState>> conns_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace server
+}  // namespace incdb
+
+#endif  // INCDB_SERVER_SERVER_H_

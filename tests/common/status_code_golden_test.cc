@@ -1,0 +1,57 @@
+// Golden test for the numeric StatusCode contract.
+//
+// The serving protocol (src/server/wire.h) returns StatusCode values
+// verbatim in Error frames, so the numbers below are a frozen wire
+// contract: clients built against any protocol revision must be able to
+// interpret a code produced by any other. If this test fails, someone
+// renumbered or reused a code — that is a protocol break, not a refactor.
+// New codes append at the end with the next free number (and get a new
+// EXPECT here); retired codes retire their number with them.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace incdb {
+namespace {
+
+TEST(StatusCodeGoldenTest, NumericValuesAreFrozen) {
+  EXPECT_EQ(0u, static_cast<uint32_t>(StatusCode::kOk));
+  EXPECT_EQ(1u, static_cast<uint32_t>(StatusCode::kInvalidArgument));
+  EXPECT_EQ(2u, static_cast<uint32_t>(StatusCode::kNotFound));
+  EXPECT_EQ(3u, static_cast<uint32_t>(StatusCode::kOutOfRange));
+  EXPECT_EQ(4u, static_cast<uint32_t>(StatusCode::kAlreadyExists));
+  EXPECT_EQ(5u, static_cast<uint32_t>(StatusCode::kNotSupported));
+  EXPECT_EQ(6u, static_cast<uint32_t>(StatusCode::kIOError));
+  EXPECT_EQ(7u, static_cast<uint32_t>(StatusCode::kInternal));
+  EXPECT_EQ(8u, static_cast<uint32_t>(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(9u, static_cast<uint32_t>(StatusCode::kOverloaded));
+  EXPECT_EQ(10u, static_cast<uint32_t>(StatusCode::kUnavailable));
+  EXPECT_EQ(10u, kMaxStatusCode);
+}
+
+TEST(StatusCodeGoldenTest, EveryCodeHasAStableName) {
+  EXPECT_EQ("OK", StatusCodeToString(StatusCode::kOk));
+  EXPECT_EQ("InvalidArgument",
+            StatusCodeToString(StatusCode::kInvalidArgument));
+  EXPECT_EQ("NotFound", StatusCodeToString(StatusCode::kNotFound));
+  EXPECT_EQ("OutOfRange", StatusCodeToString(StatusCode::kOutOfRange));
+  EXPECT_EQ("AlreadyExists", StatusCodeToString(StatusCode::kAlreadyExists));
+  EXPECT_EQ("NotSupported", StatusCodeToString(StatusCode::kNotSupported));
+  EXPECT_EQ("IOError", StatusCodeToString(StatusCode::kIOError));
+  EXPECT_EQ("Internal", StatusCodeToString(StatusCode::kInternal));
+  EXPECT_EQ("DeadlineExceeded",
+            StatusCodeToString(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ("Overloaded", StatusCodeToString(StatusCode::kOverloaded));
+  EXPECT_EQ("Unavailable", StatusCodeToString(StatusCode::kUnavailable));
+}
+
+TEST(StatusCodeGoldenTest, NamedFactoriesCarryTheirCode) {
+  EXPECT_EQ(StatusCode::kDeadlineExceeded,
+            Status::DeadlineExceeded("late").code());
+  EXPECT_EQ(StatusCode::kOverloaded, Status::Overloaded("queue full").code());
+  EXPECT_EQ(StatusCode::kUnavailable, Status::Unavailable("draining").code());
+}
+
+}  // namespace
+}  // namespace incdb

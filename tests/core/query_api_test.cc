@@ -100,47 +100,73 @@ TEST(QueryApiTest, CountOnlyAgreesWithMaterializedCountUnderDeltaAndDeletes) {
   EXPECT_EQ(full->count, 2u);  // rows 2 (missing) and 4 (delta insert).
 }
 
-#ifdef INCDB_LEGACY_API
-TEST(QueryApiTest, LegacyWrappersAgreeWithRunOnEveryShape) {
-  Database db = MakeSmallDb();
-  ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapRange).ok());
-
-  for (MissingSemantics semantics :
-       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
-    // Terms.
-    const std::vector<NamedTerm> terms = {{"rating", 2, 4}, {"price", 1, 8}};
-    std::string chosen;
-    const auto legacy = db.Query(terms, semantics, &chosen);
-    const auto unified = db.Run(QueryRequest::Terms(terms, semantics));
-    ASSERT_TRUE(legacy.ok());
-    ASSERT_TRUE(unified.ok());
-    EXPECT_EQ(legacy.value(), unified->row_ids);
-    EXPECT_EQ(chosen, unified->chosen_index);
-
-    // Expression.
-    const QueryExpr expr = QueryExpr::MakeAnd(
-        {QueryExpr::MakeTerm(0, {3, 5}),
-         QueryExpr::MakeNot(QueryExpr::MakeTerm(1, {8, 10}))});
-    const auto legacy_expr = db.QueryExpression(expr, semantics, &chosen);
-    const auto unified_expr = db.Run(QueryRequest::Expression(expr, semantics));
-    ASSERT_TRUE(legacy_expr.ok());
-    ASSERT_TRUE(unified_expr.ok());
-    EXPECT_EQ(legacy_expr.value(), unified_expr->row_ids);
-    EXPECT_EQ(chosen, unified_expr->chosen_index);
-
-    // Text.
-    const std::string text = "rating >= 3 AND NOT price IN [8,10]";
-    const auto legacy_text = db.QueryText(text, semantics, &chosen);
-    const auto unified_text = db.Run(QueryRequest::Text(text, semantics));
-    ASSERT_TRUE(legacy_text.ok());
-    ASSERT_TRUE(unified_text.ok());
-    EXPECT_EQ(legacy_text.value(), unified_text->row_ids);
-    EXPECT_EQ(chosen, unified_text->chosen_index);
-    // Text parses into the same expression, so routing must agree too.
-    EXPECT_EQ(unified_text->row_ids, unified_expr->row_ids);
-  }
+TEST(QueryApiTest, ValidateAcceptsEveryWellFormedShape) {
+  EXPECT_TRUE(QueryRequest::Terms({{"rating", 2, 4}}).Validate().ok());
+  EXPECT_TRUE(QueryRequest::Expression(QueryExpr::MakeTerm(0, {1, 3}))
+                  .Validate()
+                  .ok());
+  EXPECT_TRUE(QueryRequest::Text("rating >= 3").Validate().ok());
+  EXPECT_TRUE(QueryRequest::Terms({{"rating", 2, 4}})
+                  .CountOnly()
+                  .DeadlineMillis(50)
+                  .Validate()
+                  .ok());
+  EXPECT_TRUE(QueryRequest::Terms({{"rating", 2, 4}}).Limit(3).Validate().ok());
 }
-#endif  // INCDB_LEGACY_API
+
+TEST(QueryApiTest, ValidateRejectsMalformedRequests) {
+  // Empty predicate per shape.
+  EXPECT_EQ(QueryRequest::Terms({}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest no_expr;
+  no_expr.shape = QueryRequest::Shape::kExpression;
+  EXPECT_EQ(no_expr.Validate().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryRequest::Text("").Validate().code(),
+            StatusCode::kInvalidArgument);
+  // Structural term defects.
+  EXPECT_EQ(QueryRequest::Terms({{"", 1, 1}}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryRequest::Terms({{"rating", 4, 2}}).Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryRequest::Expression(QueryExpr::MakeTerm(0, {5, 2}))
+                .Validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Conflicting count/materialize flags.
+  EXPECT_EQ(QueryRequest::Terms({{"rating", 1, 2}})
+                .CountOnly()
+                .Limit(10)
+                .Validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryApiTest, RunRejectsWhatValidateRejects) {
+  // The planner calls Validate() itself, so a malformed request fails
+  // before resolution no matter which entry point it came through.
+  const Database db = MakeSmallDb();
+  EXPECT_EQ(db.Run(QueryRequest::Terms({})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Run(QueryRequest::Terms({{"rating", 1, 1}})
+                       .CountOnly()
+                       .Limit(1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryApiTest, LimitTruncatesRowIdsButNotTheCount) {
+  Database db = MakeSmallDb();
+  const auto all = db.Run(QueryRequest::Terms({{"rating", 1, 5}}));
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->count, 3u);
+  const auto limited = db.Run(QueryRequest::Terms({{"rating", 1, 5}}).Limit(2));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->count, all->count);
+  ASSERT_EQ(limited->row_ids.size(), 2u);
+  EXPECT_EQ(limited->row_ids[0], all->row_ids[0]);
+  EXPECT_EQ(limited->row_ids[1], all->row_ids[1]);
+}
 
 TEST(QueryApiTest, RunRejectsBadRequests) {
   const Database db = MakeSmallDb();

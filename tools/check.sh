@@ -61,8 +61,10 @@ cmake --build --preset "$mode" -j "$(nproc)"
 ctest --preset "$mode" -j "$(nproc)" "$@"
 
 if [[ "$mode" == "tsan" ]]; then
-  # Explicit second pass over the plan suite: the morsel-parallel executor
-  # (word-aligned scan morsels, concurrent index probes) must be TSan-clean
-  # even when the caller filtered the main invocation with extra ctest args.
-  ctest --preset "$mode" -L plan --output-on-failure
+  # Explicit second pass over the plan and server suites: the morsel-parallel
+  # executor (word-aligned scan morsels, concurrent index probes) and the
+  # serving daemon (worker pool, admission queue, many clients racing a
+  # writer) must be TSan-clean even when the caller filtered the main
+  # invocation with extra ctest args.
+  ctest --preset "$mode" -L 'plan|server' --output-on-failure
 fi

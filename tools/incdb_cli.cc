@@ -7,10 +7,15 @@
 //   incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] [--point]
 //   incdb_cli <data.csv> [--index=KIND] --save=DIR
 //   incdb_cli --open=DIR [--no-verify] [--count] "<predicate>"
+//   incdb_cli --connect=HOST:PORT [--count] [--deadline=MS] "<predicate>"
+//   incdb_cli --connect=HOST:PORT --server-stats
 //
 // --save persists the database (table + built indexes) into a store
 // directory; --open serves queries from one via mmap without re-reading
-// the CSV or rebuilding indexes (docs/STORAGE.md).
+// the CSV or rebuilding indexes (docs/STORAGE.md); --connect runs the
+// query on a remote incdb_serverd over the wire protocol instead of
+// loading any data locally (docs/SERVING.md), and --server-stats prints
+// the daemon's observability counters.
 //
 // The CSV header must be `name:cardinality` per column; missing cells are
 // `?` (the format written by incdb::WriteCsv). Predicates use the grammar
@@ -29,6 +34,7 @@
 #include "core/advisor.h"
 #include "core/database.h"
 #include "query/parser.h"
+#include "server/client.h"
 #include "stats/histogram.h"
 #include "table/csv.h"
 
@@ -48,6 +54,9 @@ struct CliOptions {
   bool advise = false;
   std::string save_dir;
   std::string open_dir;
+  std::string connect;  // "host:port"
+  bool server_stats = false;
+  uint64_t deadline_millis = 0;
   bool verify_checksums = true;
   size_t limit = 20;
   // advisor profile knobs
@@ -66,7 +75,10 @@ int Usage() {
       "       incdb_cli <data.csv> --advise [--dims=K] [--selectivity=F] "
       "[--point]\n"
       "       incdb_cli <data.csv> [--index=KIND] --save=DIR\n"
-      "       incdb_cli --open=DIR [--no-verify] [--count] \"<predicate>\"\n");
+      "       incdb_cli --open=DIR [--no-verify] [--count] \"<predicate>\"\n"
+      "       incdb_cli --connect=HOST:PORT [--count] [--deadline=MS] "
+      "\"<predicate>\"\n"
+      "       incdb_cli --connect=HOST:PORT --server-stats\n");
   return 2;
 }
 
@@ -106,6 +118,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->save_dir = arg.substr(7);
     } else if (arg.rfind("--open=", 0) == 0) {
       options->open_dir = arg.substr(7);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      options->connect = arg.substr(10);
+    } else if (arg == "--server-stats") {
+      options->server_stats = true;
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      options->deadline_millis =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 11));
     } else if (arg == "--no-verify") {
       options->verify_checksums = false;
     } else if (arg == "--stats") {
@@ -125,6 +144,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else {
       positional.push_back(arg);
     }
+  }
+  if (!options->connect.empty()) {
+    // Remote mode: no local data; the predicate is the only positional.
+    if (positional.size() > 1) return false;
+    if (!positional.empty()) options->query_text = positional[0];
+    return !options->query_text.empty() || options->server_stats;
   }
   if (!options->open_dir.empty()) {
     // Store mode: no CSV positional; the predicate is the only positional.
@@ -178,9 +203,106 @@ int PrintAdvice(const Table& table, const CliOptions& options) {
 
 int RunQuery(Database& db, const CliOptions& options);
 
+/// Remote mode: every query (and the stats probe) goes over the wire to a
+/// running incdb_serverd; nothing is loaded locally.
+int RunRemote(const CliOptions& options) {
+  const size_t colon = options.connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "error: --connect needs HOST:PORT\n");
+    return Usage();
+  }
+  const std::string host = options.connect.substr(0, colon);
+  const int port = std::atoi(options.connect.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: bad port in --connect\n");
+    return Usage();
+  }
+  server::ClientOptions client_options;
+  client_options.client_name = "incdb_cli";
+  auto client = server::Client::Connect(
+      host, static_cast<uint16_t>(port), client_options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.server_stats) {
+    const auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("server:               %s (uptime %llu ms%s)\n",
+                client->server_hello().peer_name.c_str(),
+                static_cast<unsigned long long>(stats->uptime_millis),
+                stats->draining ? ", draining" : "");
+    std::printf("connections:          %llu accepted, %llu active\n",
+                static_cast<unsigned long long>(stats->accepted_connections),
+                static_cast<unsigned long long>(stats->active_connections));
+    std::printf("requests:             %llu admitted, %llu completed, "
+                "%llu failed\n",
+                static_cast<unsigned long long>(stats->admitted),
+                static_cast<unsigned long long>(stats->completed),
+                static_cast<unsigned long long>(stats->failed));
+    std::printf("backpressure:         %llu overloaded, %llu invalid, "
+                "%llu shed expired, %llu deadline exceeded\n",
+                static_cast<unsigned long long>(stats->rejected_overloaded),
+                static_cast<unsigned long long>(stats->rejected_invalid),
+                static_cast<unsigned long long>(stats->shed_expired),
+                static_cast<unsigned long long>(stats->deadline_exceeded));
+    std::printf("queue:                %llu / %llu (workers %llu)\n",
+                static_cast<unsigned long long>(stats->queue_depth),
+                static_cast<unsigned long long>(stats->queue_capacity),
+                static_cast<unsigned long long>(stats->workers));
+    std::printf("latency:              p50 %llu us, p99 %llu us\n",
+                static_cast<unsigned long long>(stats->p50_micros),
+                static_cast<unsigned long long>(stats->p99_micros));
+    if (options.query_text.empty()) return 0;
+  }
+
+  QueryRequest request =
+      QueryRequest::Text(options.query_text, options.semantics)
+          .CountOnly(options.count_only)
+          .Parallel(options.threads)
+          .Explain(options.explain);
+  if (options.deadline_millis != 0) {
+    request.DeadlineMillis(options.deadline_millis);
+  }
+  if (!options.count_only && options.limit != 0) {
+    request.Limit(options.limit);
+  }
+  const auto result = client->Run(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (options.explain) std::fprintf(stderr, "%s", result->explain.c_str());
+  std::fprintf(
+      stderr, "# %llu match(es) via %s [remote %s] epoch=%llu rows=%llu\n",
+      static_cast<unsigned long long>(result->count),
+      result->chosen_index.c_str(),
+      client->server_hello().peer_name.c_str(),
+      static_cast<unsigned long long>(result->epoch),
+      static_cast<unsigned long long>(result->visible_rows));
+  if (options.count_only) {
+    std::printf("%llu\n", static_cast<unsigned long long>(result->count));
+    return 0;
+  }
+  // No local table in remote mode: print the (limit-capped) row ids.
+  for (const uint32_t r : result->row_ids) std::printf("%u\n", r);
+  if (result->count > result->row_ids.size()) {
+    std::printf("... (%llu more)\n",
+                static_cast<unsigned long long>(result->count -
+                                                result->row_ids.size()));
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
+
+  if (!options.connect.empty()) return RunRemote(options);
 
   if (!options.open_dir.empty()) {
     // Serve from a persisted store: zero-copy mmap open, indexes included.

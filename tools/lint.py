@@ -32,6 +32,13 @@ Checks, over the committed sources (no build needed):
                     build or silently leak AVX2 codegen into TUs that must
                     run on baseline hardware. Everyone else goes through the
                     runtime-dispatched simd::ActiveKernels() table.
+  net-isolation     OS networking headers (<sys/socket.h>, <netdb.h>, ...)
+                    and raw socket syscalls are banned outside src/server/
+                    and tests/server/ (which impersonates hostile peers on
+                    purpose). Everything else talks TCP through the typed
+                    wrappers in server/net.h and the Client library, so
+                    error handling (Status, EINTR, partial I/O, SIGPIPE)
+                    lives in exactly one audited place.
 
 A finding on one line can be suppressed — with justification in an adjacent
 comment — by appending `lint:allow(<rule>)` in a comment on that line.
@@ -87,6 +94,11 @@ ALLOWED_HEADER_DEPS = {
         "table", "query", "stats", "bitmap", "vafile", "baselines", "storage",
         "core",
     },
+    "server": {
+        "common", "simd", "bitvector", "compression", "btree", "rtree",
+        "table", "query", "stats", "bitmap", "vafile", "baselines", "storage",
+        "core", "plan",
+    },
 }
 
 # Dependency-inversion seam: interface headers that live in `core` but are
@@ -109,6 +121,23 @@ SIMD_HEADER_RE = re.compile(
     r'wmmintrin|ammintrin|avxintrin|avx2intrin|popcntintrin'
     r')\.h>')
 SIMD_IDENT_RE = re.compile(r'\b(_mm\d*_\w+|__m\d+[id]?|__v\d+\w+)\b')
+
+# Direct OS networking is confined to these directories (see net-isolation
+# above). tests/server/ is exempt because the protocol-robustness suite
+# speaks raw malformed bytes on purpose — it IS the hostile peer.
+NET_DIRS = ("src/server/", "tests/server/")
+NET_HEADER_RE = re.compile(
+    r'#\s*include\s+<('
+    r'sys/socket|netinet/in|netinet/tcp|arpa/inet|netdb|sys/un'
+    r')\.h>')
+# Syscall names chosen to avoid false positives (std::bind, Client::Connect
+# and friends are spelled differently); the header rule is the real gate —
+# these calls cannot compile without one of the headers above.
+NET_IDENT_RE = re.compile(
+    r'(?<![\w:.])(?:::)?('
+    r'socket|getaddrinfo|freeaddrinfo|setsockopt|getsockopt|getsockname|'
+    r'inet_pton|inet_ntop|recvfrom|sendto'
+    r')\s*\(')
 
 # Implementation files may additionally include these modules' headers.
 # core/*.cc call down into the plan layer (Database::Run lowers through the
@@ -251,6 +280,16 @@ class Linter:
                     self.report(path, lineno, "simd-isolation",
                                 "raw CPU intrinsic outside src/simd/; use "
                                 "the dispatch table in simd/simd.h", raw)
+
+            if not rel.replace(os.sep, "/").startswith(NET_DIRS):
+                if NET_HEADER_RE.search(code):
+                    self.report(path, lineno, "net-isolation",
+                                "OS networking header outside src/server/; "
+                                "use the wrappers in server/net.h", raw)
+                elif NET_IDENT_RE.search(code):
+                    self.report(path, lineno, "net-isolation",
+                                "raw socket call outside src/server/; use "
+                                "the wrappers in server/net.h", raw)
 
             if in_lib:
                 self.check_include(path, lineno, code, raw, rel)

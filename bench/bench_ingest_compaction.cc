@@ -1,0 +1,308 @@
+// Measures the sharded segment store's three cost claims (docs/SEGMENTS.md):
+//
+//   1. Bounded saves: with per-segment files, Save() into an existing store
+//      rewrites only segments sealed since the last save plus the unsealed
+//      tail and catalog, so incremental save time stays flat as the store
+//      grows — while a from-scratch save of the same data scales linearly.
+//      The `incr_save` trajectory vs the final `fresh_save` shows it.
+//
+//   2. Zone-map pruning: on a clustered attribute a selective predicate
+//      prunes most segments without touching their indexes. The
+//      `selective_query` entries carry scanned/pruned in their config so
+//      the committed JSON documents the pruning fraction (>=50% of
+//      segments skipped is the acceptance bar; the run prints it).
+//
+//   3. Compaction cost and payoff: CompactNow() after spread deletes is a
+//      one-shot rewrite (`compact`), after which the same queries run over
+//      fewer rows (`post_compact_query`) and the next save is again
+//      incremental (`post_compact_save`).
+//
+// `selective_query_p99` is a deliberately tail-sensitive entry: it matches
+// tools/bench_compare.py's noisy-metric pattern and is therefore warn-only
+// in the CI bench-regression gate.
+//
+// Usage: bench_ingest_compaction [--json <path>]
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/database.h"
+#include "table/table.h"
+
+namespace incdb {
+namespace {
+
+uint64_t g_sink = 0;
+
+constexpr const char* kStoreDir = "bench_ingest_compaction_store.incdb";
+constexpr uint64_t kSegmentRows = 4096;
+constexpr uint32_t kClusteredCard = 32;
+
+struct Lcg {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+// a0 is clustered by segment (each segment's zone covers one value of 32),
+// a1 and a2 are uniform with some missing cells — prunable and unprunable
+// attributes side by side, like the test fixtures.
+std::vector<Value> MakeRow(uint64_t row, Lcg& rng) {
+  const Value clustered =
+      static_cast<Value>(1 + (row / kSegmentRows) % kClusteredCard);
+  const Value uniform = rng.Next() % 10 == 0
+                            ? kMissingValue
+                            : static_cast<Value>(1 + rng.Next() % 50);
+  const Value wide = static_cast<Value>(1 + rng.Next() % 100);
+  return {clustered, uniform, wide};
+}
+
+Database MustMakeDatabase(uint64_t num_rows, Lcg& rng) {
+  std::vector<AttributeSpec> specs = {
+      {"a0", kClusteredCard}, {"a1", 50}, {"a2", 100}};
+  auto table = Table::Create(Schema(specs));
+  if (!table.ok()) {
+    std::fprintf(stderr, "table: %s\n", table.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    const Status appended = table->AppendRow(MakeRow(r, rng));
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append: %s\n", appended.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  auto db = Database::FromTable(std::move(table).value());
+  if (!db.ok()) {
+    std::fprintf(stderr, "database: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  SegmentOptions options;
+  options.segment_rows = kSegmentRows;
+  const Status enabled = db->EnableSegments(options);
+  if (!enabled.ok()) {
+    std::fprintf(stderr, "segments: %s\n", enabled.ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+void MustSave(const Database& db, const char* dir) {
+  const Status saved = db.Save(dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::vector<std::string> StoreFiles(const char* dir) {
+  std::vector<std::string> names;
+  DIR* handle = ::opendir(dir);
+  if (handle == nullptr) return names;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(handle);
+  return names;
+}
+
+uint64_t StoreBytes(const char* dir) {
+  uint64_t total = 0;
+  for (const std::string& file : StoreFiles(dir)) {
+    struct stat info;
+    const std::string path = std::string(dir) + "/" + file;
+    if (stat(path.c_str(), &info) == 0) {
+      total += static_cast<uint64_t>(info.st_size);
+    }
+  }
+  return total;
+}
+
+void RemoveStore(const char* dir) {
+  for (const std::string& file : StoreFiles(dir)) {
+    std::remove((std::string(dir) + "/" + file).c_str());
+  }
+  rmdir(dir);
+}
+
+double MustQueryMillis(const Database& db, const std::string& text,
+                       QueryStats* stats) {
+  Timer timer;
+  const auto result = db.Run(QueryRequest::Text(text,
+                                                MissingSemantics::kNoMatch));
+  const double millis = timer.ElapsedMillis();
+  if (!result.ok()) {
+    std::fprintf(stderr, "query '%s': %s\n", text.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  g_sink += result->count;
+  if (stats != nullptr) *stats = result->stats;
+  return millis;
+}
+
+// Mean and p99 over kQueryRuns timings of the same query.
+struct LatencyProfile {
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencyProfile ProfileQuery(const Database& db, const std::string& text) {
+  constexpr int kQueryRuns = 100;
+  std::vector<double> timings;
+  timings.reserve(kQueryRuns);
+  for (int i = 0; i < kQueryRuns; ++i) {
+    timings.push_back(MustQueryMillis(db, text, nullptr));
+  }
+  LatencyProfile profile;
+  for (const double t : timings) profile.mean_ms += t;
+  profile.mean_ms /= kQueryRuns;
+  std::sort(timings.begin(), timings.end());
+  profile.p99_ms = timings[kQueryRuns - kQueryRuns / 100 - 1];
+  return profile;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  bench::Init(argc, argv);
+  // Growth plan: seed the store with 1/4 of the rows, then grow to full
+  // size one segment per step, saving after each step into the same dir.
+  const uint64_t total_rows = bench::BenchRows(200000);
+  const uint64_t seed_rows = std::max<uint64_t>(kSegmentRows,
+                                                total_rows / 4);
+  Lcg rng{20060329};  // EDBT'06
+
+  RemoveStore(kStoreDir);
+  Database db = MustMakeDatabase(seed_rows, rng);
+  MustSave(db, kStoreDir);
+
+  bench::PrintHeader({"segments", "rows", "store_MB", "incr_save_ms"});
+  uint64_t next_row = seed_rows;
+  while (next_row < total_rows) {
+    for (uint64_t i = 0; i < kSegmentRows && next_row < total_rows; ++i) {
+      const Status inserted = db.Insert(MakeRow(next_row++, rng));
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "insert: %s\n", inserted.ToString().c_str());
+        return 1;
+      }
+    }
+    Timer save_timer;
+    MustSave(db, kStoreDir);
+    const double save_ms = save_timer.ElapsedMillis();
+    const uint64_t bytes = StoreBytes(kStoreDir);
+    // The growth plan is deterministic at a given INCDB_BENCH_ROWS, so
+    // this key is stable across runs (rows disambiguates the final
+    // partial step, which seals no new segment).
+    bench::RecordResult("incr_save",
+                        "segments=" + std::to_string(db.num_segments()) +
+                            ",rows=" + std::to_string(db.num_rows()),
+                        save_ms, bytes);
+    bench::PrintRow({std::to_string(db.num_segments()),
+                     std::to_string(db.num_rows()),
+                     bench::FormatBytesAsMB(bytes),
+                     bench::FormatDouble(save_ms)});
+  }
+
+  // Contrast: saving the same final store from scratch rewrites every
+  // segment file. This is the linear cost the incremental path avoids.
+  constexpr const char* kFreshDir = "bench_ingest_compaction_fresh.incdb";
+  RemoveStore(kFreshDir);
+  Timer fresh_timer;
+  MustSave(db, kFreshDir);
+  const double fresh_ms = fresh_timer.ElapsedMillis();
+  bench::RecordResult("fresh_save",
+                      "segments=" + std::to_string(db.num_segments()),
+                      fresh_ms, StoreBytes(kFreshDir));
+  RemoveStore(kFreshDir);
+
+  // Zone-map pruning on the clustered attribute: a point predicate hits
+  // one a0 value, i.e. roughly 1-in-32 segments plus the tail.
+  QueryStats stats;
+  MustQueryMillis(db, "a0 = 7", &stats);
+  const uint64_t num_segments = db.num_segments();
+  const double pruned_pct =
+      num_segments == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.segments_pruned) /
+                static_cast<double>(num_segments);
+  const std::string prune_config = "a0=7,pruned=" +
+                                   std::to_string(stats.segments_pruned) +
+                                   "/" + std::to_string(num_segments);
+  const LatencyProfile selective = ProfileQuery(db, "a0 = 7");
+  const LatencyProfile broad = ProfileQuery(db, "a1 IN [10,40]");
+  bench::RecordResult("selective_query", prune_config, selective.mean_ms,
+                      StoreBytes(kStoreDir));
+  bench::RecordResult("selective_query_p99", prune_config, selective.p99_ms,
+                      StoreBytes(kStoreDir));
+  bench::RecordResult("broad_query", "a1=[10,40]", broad.mean_ms,
+                      StoreBytes(kStoreDir));
+  std::printf("\n# selective predicate a0=7: %llu of %llu segments pruned "
+              "(%.0f%%), mean %.3f ms, p99 %.3f ms\n",
+              static_cast<unsigned long long>(stats.segments_pruned),
+              static_cast<unsigned long long>(num_segments), pruned_pct,
+              selective.mean_ms, selective.p99_ms);
+  if (pruned_pct < 50.0) {
+    std::fprintf(stderr,
+                 "# WARNING: pruning below the 50%% acceptance bar\n");
+  }
+
+  // Spread deletes (every 4th row) then one compaction: the rewrite cost,
+  // the post-compaction query payoff, and the save that follows — which is
+  // NOT incremental for rewritten ranges, but reclaims their bytes.
+  for (uint32_t row = 0; row < db.num_rows(); row += 4) {
+    const Status deleted = db.Delete(row);
+    if (!deleted.ok()) {
+      std::fprintf(stderr, "delete: %s\n", deleted.ToString().c_str());
+      return 1;
+    }
+  }
+  Timer compact_timer;
+  const Status compacted = db.CompactNow();
+  const double compact_ms = compact_timer.ElapsedMillis();
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "compact: %s\n", compacted.ToString().c_str());
+    return 1;
+  }
+  const CompactionStats reclaim = db.GetCompactionStats();
+  bench::RecordResult("compact", "deleted=25pct", compact_ms,
+                      reclaim.reclaimed_bytes);
+
+  Timer post_save_timer;
+  MustSave(db, kStoreDir);
+  const double post_save_ms = post_save_timer.ElapsedMillis();
+  bench::RecordResult("post_compact_save", "deleted=25pct", post_save_ms,
+                      StoreBytes(kStoreDir));
+  const LatencyProfile after = ProfileQuery(db, "a0 = 7");
+  bench::RecordResult("post_compact_query", "a0=7", after.mean_ms,
+                      StoreBytes(kStoreDir));
+  std::printf("# compaction: %.3f ms, reclaimed %llu rows / %llu bytes; "
+              "save after %.3f ms; a0=7 mean %.3f ms\n",
+              compact_ms,
+              static_cast<unsigned long long>(reclaim.reclaimed_rows),
+              static_cast<unsigned long long>(reclaim.reclaimed_bytes),
+              post_save_ms, after.mean_ms);
+
+  RemoveStore(kStoreDir);
+  if (g_sink == 0) std::fprintf(stderr, "# sink empty (unexpected)\n");
+  bench::WriteJson();
+  return 0;
+}
+
+}  // namespace incdb
+
+int main(int argc, char** argv) { return incdb::BenchMain(argc, argv); }

@@ -137,6 +137,30 @@ void BitVector::OrWith(const BitVector& other) {
                                 words_.size() * sizeof(uint64_t));
 }
 
+void BitVector::OrAt(const BitVector& src, uint64_t offset) {
+  INCDB_CHECK(offset + src.size_ <= size_);
+  if (src.size_ == 0) return;
+  const uint64_t word0 = offset / 64;
+  const unsigned shift = static_cast<unsigned>(offset % 64);
+  const size_t src_words = src.words_.size();
+  if (shift == 0) {
+    for (size_t w = 0; w < src_words; ++w) {
+      words_[word0 + w] |= src.words_[w];
+    }
+    return;
+  }
+  // Each source word straddles two destination words. The source's
+  // trailing bits beyond src.size_ are zero (class invariant), so the
+  // spill of the last word never sets bits past offset + src.size_.
+  uint64_t carry = 0;
+  for (size_t w = 0; w < src_words; ++w) {
+    const uint64_t word = src.words_[w];
+    words_[word0 + w] |= (word << shift) | carry;
+    carry = word >> (64 - shift);
+  }
+  if (carry != 0) words_[word0 + src_words] |= carry;
+}
+
 void BitVector::XorWith(const BitVector& other) {
   INCDB_CHECK(size_ == other.size_);
   simd::ActiveKernels().xor_into(words_.data(), other.words_.data(),

@@ -75,6 +75,11 @@ class BitVector {
   void AndWith(const BitVector& other);
   void OrWith(const BitVector& other);
   void XorWith(const BitVector& other);
+  /// ORs `src` into this vector starting at bit `offset` (the segment
+  /// splice: local per-segment results land at their global row offset).
+  /// Requires offset + src.size() <= size(). Word-parallel with a single
+  /// shift when the offset is not 64-aligned.
+  void OrAt(const BitVector& src, uint64_t offset);
   /// In-place complement (respects the trailing-bits-zero invariant).
   void Flip();
 

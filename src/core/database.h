@@ -1,19 +1,42 @@
 #ifndef INCDB_CORE_DATABASE_H_
 #define INCDB_CORE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
 #include "core/incomplete_index.h"
 #include "core/index_factory.h"
 #include "core/query_api.h"
+#include "core/segments.h"
 #include "core/snapshot.h"
 #include "query/expr.h"
 #include "table/table.h"
 
 namespace incdb {
+
+namespace storage {
+struct SegmentPersistCache;
+}  // namespace storage
+
+/// Cumulative compaction accounting for one Database (monotone counters;
+/// surfaced through the server's kServerStats endpoint).
+struct CompactionStats {
+  /// CompactNow calls that actually rewrote the store (no-ops excluded).
+  uint64_t compactions = 0;
+  /// Deleted rows physically dropped.
+  uint64_t reclaimed_rows = 0;
+  /// Data bytes those rows occupied (row width x rows; excludes index
+  /// payload shrinkage, which is reported by IndexSizeInBytes deltas).
+  uint64_t reclaimed_bytes = 0;
+  /// Segments whose index was rebuilt / carried over unchanged.
+  uint64_t segments_rebuilt = 0;
+  uint64_t segments_reused = 0;
+};
 
 /// The serving facade: an incomplete table, its indexes, and a unified
 /// query API — safe for any number of concurrent readers plus one mutating
@@ -78,8 +101,12 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  const Table& table() const { return *table_; }
-  uint64_t num_rows() const { return table_->num_rows(); }
+  /// The current base table. The reference is stable for the Database's
+  /// lifetime UNLESS CompactNow runs (compaction swaps in a rewritten
+  /// table); callers that mix table() with compaction must re-fetch after
+  /// each compaction and must not hold the reference across one.
+  const Table& table() const { return *GetSnapshot().state().table; }
+  uint64_t num_rows() const { return GetSnapshot().num_rows(); }
 
   /// Pins the current epoch. The returned Snapshot is immutable, cheap to
   /// copy, and valid for as long as the Database (and therefore the shared
@@ -129,6 +156,34 @@ class Database {
   /// Registered index kinds, ascending.
   std::vector<IndexKind> Indexes() const;
 
+  /// Switches on the sharded segment layer (docs/SEGMENTS.md): existing
+  /// full segments are sealed in parallel and every future Insert seals a
+  /// segment each time `options.segment_rows` rows accumulate past the
+  /// sealed watermark. Range/expression queries are then served per
+  /// segment with zone-map pruning; the unsealed tail keeps using the
+  /// delta scan. One-shot: enabling twice is an error. Publishes a new
+  /// epoch.
+  Status EnableSegments(const SegmentOptions& options)
+      INCDB_EXCLUDES(shared_->writer_mu);
+  bool segments_enabled() const;
+  /// Sealed segment count / sealed row watermark in the current epoch.
+  size_t num_segments() const { return GetSnapshot().num_segments(); }
+  uint64_t sealed_rows() const { return GetSnapshot().sealed_rows(); }
+
+  /// Physically reclaims deleted rows (the deletion mask otherwise only
+  /// grows): rewrites the base table without them, resets the mask,
+  /// rebuilds registry indexes over the surviving rows, and — with
+  /// segments enabled — re-segments only the segments that contained
+  /// deletes or are undersized merge candidates, carrying every untouched
+  /// segment (and its index) over by reference. Publishes via the usual
+  /// epoch swap, so concurrent readers never block and pinned snapshots
+  /// keep the pre-compaction table alive until they finish. A call with
+  /// nothing to reclaim is a cheap no-op. Serialized with all other
+  /// mutators on writer_mu.
+  Status CompactNow() INCDB_EXCLUDES(shared_->writer_mu);
+  /// Cumulative compaction counters (thread-safe, monotone).
+  CompactionStats GetCompactionStats() const;
+
   /// Resolves a named term to an attribute index + validated interval.
   Result<QueryTerm> ResolveTerm(const NamedTerm& term) const;
 
@@ -159,6 +214,13 @@ class Database {
     Mutex head_mu;
     std::shared_ptr<const internal::SnapshotState> head
         INCDB_GUARDED_BY(head_mu);
+    /// Compaction accounting; atomics so GetCompactionStats never takes a
+    /// lock (a stats read is advisory, not a synchronization point).
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> reclaimed_rows{0};
+    std::atomic<uint64_t> reclaimed_bytes{0};
+    std::atomic<uint64_t> segments_rebuilt{0};
+    std::atomic<uint64_t> segments_reused{0};
   };
 
   // Heap-allocated so snapshot/index back-references to the table stay
@@ -184,6 +246,61 @@ class Database {
   /// Per-attribute missing-cell counts, maintained incrementally on Insert
   /// (feeds the router's selectivity model without O(n) rescans).
   std::vector<uint64_t> missing_counts_ INCDB_GUARDED_BY(shared_->writer_mu);
+
+  /// Segment layer working state. segment_list_ is the copy-on-write
+  /// published value: rebuilt only when the segment set changes (seal /
+  /// compaction), shared by pointer into every published epoch in between.
+  std::shared_ptr<const internal::SegmentList> segment_list_
+      INCDB_GUARDED_BY(shared_->writer_mu);
+  /// Next segment content id; never reused within this database lineage
+  /// (content ids name per-segment store files, see docs/SEGMENTS.md).
+  uint64_t next_content_id_ INCDB_GUARDED_BY(shared_->writer_mu) = 1;
+  /// Remembers which sealed segments are already durable in which form so
+  /// Save can skip rewriting them (the dirty-segment save contract).
+  /// Created by every constructor (Open seeds it from the store's segment
+  /// files); internally locked, so the const Save path can use it.
+  std::shared_ptr<storage::SegmentPersistCache> persist_cache_;
+
+  /// Seals every full pending segment in [sealed_rows, limit); updates
+  /// segment_list_. Caller publishes.
+  Status SealPending(uint64_t limit) INCDB_REQUIRES(shared_->writer_mu);
+};
+
+/// Runs Database::CompactNow on a trigger-and-throttle loop from a
+/// dedicated thread: every `interval_millis` it checks whether at least
+/// `min_deleted_rows` rows are logically deleted and compacts if so.
+/// RAII — the destructor stops and joins the thread. The Database must
+/// outlive this object and must not be moved while it is alive (the
+/// thread holds a raw pointer). Readers never block: compaction publishes
+/// through the usual epoch swap.
+class BackgroundCompactor {
+ public:
+  struct Options {
+    uint64_t interval_millis = 250;
+    /// Compact once this many rows are logically deleted.
+    uint64_t min_deleted_rows = 1;
+  };
+
+  BackgroundCompactor(Database* db, Options options);
+  ~BackgroundCompactor();
+
+  BackgroundCompactor(const BackgroundCompactor&) = delete;
+  BackgroundCompactor& operator=(const BackgroundCompactor&) = delete;
+
+  /// Stops the loop and joins the thread; idempotent.
+  void Stop();
+
+  /// Completed compaction sweeps (trigger fired and CompactNow returned).
+  uint64_t runs() const { return runs_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  Database* db_;
+  Options options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> runs_{0};
+  std::thread thread_;
 };
 
 }  // namespace incdb

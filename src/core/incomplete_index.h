@@ -46,6 +46,11 @@ struct QueryStats {
   /// uncompressed form (operands x window groups, the word traffic the
   /// dense path pays for its vector combines).
   uint64_t words_decoded = 0;
+  /// Segment layer (docs/SEGMENTS.md): sealed segments actually probed vs.
+  /// skipped outright by their zone maps. scanned + pruned = segments the
+  /// plan covered; zero/zero on non-segmented plans.
+  uint64_t segments_scanned = 0;
+  uint64_t segments_pruned = 0;
 
   void Reset() { *this = QueryStats(); }
 
@@ -62,6 +67,8 @@ struct QueryStats {
     rows_scanned += other.rows_scanned;
     simd_path += other.simd_path;
     words_decoded += other.words_decoded;
+    segments_scanned += other.segments_scanned;
+    segments_pruned += other.segments_pruned;
   }
 };
 

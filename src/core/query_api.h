@@ -184,7 +184,8 @@ struct RoutingDecision {
 /// (string), 4 epoch (u64), 5 visible_rows (u64), 6 explain (string),
 /// 7 stats (submessage: 1 bitvectors_accessed, 2 bitvector_ops,
 /// 3 words_touched, 4 candidates, 5 false_positives, 6 nodes_accessed,
-/// 7 subqueries, 8 rows_scanned, 9 simd_path, 10 words_decoded — all u64),
+/// 7 subqueries, 8 rows_scanned, 9 simd_path, 10 words_decoded,
+/// 11 segments_scanned, 12 segments_pruned — all u64),
 /// 8 routing (submessage: 1 index_name string, 2 is_point_query u8,
 /// 3 estimated_selectivity f64, 4 estimated_cost f64).
 struct QueryResult {

@@ -9,6 +9,7 @@
 #include "core/incomplete_index.h"
 #include "core/index_factory.h"
 #include "core/query_api.h"
+#include "core/segments.h"
 #include "query/query.h"
 #include "table/table.h"
 
@@ -43,9 +44,12 @@ struct SnapshotIndexEntry {
 /// annotations, so an unlocked write anywhere on the publish path is a
 /// compile error on the clang CI cells.
 struct SnapshotState {
-  /// The shared append-only table. Cells of rows < num_rows are immutable
-  /// and safe to read concurrently with the single writer.
-  const Table* table = nullptr;
+  /// The shared append-only base table. Cells of rows < num_rows are
+  /// immutable and safe to read concurrently with the single writer. Held
+  /// by shared_ptr because compaction (docs/SEGMENTS.md) replaces the base
+  /// table wholesale: snapshots pinned before a compaction keep the old
+  /// table alive for as long as they live.
+  std::shared_ptr<const Table> table;
   /// Monotone publication counter.
   uint64_t epoch = 0;
   /// Append watermark: this snapshot sees exactly rows [0, num_rows).
@@ -61,6 +65,11 @@ struct SnapshotState {
   /// Per-attribute missing-cell counts among rows [0, num_rows) — feeds the
   /// router's selectivity model without rescanning columns.
   std::vector<uint64_t> missing_counts;
+  /// Sharded segment layer (null when segments are disabled): immutable
+  /// sealed segments covering rows [0, segments->sealed_rows), each with a
+  /// local-row-space index and a zone map. Shared copy-on-write across
+  /// epochs like the index registry.
+  std::shared_ptr<const SegmentList> segments;
 };
 
 }  // namespace internal
@@ -99,6 +108,13 @@ class Snapshot {
   uint64_t IndexSizeInBytes() const;
   /// Fraction of missing cells for `attr` among visible rows (paper's P_m).
   double MissingRate(size_t attr) const;
+  /// Sealed segments visible to this snapshot (0 / 0 when disabled).
+  size_t num_segments() const {
+    return state_->segments == nullptr ? 0 : state_->segments->segments.size();
+  }
+  uint64_t sealed_rows() const {
+    return state_->segments == nullptr ? 0 : state_->segments->sealed_rows;
+  }
 
   /// The underlying state (executor/Database plumbing; not part of the
   /// stable API).

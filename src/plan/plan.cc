@@ -9,6 +9,8 @@ std::string_view OpKindToString(OpKind kind) {
   switch (kind) {
     case OpKind::kIndexProbe:
       return "IndexProbe";
+    case OpKind::kSegmentProbe:
+      return "SegmentProbe";
     case OpKind::kDeltaScan:
       return "DeltaScan";
     case OpKind::kSeqScanFallback:
@@ -53,6 +55,8 @@ void AppendCounters(const QueryStats& stats, std::string* out) {
   add("subq", stats.subqueries);
   add("simd", stats.simd_path);
   add("decoded", stats.words_decoded);
+  add("segs", stats.segments_scanned);
+  add("pruned", stats.segments_pruned);
 }
 
 void RenderNode(const PlanNode& node, const std::string& prefix, bool is_last,

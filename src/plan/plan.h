@@ -29,6 +29,16 @@ enum class OpKind {
   /// component (possible or certain) is computed per leaf instead of the
   /// pair.
   kIndexProbe,
+  /// Probes every unpruned sealed segment's own index (docs/SEGMENTS.md)
+  /// with the node's RangeQuery and splices the local results into one
+  /// bitvector over [0, end_row). One leaf task per unpruned segment —
+  /// that is the morsel grid — with per-segment output slots merged in
+  /// segment order, so serial and parallel runs are bit-identical. A
+  /// zone-map-pruned segment provably contains no matching row for the
+  /// leaf's effective semantics, so its zero bits are the exact leaf value
+  /// (safe under enclosing kNot). Carries the same effective-semantics
+  /// contract as kIndexProbe.
+  kSegmentProbe,
   /// Row-oracle scan over the appended tail [begin_row, end_row) that the
   /// serving index does not cover. Always a direct child of the sink (a
   /// partial-range scan must never sit under a kNot).
@@ -79,6 +89,15 @@ struct PlanNode {
   /// kIndexProbe under a kCountSink: answer via ExecuteCount, never
   /// materializing the result bitvector.
   bool count_direct = false;
+
+  // kSegmentProbe — probes `probe` on each segment; end_row is the sealed
+  // watermark the node's output covers. count_direct sums per-segment
+  // ExecuteCount under a kCountSink (same contract as the index probe).
+  const internal::SegmentList* segments = nullptr;
+  /// Planner's zone-map verdict per segment (1 = pruned, never probed).
+  std::vector<uint8_t> segment_pruned;
+  /// Executor working state: one local-row-space output per segment.
+  std::vector<BitVector> segment_outputs;
 
   // kDeltaScan / kSeqScanFallback — exactly one predicate form is set.
   const Table* table = nullptr;

@@ -24,6 +24,9 @@ struct LeafTask {
   uint64_t begin = 0;
   uint64_t end = 0;
   bool is_probe = false;
+  /// Segment-probe task: `begin` is the segment ordinal and the task owns
+  /// that segment's private output slot (segment_outputs[begin]).
+  bool is_segment = false;
   QueryStats stats;
   Status status = Status::OK();
 };
@@ -60,6 +63,30 @@ Status CollectTasks(PlanNode* node, uint64_t morsel_rows,
     task.is_probe = true;
     tasks->push_back(std::move(task));
     node->realized.morsels = 1;
+    return Status::OK();
+  }
+  if (node->kind == OpKind::kSegmentProbe) {
+    if (node->count_direct) {
+      return Status::Internal("count_direct segment probe reached the tasks");
+    }
+    if (node->segments == nullptr ||
+        node->segment_pruned.size() != node->segments->segments.size()) {
+      return Status::Internal("segment probe carries no segment list");
+    }
+    // One leaf task per unpruned segment — the segment grid *is* the morsel
+    // grid, so the partitioning is identical for serial and parallel runs.
+    node->segment_outputs.assign(node->segments->segments.size(), BitVector());
+    uint64_t morsels = 0;
+    for (size_t s = 0; s < node->segments->segments.size(); ++s) {
+      if (node->segment_pruned[s]) continue;
+      LeafTask task;
+      task.node = node;
+      task.begin = s;
+      task.is_segment = true;
+      tasks->push_back(std::move(task));
+      ++morsels;
+    }
+    node->realized.morsels = morsels;
     return Status::OK();
   }
   if (IsScan(node->kind)) {
@@ -107,6 +134,19 @@ void RunTask(LeafTask* task, ThreadRole& phase) INCDB_REQUIRES_SHARED(phase) {
       return;
     }
     node.output = std::move(result).value();
+    return;
+  }
+  if (task->is_segment) {
+    // Probe one sealed segment's own index; the local result (row space
+    // [0, segment rows)) lands in this task's private output slot and is
+    // spliced to its global offset in the combine phase.
+    const internal::Segment& seg = *node.segments->segments[task->begin];
+    auto result = seg.index->Execute(node.probe, &task->stats);
+    if (!result.ok()) {
+      task->status = result.status();
+      return;
+    }
+    node.segment_outputs[task->begin] = std::move(result).value();
     return;
   }
   // Scan morsel: row oracle over [begin, end). Charges one rows_scanned
@@ -233,6 +273,34 @@ Result<BitVector> Combine(PlanNode* node) {
       FinalizeNode(node, node->output);
       return std::move(node->output);
     }
+    case OpKind::kSegmentProbe: {
+      // Splice the per-segment local results to their global row offsets,
+      // in segment order — bit-identical regardless of which worker probed
+      // which segment. Pruned segments contribute their exact all-zero
+      // value for free.
+      BitVector merged(node->end_row);
+      for (size_t s = 0; s < node->segments->segments.size(); ++s) {
+        const internal::Segment& seg = *node->segments->segments[s];
+        if (node->segment_pruned[s]) {
+          node->realized.stats.segments_pruned += 1;
+          continue;
+        }
+        const BitVector& local = node->segment_outputs[s];
+        if (local.size() != seg.num_rows) {
+          return Status::Internal(
+              "segment " + std::to_string(seg.content_id) + " returned " +
+              std::to_string(local.size()) + " rows, expected " +
+              std::to_string(seg.num_rows));
+        }
+        merged.OrAt(local, seg.begin_row);
+        node->realized.stats.segments_scanned += 1;
+        node->realized.stats.bitvector_ops += 1;
+        node->realized.stats.words_touched += local.words().size();
+      }
+      node->segment_outputs.clear();
+      FinalizeNode(node, merged);
+      return merged;
+    }
     case OpKind::kAnd:
     case OpKind::kOr: {
       if (node->children.empty()) {
@@ -327,6 +395,33 @@ Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
   }
 
   // Count straight off compressed index storage — no result bitvector.
+  // Segmented plans sum per-segment compressed counts, skipping pruned
+  // segments entirely (their count is provably zero).
+  if (main->kind == OpKind::kSegmentProbe && main->count_direct) {
+    out.count = 0;
+    for (size_t s = 0; s < main->segments->segments.size(); ++s) {
+      if (main->segment_pruned[s]) {
+        main->realized.stats.segments_pruned += 1;
+        continue;
+      }
+      const internal::Segment& seg = *main->segments->segments[s];
+      INCDB_ASSIGN_OR_RETURN(
+          const uint64_t local,
+          seg.index->ExecuteCount(main->probe, &main->realized.stats));
+      out.count += local;
+      main->realized.stats.segments_scanned += 1;
+    }
+    main->realized.executed = true;
+    main->realized.output_rows = out.count;
+    main->realized.realized_selectivity =
+        plan->visible_rows == 0
+            ? 0.0
+            : static_cast<double>(out.count) /
+                  static_cast<double>(plan->visible_rows);
+    FinalizeSink(sink, out.count, plan->visible_rows);
+    out.stats = AggregateStats(*sink);
+    return out;
+  }
   if (main->kind == OpKind::kIndexProbe && main->count_direct) {
     INCDB_ASSIGN_OR_RETURN(
         out.count, main->index->ExecuteCount(main->probe,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -303,6 +304,49 @@ std::unique_ptr<PlanNode> MakeProbe(const internal::SnapshotState* state,
   return node;
 }
 
+/// Leaf over the segmented store: one kSegmentProbe covering the sealed
+/// prefix [0, sealed_rows), with each segment's zone map consulted here at
+/// plan time. A pruned segment provably holds no row matching the probe's
+/// effective semantics, so the executor never touches it and its zero bits
+/// stand in for the exact leaf value.
+std::unique_ptr<PlanNode> MakeSegmentProbe(
+    const internal::SnapshotState* state,
+    const internal::SegmentList& segments, RangeQuery query) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OpKind::kSegmentProbe;
+  node->segments = &segments;
+  node->probe = std::move(query);
+  node->end_row = segments.sealed_rows;
+  node->segment_pruned.reserve(segments.segments.size());
+  uint64_t pruned = 0;
+  for (const auto& segment : segments.segments) {
+    const bool skip = internal::SegmentPrunedByZones(*segment, node->probe);
+    node->segment_pruned.push_back(skip ? 1 : 0);
+    if (skip) ++pruned;
+  }
+  if (state != nullptr) {
+    node->estimated_selectivity =
+        TermsSelectivity(*state, node->probe.terms, node->probe.semantics);
+  }
+  node->label = "SegmentProbe " + segments.segments.front()->index->Name() +
+                " " + node->probe.ToString() + " segs=" +
+                std::to_string(segments.segments.size() - pruned) + "/" +
+                std::to_string(segments.segments.size());
+  return node;
+}
+
+/// Fraction of segments the probe will actually touch — scales the
+/// routing cost estimate so EXPLAIN reflects zone-map savings.
+double UnprunedFraction(const PlanNode& probe) {
+  if (probe.segment_pruned.empty()) return 1.0;
+  uint64_t unpruned = 0;
+  for (const uint8_t skip : probe.segment_pruned) {
+    if (!skip) ++unpruned;
+  }
+  return static_cast<double>(unpruned) /
+         static_cast<double>(probe.segment_pruned.size());
+}
+
 std::unique_ptr<PlanNode> MakeTermsScan(const internal::SnapshotState* state,
                                         OpKind kind, const Table& table,
                                         uint64_t begin, uint64_t end,
@@ -345,6 +389,12 @@ std::unique_ptr<PlanNode> MakeExprScan(const internal::SnapshotState* state,
   return node;
 }
 
+/// Builds one leaf node for a RangeQuery whose semantics field already
+/// carries the effective semantics. LowerExpr is agnostic to the leaf
+/// shape: the registry path plugs in MakeProbe, the segmented path
+/// MakeSegmentProbe.
+using LeafFactory = std::function<std::unique_ptr<PlanNode>(RangeQuery)>;
+
 /// Lowers a boolean expression onto index probes, computing the single
 /// Kleene component `effective` asks for: kTerm probes under the effective
 /// semantics, kAnd/kOr combine children under the same component, kNot
@@ -354,22 +404,21 @@ std::unique_ptr<PlanNode> MakeExprScan(const internal::SnapshotState* state,
 /// can evaluate the probes concurrently; otherwise pure conjunctions of
 /// distinct attributes collapse into one fused native probe.
 Result<std::unique_ptr<PlanNode>> LowerExpr(
-    const internal::SnapshotState* state, const IncompleteIndex& index,
-    const QueryExpr& expr, MissingSemantics effective,
-    bool split_conjunctions) {
+    const LeafFactory& make_leaf, const QueryExpr& expr,
+    MissingSemantics effective, bool split_conjunctions) {
   std::vector<QueryTerm> conjunction;
   if (!split_conjunctions && IsPureConjunction(expr, &conjunction)) {
     RangeQuery query;
     query.terms = std::move(conjunction);
     query.semantics = effective;
-    return MakeProbe(state, index, std::move(query));
+    return make_leaf(std::move(query));
   }
   switch (expr.kind()) {
     case QueryExpr::Kind::kTerm: {
       RangeQuery query;
       query.terms = {{expr.attribute(), expr.interval()}};
       query.semantics = effective;
-      return MakeProbe(state, index, std::move(query));
+      return make_leaf(std::move(query));
     }
     case QueryExpr::Kind::kAnd:
     case QueryExpr::Kind::kOr: {
@@ -384,7 +433,7 @@ Result<std::unique_ptr<PlanNode>> LowerExpr(
       for (const QueryExpr& child : expr.children()) {
         INCDB_ASSIGN_OR_RETURN(
             std::unique_ptr<PlanNode> lowered,
-            LowerExpr(state, index, child, effective, split_conjunctions));
+            LowerExpr(make_leaf, child, effective, split_conjunctions));
         const double child_p = lowered->estimated_selectivity;
         if (child_p < 0.0) have_estimate = false;
         p *= is_and ? child_p : 1.0 - child_p;
@@ -399,7 +448,7 @@ Result<std::unique_ptr<PlanNode>> LowerExpr(
       node->kind = OpKind::kNot;
       INCDB_ASSIGN_OR_RETURN(
           std::unique_ptr<PlanNode> child,
-          LowerExpr(state, index, expr.children().front(),
+          LowerExpr(make_leaf, expr.children().front(),
                     FlipSemantics(effective), split_conjunctions));
       if (child->estimated_selectivity >= 0.0) {
         node->estimated_selectivity = 1.0 - child->estimated_selectivity;
@@ -450,6 +499,11 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
   // Any parallelism degree other than "exactly one thread" makes the
   // planner keep conjunctions split so leaf probes can run concurrently.
   const bool parallel = request.parallelism != 1;
+  // A segmented store replaces registry routing outright: every sealed
+  // segment carries its own index, so the per-segment grid is both the
+  // access path and the parallel morsel grid (no And-split needed).
+  const bool segmented =
+      state.segments != nullptr && !state.segments->segments.empty();
 
   PhysicalPlan plan;
   plan.state = &state;
@@ -467,6 +521,37 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
       query.terms.push_back(resolved);
     }
     INCDB_RETURN_IF_ERROR(ValidateQuery(query, table));
+    if (segmented) {
+      const internal::SegmentList& segments = *state.segments;
+      std::unique_ptr<PlanNode> probe = MakeSegmentProbe(&state, segments,
+                                                         query);
+      Pick picked;
+      picked.decision.index_kind = segments.options.index_kind;
+      picked.decision.index_name =
+          "SEG[" + segments.segments.front()->index->Name() + "]";
+      picked.decision.is_point_query = TermsArePoint(query.terms);
+      picked.decision.estimated_selectivity =
+          TermsSelectivity(state, query.terms, query.semantics);
+      picked.decision.estimated_cost =
+          KindCost(state, segments.options.index_kind, query.terms,
+                   query.semantics, picked.decision.estimated_selectivity) *
+          UnprunedFraction(*probe);
+      plan.routing = picked.decision;
+      plan.covered_rows = segments.sealed_rows;
+      std::unique_ptr<PlanNode> sink = MakeSink(request, picked);
+      probe->count_direct = request.count_only &&
+                            segments.sealed_rows == state.num_rows &&
+                            state.num_deleted == 0;
+      sink->children.push_back(std::move(probe));
+      if (segments.sealed_rows < state.num_rows) {
+        sink->children.push_back(MakeTermsScan(&state, OpKind::kDeltaScan,
+                                               table, segments.sealed_rows,
+                                               state.num_rows,
+                                               std::move(query)));
+      }
+      plan.root = std::move(sink);
+      return plan;
+    }
     const Pick picked = PickForRangeQuery(state, query);
     plan.routing = picked.decision;
     std::unique_ptr<PlanNode> sink = MakeSink(request, picked);
@@ -531,6 +616,40 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
   }
   const QueryExpr& expr = *parsed;
   INCDB_RETURN_IF_ERROR(expr.Validate(table));
+  if (segmented) {
+    const internal::SegmentList& segments = *state.segments;
+    std::vector<QueryTerm> leaves;
+    CollectLeafTerms(expr, &leaves);
+    Pick picked;
+    picked.decision.index_kind = segments.options.index_kind;
+    picked.decision.index_name =
+        "SEG[" + segments.segments.front()->index->Name() + "]";
+    picked.decision.is_point_query = TermsArePoint(leaves);
+    picked.decision.estimated_selectivity =
+        ExprSelectivity(state, expr, request.semantics);
+    picked.decision.estimated_cost =
+        KindCost(state, segments.options.index_kind, leaves,
+                 request.semantics, picked.decision.estimated_selectivity);
+    plan.routing = picked.decision;
+    plan.covered_rows = segments.sealed_rows;
+    std::unique_ptr<PlanNode> sink = MakeSink(request, picked);
+    const LeafFactory make_leaf = [&state, &segments](RangeQuery query) {
+      return MakeSegmentProbe(&state, segments, std::move(query));
+    };
+    INCDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<PlanNode> main,
+        LowerExpr(make_leaf, expr, request.semantics,
+                  /*split_conjunctions=*/false));
+    sink->children.push_back(std::move(main));
+    if (segments.sealed_rows < state.num_rows) {
+      sink->children.push_back(MakeExprScan(&state, OpKind::kDeltaScan, table,
+                                            segments.sealed_rows,
+                                            state.num_rows, expr,
+                                            request.semantics));
+    }
+    plan.root = std::move(sink);
+    return plan;
+  }
   const Pick picked = PickForExpression(state, expr, request.semantics);
   plan.routing = picked.decision;
   std::unique_ptr<PlanNode> sink = MakeSink(request, picked);
@@ -542,9 +661,12 @@ Result<PhysicalPlan> PlanRequest(const Snapshot& snapshot,
   } else {
     const internal::SnapshotIndexEntry& entry = *picked.entry;
     plan.covered_rows = entry.covered_rows;
+    const LeafFactory make_leaf = [&state, &entry](RangeQuery query) {
+      return MakeProbe(&state, *entry.index, std::move(query));
+    };
     INCDB_ASSIGN_OR_RETURN(
         std::unique_ptr<PlanNode> main,
-        LowerExpr(&state, *entry.index, expr, request.semantics, parallel));
+        LowerExpr(make_leaf, expr, request.semantics, parallel));
     sink->children.push_back(std::move(main));
     if (entry.covered_rows < state.num_rows) {
       sink->children.push_back(MakeExprScan(&state, OpKind::kDeltaScan, table,
@@ -570,9 +692,12 @@ Result<PhysicalPlan> PlanExprOverIndex(const IncompleteIndex& index,
                                        MissingSemantics semantics) {
   PhysicalPlan plan;
   plan.semantics = semantics;
-  INCDB_ASSIGN_OR_RETURN(
-      plan.root, LowerExpr(nullptr, index, expr, semantics,
-                           /*split_conjunctions=*/false));
+  const LeafFactory make_leaf = [&index](RangeQuery query) {
+    return MakeProbe(nullptr, index, std::move(query));
+  };
+  INCDB_ASSIGN_OR_RETURN(plan.root,
+                         LowerExpr(make_leaf, expr, semantics,
+                                   /*split_conjunctions=*/false));
   return plan;
 }
 

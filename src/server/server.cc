@@ -111,13 +111,27 @@ wire::ServerStats Server::StatsSnapshot() const {
   wire::ServerStats stats = metrics_.Snapshot();
   stats.queue_capacity = options_.queue_capacity;
   stats.workers = options_.workers;
-  stats.uptime_millis = MillisSince(started_at_);
+  // A running server always reports nonzero uptime; sub-millisecond ages
+  // round up so "0" can never be mistaken for "not started".
+  stats.uptime_millis = std::max<uint64_t>(1, MillisSince(started_at_));
   {
     auto* self = const_cast<Server*>(this);
     const std::lock_guard<std::mutex> lock(self->queue_mu_);
     stats.queue_depth = self->queue_.size();
     stats.draining = self->draining_;
   }
+  // Segment-store accounting: a gauge from the live snapshot plus the
+  // database's monotonic compaction counters.
+  {
+    const Snapshot snapshot = db_->GetSnapshot();
+    if (snapshot.state().segments != nullptr) {
+      stats.segments = snapshot.state().segments->segments.size();
+    }
+  }
+  const CompactionStats compaction = db_->GetCompactionStats();
+  stats.compactions = compaction.compactions;
+  stats.compaction_reclaimed_rows = compaction.reclaimed_rows;
+  stats.compaction_reclaimed_bytes = compaction.reclaimed_bytes;
   return stats;
 }
 

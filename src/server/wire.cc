@@ -343,6 +343,8 @@ std::vector<uint8_t> EncodeStats(const QueryStats& stats) {
   w.PutU64(8, stats.rows_scanned);
   w.PutU64(9, stats.simd_path);
   w.PutU64(10, stats.words_decoded);
+  w.PutU64(11, stats.segments_scanned);
+  w.PutU64(12, stats.segments_pruned);
   return w.Take();
 }
 
@@ -363,6 +365,8 @@ Result<QueryStats> DecodeStats(const uint8_t* data, size_t len) {
       case 8: slot = &stats.rows_scanned; break;
       case 9: slot = &stats.simd_path; break;
       case 10: slot = &stats.words_decoded; break;
+      case 11: slot = &stats.segments_scanned; break;
+      case 12: slot = &stats.segments_pruned; break;
       default: break;
     }
     if (slot != nullptr) {
@@ -691,6 +695,10 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
   w.PutU64(14, stats.p99_micros);
   w.PutU64(15, stats.uptime_millis);
   w.PutU8(16, stats.draining ? 1 : 0);
+  w.PutU64(17, stats.segments);
+  w.PutU64(18, stats.compactions);
+  w.PutU64(19, stats.compaction_reclaimed_rows);
+  w.PutU64(20, stats.compaction_reclaimed_bytes);
   return w.Take();
 }
 
@@ -716,6 +724,10 @@ Result<ServerStats> DecodeServerStats(const std::vector<uint8_t>& body) {
       case 13: slot = &stats.p50_micros; break;
       case 14: slot = &stats.p99_micros; break;
       case 15: slot = &stats.uptime_millis; break;
+      case 17: slot = &stats.segments; break;
+      case 18: slot = &stats.compactions; break;
+      case 19: slot = &stats.compaction_reclaimed_rows; break;
+      case 20: slot = &stats.compaction_reclaimed_bytes; break;
       case 16: {
         INCDB_ASSIGN_OR_RETURN(const uint8_t v, FieldU8(field));
         stats.draining = v != 0;

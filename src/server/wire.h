@@ -99,6 +99,12 @@ struct ServerStats {
   uint64_t p99_micros = 0;
   uint64_t uptime_millis = 0;
   bool draining = false;
+  /// Segment-store accounting (docs/SEGMENTS.md); all zero when the served
+  /// database is unsegmented.
+  uint64_t segments = 0;  // gauge: sealed segments in the live snapshot
+  uint64_t compactions = 0;
+  uint64_t compaction_reclaimed_rows = 0;
+  uint64_t compaction_reclaimed_bytes = 0;
 };
 
 // ---- frame header ---------------------------------------------------------

@@ -11,7 +11,9 @@ namespace storage {
 
 /// On-disk layout of a persisted database (see docs/STORAGE.md).
 ///
-/// A store is a directory of three live files:
+/// A store is a directory of three live files, plus — format v2, when the
+/// database is segmented (docs/SEGMENTS.md) — one immutable file per
+/// sealed segment:
 ///
 ///   MANIFEST           — format magic + version, the store generation, the
 ///                        section table (name, file, offset, length, CRC-32
@@ -24,7 +26,19 @@ namespace storage {
 ///   data.<gen>.seg     — 8-byte-aligned bulk arrays: column values, WAH
 ///                        code words, VA-file packed approximations. Opened
 ///                        with mmap and served zero-copy through borrowed
-///                        views.
+///                        views. In a segmented store the sealed rows live
+///                        in their segment files, so this holds only the
+///                        unsealed tail's columns (plus registry indexes).
+///   seg-<id>[.g<gen>].dat — one sealed segment, addressed by its content
+///                        id: the segment's column values, zone map, and
+///                        its own index, with a trailing meta-block
+///                        pointer. Content-immutable, so a Save reuses the
+///                        files of every segment that did not change —
+///                        save cost is bounded by the dirty set, not the
+///                        store size — and each file is mmap'd
+///                        independently at open. The catalog's segment
+///                        table carries each file's size and whole-file
+///                        CRC-32.
 ///
 /// Payload files are immutable once written: every Save writes a fresh
 /// generation (old payload files are never truncated or rewritten in
@@ -49,7 +63,15 @@ inline constexpr const char kSegmentMagic[8] = {'I', 'N', 'C', 'D',
 
 /// Bumped on any incompatible layout change. A reader refuses versions it
 /// does not know (forward compatibility is explicit, not accidental).
-inline constexpr uint32_t kFormatVersion = 1;
+/// v1: monolithic catalog + data segment. v2: adds the optional segment
+/// table (and per-segment files) to the catalog; v1 stores open unchanged.
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// First bytes of a seg-<id>.dat segment file (raw 8-byte prefix, keeping
+/// blob offsets 8-aligned from 0) and of its meta block.
+inline constexpr char kSegmentFileMagic[8] = {'I', 'N', 'C', 'D',
+                                              'B', 'S', 'G', 'F'};
+inline constexpr const char kSegmentMetaMagic[] = "INCDB-SEGMETA";
 
 /// File names inside the store directory. The manifest has a fixed name —
 /// it is the commit pointer — while payload files carry the generation of
@@ -63,6 +85,27 @@ inline std::string CatalogFileName(uint64_t generation) {
 
 inline std::string SegmentFileName(uint64_t generation) {
   return "data." + std::to_string(generation) + ".seg";
+}
+
+/// Canonical name of a sealed segment's file. When the canonical name is
+/// already taken by a file this writer cannot vouch for (debris from a
+/// different database saved into the same directory), the writer falls
+/// back to a generation-qualified alternate.
+inline std::string SegmentDataFileName(uint64_t content_id) {
+  return "seg-" + std::to_string(content_id) + ".dat";
+}
+
+inline std::string SegmentDataFileAltName(uint64_t content_id,
+                                          uint64_t generation) {
+  return "seg-" + std::to_string(content_id) + ".g" +
+         std::to_string(generation) + ".dat";
+}
+
+/// True for any segment-file name (canonical or alternate) — the GC sweep
+/// uses this to find candidate files, then spares the referenced set.
+inline bool IsSegmentDataFileName(const std::string& name) {
+  const std::string_view v(name);
+  return v.starts_with("seg-") && v.ends_with(".dat");
 }
 
 /// If `name` is a generation-suffixed payload file (either kind), extracts

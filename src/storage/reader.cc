@@ -245,6 +245,108 @@ Result<std::shared_ptr<const IncompleteIndex>> ReadVaFile(
       std::make_shared<VaFile>(std::move(file)));
 }
 
+/// One row of the catalog's v2 segment table.
+struct SegmentCatalogEntry {
+  uint64_t content_id = 0;
+  uint64_t begin_row = 0;
+  uint64_t num_rows = 0;
+  IndexKind kind = IndexKind::kBitmapEquality;
+  std::string file_name;
+  uint64_t file_size = 0;
+  uint32_t crc32 = 0;
+};
+
+struct LoadedSegment {
+  std::shared_ptr<MappedFile> mapping;
+  std::shared_ptr<const internal::Segment> segment;
+  /// Per-attribute borrowed value arrays (num_rows each) into `mapping`.
+  std::vector<const Value*> columns;
+};
+
+/// Maps one seg-<id>.dat independently and reconstructs the segment from
+/// its trailing meta block, cross-checking every identity field against
+/// the catalog entry. All corruption surfaces as a Status.
+Result<LoadedSegment> OpenSegmentFile(const std::string& dir,
+                                      const SegmentCatalogEntry& entry,
+                                      uint64_t num_attrs, bool verify) {
+  const std::string path = dir + "/" + entry.file_name;
+  LoadedSegment loaded;
+  INCDB_ASSIGN_OR_RETURN(loaded.mapping, MappedFile::Open(path));
+  const MappedFile& map = *loaded.mapping;
+  if (map.size() != entry.file_size) {
+    return Status::IOError("'" + path + "': truncated segment file (" +
+                           std::to_string(map.size()) + " bytes, catalog " +
+                           "says " + std::to_string(entry.file_size) + ")");
+  }
+  constexpr uint64_t kTailBytes = 2 * sizeof(uint64_t);
+  if (map.size() < sizeof(kSegmentFileMagic) + kTailBytes ||
+      std::memcmp(map.data(), kSegmentFileMagic,
+                  sizeof(kSegmentFileMagic)) != 0) {
+    return Status::IOError("'" + path + "' is not an incdb segment file");
+  }
+  if (verify && Crc32(map.data(), map.size()) != entry.crc32) {
+    return Status::IOError("'" + path + "': segment file checksum mismatch");
+  }
+  uint64_t tail[2];
+  std::memcpy(tail, map.data() + map.size() - kTailBytes, kTailBytes);
+  const uint64_t meta_offset = tail[0];
+  const uint64_t meta_size = tail[1];
+  if (meta_offset < sizeof(kSegmentFileMagic) ||
+      meta_offset > map.size() - kTailBytes ||
+      meta_size > map.size() - kTailBytes - meta_offset) {
+    return Status::IOError("'" + path + "': corrupted meta-block pointer");
+  }
+  std::istringstream meta_in(
+      std::string(reinterpret_cast<const char*>(map.data()) + meta_offset,
+                  meta_size));
+  BinaryReader meta(meta_in);
+  INCDB_ASSIGN_OR_RETURN(std::string magic, meta.ReadString(64));
+  if (magic != kSegmentMetaMagic) {
+    return Status::IOError("'" + path + "': corrupted segment meta block");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint64_t content_id, meta.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_rows, meta.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t meta_attrs, meta.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint8_t kind_byte, meta.ReadU8());
+  if (content_id != entry.content_id || num_rows != entry.num_rows ||
+      meta_attrs != num_attrs ||
+      kind_byte != static_cast<uint8_t>(entry.kind)) {
+    return Status::IOError(
+        "'" + path + "': segment identity does not match the catalog");
+  }
+  std::vector<internal::ZoneEntry> zones;
+  zones.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    internal::ZoneEntry zone;
+    INCDB_ASSIGN_OR_RETURN(zone.min_value, meta.ReadI32());
+    INCDB_ASSIGN_OR_RETURN(zone.max_value, meta.ReadI32());
+    INCDB_ASSIGN_OR_RETURN(zone.missing, meta.ReadU64());
+    if (zone.missing > num_rows) {
+      return Status::IOError("'" + path + "': corrupted zone map");
+    }
+    zones.push_back(zone);
+  }
+  loaded.columns.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    INCDB_ASSIGN_OR_RETURN(uint64_t offset, meta.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(const Value* values,
+                           SliceArray<Value>(map, offset, num_rows));
+    loaded.columns.push_back(values);
+  }
+  INCDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const IncompleteIndex> index,
+      ReadBitmapIndex(meta, map, entry.kind, num_attrs, verify));
+  auto segment = std::make_shared<internal::Segment>();
+  segment->content_id = entry.content_id;
+  segment->begin_row = entry.begin_row;
+  segment->num_rows = entry.num_rows;
+  segment->index_kind = entry.kind;
+  segment->index = std::move(index);
+  segment->zones = std::move(zones);
+  loaded.segment = std::move(segment);
+  return loaded;
+}
+
 }  // namespace
 
 Result<OpenedStore> OpenStore(const std::string& dir,
@@ -371,22 +473,135 @@ Result<OpenedStore> OpenStore(const std::string& dir,
                            "': deleted rows recorded without a mask");
   }
 
-  // Columns: zero-copy borrowed views over the mapped segment.
+  // v2 segment table: options + sealed watermark + per-file entries. A v1
+  // store (or an unsegmented v2 one) skips straight to the columns.
+  bool has_segments = false;
+  SegmentOptions seg_options;
+  uint64_t sealed_rows = 0;
+  std::vector<SegmentCatalogEntry> segment_entries;
+  if (manifest.format_version >= 2) {
+    INCDB_ASSIGN_OR_RETURN(uint8_t seg_flag, catalog.ReadU8());
+    if (seg_flag > 1) {
+      return Status::IOError("'" + catalog_path +
+                             "': corrupted segment table");
+    }
+    if (seg_flag != 0) {
+      has_segments = true;
+      INCDB_ASSIGN_OR_RETURN(seg_options.segment_rows, catalog.ReadU64());
+      INCDB_ASSIGN_OR_RETURN(uint8_t options_kind, catalog.ReadU8());
+      if (seg_options.segment_rows == 0 ||
+          options_kind > static_cast<uint8_t>(IndexKind::kBitstringAugmented)
+          || !IsSegmentIndexKind(static_cast<IndexKind>(options_kind))) {
+        return Status::IOError("'" + catalog_path +
+                               "': corrupted segment options");
+      }
+      seg_options.index_kind = static_cast<IndexKind>(options_kind);
+      INCDB_ASSIGN_OR_RETURN(sealed_rows, catalog.ReadU64());
+      if (sealed_rows > store.num_rows) {
+        return Status::IOError(
+            "'" + catalog_path +
+            "': sealed watermark exceeds the visible rows");
+      }
+      INCDB_ASSIGN_OR_RETURN(uint64_t num_segments, catalog.ReadU64());
+      if (num_segments > (1u << 22)) {
+        return Status::IOError("'" + catalog_path +
+                               "': implausible segment count");
+      }
+      segment_entries.reserve(num_segments);
+      uint64_t next_begin = 0;
+      for (uint64_t s = 0; s < num_segments; ++s) {
+        SegmentCatalogEntry entry;
+        INCDB_ASSIGN_OR_RETURN(entry.content_id, catalog.ReadU64());
+        INCDB_ASSIGN_OR_RETURN(entry.begin_row, catalog.ReadU64());
+        INCDB_ASSIGN_OR_RETURN(entry.num_rows, catalog.ReadU64());
+        INCDB_ASSIGN_OR_RETURN(uint8_t kind_byte, catalog.ReadU8());
+        if (kind_byte >
+                static_cast<uint8_t>(IndexKind::kBitstringAugmented) ||
+            !IsSegmentIndexKind(static_cast<IndexKind>(kind_byte))) {
+          return Status::IOError("'" + catalog_path +
+                                 "': corrupted segment index kind");
+        }
+        entry.kind = static_cast<IndexKind>(kind_byte);
+        INCDB_ASSIGN_OR_RETURN(entry.file_name, catalog.ReadString(1 << 12));
+        if (!IsSegmentDataFileName(entry.file_name) ||
+            entry.file_name.find('/') != std::string::npos) {
+          return Status::IOError("'" + catalog_path +
+                                 "': implausible segment file name");
+        }
+        INCDB_ASSIGN_OR_RETURN(entry.file_size, catalog.ReadU64());
+        INCDB_ASSIGN_OR_RETURN(entry.crc32, catalog.ReadU32());
+        if (entry.begin_row != next_begin || entry.num_rows == 0) {
+          return Status::IOError("'" + catalog_path +
+                                 "': non-contiguous segment table");
+        }
+        next_begin += entry.num_rows;
+        segment_entries.push_back(std::move(entry));
+      }
+      if (next_begin != sealed_rows) {
+        return Status::IOError(
+            "'" + catalog_path +
+            "': segment rows do not sum to the sealed watermark");
+      }
+    }
+  }
+
+  // Columns in the data segment: everything for an unsegmented store, only
+  // the unsealed tail for a segmented one (sealed rows live in the segment
+  // files, opened below).
+  const uint64_t tail_rows = store.num_rows - sealed_rows;
+  std::vector<const Value*> tail_columns;
+  tail_columns.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    INCDB_ASSIGN_OR_RETURN(uint64_t offset, catalog.ReadU64());
+    INCDB_ASSIGN_OR_RETURN(const Value* values,
+                           SliceArray<Value>(*mapping, offset, tail_rows));
+    tail_columns.push_back(values);
+  }
+
+  // Segment files: each mapped independently and verified on its own, so
+  // open cost scales with the segment count, not the data bytes.
+  std::vector<std::shared_ptr<const internal::Segment>> loaded_segments;
+  std::vector<std::vector<const Value*>> segment_columns;
+  loaded_segments.reserve(segment_entries.size());
+  segment_columns.reserve(segment_entries.size());
+  for (const SegmentCatalogEntry& entry : segment_entries) {
+    INCDB_ASSIGN_OR_RETURN(
+        LoadedSegment loaded,
+        OpenSegmentFile(dir, entry, num_attrs, options.verify_checksums));
+    store.segment_mappings.push_back(std::move(loaded.mapping));
+    store.segment_files.push_back(OpenedSegmentFile{
+        entry.content_id, entry.file_name, entry.file_size, entry.crc32});
+    loaded_segments.push_back(std::move(loaded.segment));
+    segment_columns.push_back(std::move(loaded.columns));
+  }
+
+  // Stitch each attribute's column from the segment extents plus the tail.
   std::vector<Column> columns;
   columns.reserve(num_attrs);
   for (uint64_t a = 0; a < num_attrs; ++a) {
-    INCDB_ASSIGN_OR_RETURN(uint64_t offset, catalog.ReadU64());
-    INCDB_ASSIGN_OR_RETURN(
-        const Value* values,
-        SliceArray<Value>(*mapping, offset, store.num_rows));
-    columns.push_back(Column::Borrowed(schema.attribute(a).cardinality,
-                                       values, store.num_rows));
+    std::vector<Column::BorrowedExtent> extents;
+    extents.reserve(loaded_segments.size() + 1);
+    for (size_t s = 0; s < loaded_segments.size(); ++s) {
+      extents.push_back(Column::BorrowedExtent{
+          segment_columns[s][a], loaded_segments[s]->num_rows});
+    }
+    extents.push_back(Column::BorrowedExtent{tail_columns[a], tail_rows});
+    columns.push_back(
+        Column::BorrowedExtents(schema.attribute(a).cardinality,
+                                std::move(extents)));
   }
   INCDB_ASSIGN_OR_RETURN(
       Table table,
       Table::FromColumns(std::move(schema), std::move(columns),
                          store.num_rows));
   store.table = std::make_shared<Table>(std::move(table));
+  if (has_segments) {
+    auto list = std::make_shared<internal::SegmentList>();
+    list->options = seg_options;
+    list->sealed_rows = sealed_rows;
+    list->segments = std::move(loaded_segments);
+    store.segments = std::move(list);
+  }
 
   // Indexes.
   INCDB_ASSIGN_OR_RETURN(uint64_t num_indexes, catalog.ReadU64());

@@ -29,12 +29,28 @@ struct OpenOptions {
   bool verify_checksums = true;
 };
 
+/// Identity of one opened segment file — what a later Save needs to reuse
+/// the file instead of rewriting it (the writer's SegmentPersistCache is
+/// seeded from these).
+struct OpenedSegmentFile {
+  uint64_t content_id = 0;
+  std::string file_name;
+  uint64_t file_size = 0;
+  uint32_t crc32 = 0;
+};
+
 /// Everything OpenStore reconstructs from a store directory. The table's
 /// columns and the bitmap / VA-file payloads are borrowed views into
-/// `mapping`; keep the pin alive for as long as any of them is reachable
-/// (the Database stows it next to the table).
+/// `mapping` and `segment_mappings` (format v2 maps every segment file
+/// independently); keep all pins alive for as long as any of them is
+/// reachable (the Database stows them next to the table).
 struct OpenedStore {
   std::shared_ptr<MappedFile> mapping;
+  std::vector<std::shared_ptr<MappedFile>> segment_mappings;
+  /// Reconstructed segment list (null when the store is not segmented);
+  /// `segment_files` runs parallel to segments->segments.
+  std::shared_ptr<const internal::SegmentList> segments;
+  std::vector<OpenedSegmentFile> segment_files;
   std::shared_ptr<Table> table;
   uint64_t num_rows = 0;
   std::shared_ptr<const BitVector> deleted;  ///< null when nothing deleted

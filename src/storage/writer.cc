@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/mosaic.h"
@@ -26,13 +27,16 @@ namespace storage {
 
 namespace {
 
-/// Appends 8-aligned blobs to data.seg, tracking one open section (a named,
-/// checksummed byte range of the file) at a time.
+/// Appends 8-aligned blobs to a bulk file (data.seg or one seg-<id>.dat),
+/// tracking one open section (a named, checksummed byte range of the file)
+/// at a time.
 class SegmentWriter {
  public:
-  explicit SegmentWriter(std::ofstream& out) : out_(out) {
-    out_.write(kSegmentMagic, sizeof(kSegmentMagic));
-    offset_ = sizeof(kSegmentMagic);
+  explicit SegmentWriter(std::ostream& out,
+                         const char (&magic)[8] = kSegmentMagic)
+      : out_(out) {
+    out_.write(magic, sizeof(magic));
+    offset_ = sizeof(magic);
   }
 
   void BeginSection(std::string name) {
@@ -72,7 +76,7 @@ class SegmentWriter {
   bool ok() const { return out_.good(); }
 
  private:
-  std::ofstream& out_;
+  std::ostream& out_;
   uint64_t offset_ = 0;
   SectionEntry section_;
   Crc32Accumulator crc_;
@@ -132,6 +136,72 @@ void WriteVaFile(const VaFile& index, SegmentWriter& seg,
       seg.AppendBlob(packed.data(), packed.size() * sizeof(uint64_t));
   catalog.WriteU64(packed.size());
   catalog.WriteU64(offset);
+}
+
+/// Serializes one sealed segment into its self-contained file image:
+///
+///   magic | column blobs (local rows, one per attribute) | WAH blobs |
+///   meta block | u64 meta_offset | u64 meta_size
+///
+/// Everything 8-aligned; the meta block (a BinaryWriter stream) carries the
+/// segment's identity, zone map, column offsets and its index's wire
+/// metadata, and is found via the fixed-size tail. The image depends only
+/// on the segment's content (never on begin_row, which compaction shifts),
+/// so the file is reusable for as long as the content id lives.
+Result<std::string> StageSegmentFile(const Table& table,
+                                     const internal::Segment& segment) {
+  std::ostringstream file_stream;
+  SegmentWriter seg(file_stream, kSegmentFileMagic);
+
+  const size_t num_attrs = table.num_attributes();
+  std::vector<uint64_t> column_offsets;
+  column_offsets.reserve(num_attrs);
+  {
+    std::vector<Value> staging(segment.num_rows);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Column& column = table.column(a);
+      for (uint64_t r = 0; r < segment.num_rows; ++r) {
+        staging[r] = column.Get(segment.begin_row + r);
+      }
+      column_offsets.push_back(
+          seg.AppendBlob(staging.data(), staging.size() * sizeof(Value)));
+    }
+  }
+
+  std::ostringstream meta_stream;
+  BinaryWriter meta(meta_stream);
+  meta.WriteString(kSegmentMetaMagic);
+  meta.WriteU64(segment.content_id);
+  meta.WriteU64(segment.num_rows);
+  meta.WriteU64(num_attrs);
+  meta.WriteU8(static_cast<uint8_t>(segment.index_kind));
+  for (const internal::ZoneEntry& zone : segment.zones) {
+    meta.WriteI32(zone.min_value);
+    meta.WriteI32(zone.max_value);
+    meta.WriteU64(zone.missing);
+  }
+  for (const uint64_t offset : column_offsets) meta.WriteU64(offset);
+  switch (segment.index_kind) {
+    case IndexKind::kBitmapEquality:
+    case IndexKind::kBitmapRange:
+    case IndexKind::kBitmapInterval:
+    case IndexKind::kBitmapBitSliced:
+      WriteBitmapIndex(static_cast<const BitmapIndex&>(*segment.index), seg,
+                       meta);
+      break;
+    default:
+      return Status::Internal(
+          "segment index kind has no per-segment wire form");
+  }
+  if (!meta.status().ok()) return meta.status();
+
+  const std::string meta_bytes = meta_stream.str();
+  const uint64_t tail[2] = {
+      seg.AppendBlob(meta_bytes.data(), meta_bytes.size()),
+      meta_bytes.size()};
+  seg.AppendBlob(tail, sizeof(tail));
+  if (!seg.ok()) return Status::Internal("segment file staging failed");
+  return file_stream.str();
 }
 
 Status EnsureDirectory(const std::string& dir) {
@@ -200,18 +270,23 @@ uint64_t MaxExistingGeneration(const std::string& dir) {
 }
 
 /// Best-effort garbage collection after a successful commit: payload files
-/// of any other generation (superseded stores, debris of crashed saves)
-/// and a stray manifest temp file. Failures are ignored — the store is
-/// already durable, and stale files are invisible to the reader. Unlinking
-/// the previous generation does not disturb open snapshots: their mmap
-/// pins the inode.
-void RemoveStaleFiles(const std::string& dir, uint64_t keep_generation) {
+/// of any other generation (superseded stores, debris of crashed saves),
+/// segment files the committed catalog does not reference (dropped by
+/// compaction, or debris of a crashed save), and a stray manifest temp
+/// file. Failures are ignored — the store is already durable, and stale
+/// files are invisible to the reader. Unlinking the previous generation
+/// does not disturb open snapshots: their mmap pins the inode.
+void RemoveStaleFiles(const std::string& dir, uint64_t keep_generation,
+                      const std::unordered_set<std::string>& keep_segments) {
   std::vector<std::string> stale;
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return;
   while (struct dirent* entry = ::readdir(d)) {
     uint64_t gen = 0;
     if (ParsePayloadFileName(entry->d_name, &gen) && gen != keep_generation) {
+      stale.push_back(entry->d_name);
+    } else if (IsSegmentDataFileName(entry->d_name) &&
+               keep_segments.find(entry->d_name) == keep_segments.end()) {
       stale.push_back(entry->d_name);
     }
   }
@@ -225,7 +300,7 @@ void RemoveStaleFiles(const std::string& dir, uint64_t keep_generation) {
 }  // namespace
 
 Status WriteSnapshot(const internal::SnapshotState& state,
-                     const std::string& dir) {
+                     const std::string& dir, SegmentPersistCache* cache) {
   if (state.table == nullptr) {
     return Status::InvalidArgument("cannot persist a null snapshot");
   }
@@ -239,6 +314,70 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   // is the directory it was opened from — is ever truncated or rewritten.
   const uint64_t generation = MaxExistingGeneration(dir) + 1;
 
+  // -- seg-<id>.dat, one per sealed segment. Content-immutable, so a
+  // cached file that is still on disk at its recorded size is reused
+  // without a byte of I/O; only new or compaction-rewritten segments are
+  // staged and written. Files land (durably) before the manifest commit —
+  // a crash leaves at worst orphans for the next save's GC.
+  const internal::SegmentList* segments = state.segments.get();
+  std::vector<CachedSegmentFile> segment_files;
+  std::unordered_set<std::string> referenced_segment_files;
+  if (segments != nullptr) {
+    segment_files.reserve(segments->segments.size());
+    for (const std::shared_ptr<const internal::Segment>& segment :
+         segments->segments) {
+      CachedSegmentFile cached;
+      bool reuse = false;
+      if (cache != nullptr) {
+        const MutexLock cache_lock(&cache->mu);
+        if (cache->dir != dir) {
+          cache->files.clear();
+          cache->dir = dir;
+        }
+        const auto it = cache->files.find(segment->content_id);
+        if (it != cache->files.end()) {
+          struct stat st;
+          if (::stat((dir + "/" + it->second.file_name).c_str(), &st) == 0 &&
+              S_ISREG(st.st_mode) &&
+              static_cast<uint64_t>(st.st_size) == it->second.file_size) {
+            cached = it->second;
+            reuse = true;
+          } else {
+            // The file went away or changed size behind our back; fall
+            // through to a fresh write under this generation.
+            cache->files.erase(it);
+          }
+        }
+      }
+      if (!reuse) {
+        INCDB_ASSIGN_OR_RETURN(const std::string bytes,
+                               StageSegmentFile(table, *segment));
+        cached.file_name = SegmentDataFileName(segment->content_id);
+        struct stat st;
+        if (::stat((dir + "/" + cached.file_name).c_str(), &st) == 0) {
+          // Canonical name taken by a file this writer cannot vouch for
+          // (another database's debris): never overwrite, take the
+          // generation-qualified alternate instead.
+          cached.file_name =
+              SegmentDataFileAltName(segment->content_id, generation);
+        }
+        cached.file_size = bytes.size();
+        cached.crc32 = Crc32(bytes.data(), bytes.size());
+        INCDB_RETURN_IF_ERROR(
+            WriteFileDurably(dir + "/" + cached.file_name, bytes));
+        if (cache != nullptr) {
+          const MutexLock cache_lock(&cache->mu);
+          cache->files[segment->content_id] = cached;
+        }
+      }
+      referenced_segment_files.insert(cached.file_name);
+      segment_files.push_back(std::move(cached));
+    }
+  }
+  // Rows the segment files already carry; data.seg holds only the rest.
+  const uint64_t first_tail_row =
+      segments != nullptr ? segments->sealed_rows : 0;
+
   // -- data.<gen>.seg: bulk arrays, one checksummed section per column /
   // index.
   const std::string segment_path = dir + "/" + SegmentFileName(generation);
@@ -249,17 +388,21 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   SegmentWriter seg(seg_out);
   std::vector<SectionEntry> sections;
 
-  // Columns: the visible prefix of every attribute, materialized
-  // contiguously (the in-memory column is block-structured; the wire form
-  // is a flat Value array so the reader can borrow it directly).
+  // Columns: the visible rows the segment files do not carry — everything
+  // for an unsegmented store, only the unsealed tail for a segmented one —
+  // materialized contiguously (the in-memory column is block-structured;
+  // the wire form is a flat Value array the reader can borrow directly).
+  const uint64_t tail_rows = num_rows - first_tail_row;
   std::vector<uint64_t> column_offsets;
   column_offsets.reserve(table.num_attributes());
   {
     std::vector<Value> staging;
     for (size_t a = 0; a < table.num_attributes(); ++a) {
-      staging.resize(num_rows);
+      staging.resize(tail_rows);
       const Column& column = table.column(a);
-      for (uint64_t r = 0; r < num_rows; ++r) staging[r] = column.Get(r);
+      for (uint64_t r = 0; r < tail_rows; ++r) {
+        staging[r] = column.Get(first_tail_row + r);
+      }
       seg.BeginSection("column/" + table.schema().attribute(a).name);
       column_offsets.push_back(
           seg.AppendBlob(staging.data(), staging.size() * sizeof(Value)));
@@ -285,6 +428,30 @@ Status WriteSnapshot(const internal::SnapshotState& state,
     catalog.WriteU8(1);
     catalog.WriteU64(state.deleted->size());
     catalog.WriteU64Vector(state.deleted->words());
+  } else {
+    catalog.WriteU8(0);
+  }
+  // v2 segment table: options (so reopening keeps segmentation enabled
+  // even before the first seal), the sealed watermark, and one entry per
+  // segment file. begin_row lives here, not in the segment file —
+  // compaction shifts it without touching the file's content.
+  if (segments != nullptr) {
+    catalog.WriteU8(1);
+    catalog.WriteU64(segments->options.segment_rows);
+    catalog.WriteU8(static_cast<uint8_t>(segments->options.index_kind));
+    catalog.WriteU64(segments->sealed_rows);
+    catalog.WriteU64(segments->segments.size());
+    for (size_t s = 0; s < segments->segments.size(); ++s) {
+      const internal::Segment& segment = *segments->segments[s];
+      const CachedSegmentFile& file = segment_files[s];
+      catalog.WriteU64(segment.content_id);
+      catalog.WriteU64(segment.begin_row);
+      catalog.WriteU64(segment.num_rows);
+      catalog.WriteU8(static_cast<uint8_t>(segment.index_kind));
+      catalog.WriteString(file.file_name);
+      catalog.WriteU64(file.file_size);
+      catalog.WriteU32(file.crc32);
+    }
   } else {
     catalog.WriteU8(0);
   }
@@ -391,7 +558,18 @@ Status WriteSnapshot(const internal::SnapshotState& state,
   // Make the rename (and the new payload files' directory entries)
   // durable before declaring success or deleting the old generation.
   INCDB_RETURN_IF_ERROR(SyncPath(dir, /*is_directory=*/true));
-  RemoveStaleFiles(dir, generation);
+  RemoveStaleFiles(dir, generation, referenced_segment_files);
+  if (cache != nullptr) {
+    // Shrink the cache to exactly the committed set so dropped segments
+    // (compaction) do not pin stale entries forever.
+    const MutexLock cache_lock(&cache->mu);
+    if (cache->dir == dir) {
+      std::erase_if(cache->files, [&](const auto& entry) {
+        return referenced_segment_files.find(entry.second.file_name) ==
+               referenced_segment_files.end();
+      });
+    }
+  }
   return Status::OK();
 }
 

@@ -22,11 +22,50 @@ Column Column::Borrowed(uint32_t cardinality, const Value* values,
   return column;
 }
 
+Column Column::BorrowedExtents(uint32_t cardinality,
+                               std::vector<BorrowedExtent> extents) {
+  // Collapse to the single-extent fast path when possible; empty extents
+  // are skipped so callers can pass e.g. a zero-row tail unconditionally.
+  std::vector<BorrowedExtent> kept;
+  kept.reserve(extents.size());
+  for (const BorrowedExtent& extent : extents) {
+    if (extent.count == 0) continue;
+    INCDB_CHECK_MSG(extent.values != nullptr,
+                    "borrowed column extent with null backing memory");
+    kept.push_back(extent);
+  }
+  if (kept.empty()) return Column(cardinality);
+  if (kept.size() == 1) {
+    return Borrowed(cardinality, kept.front().values, kept.front().count);
+  }
+  Column column(cardinality);
+  column.extent_starts_.reserve(kept.size());
+  column.extent_values_.reserve(kept.size());
+  uint64_t row = 0;
+  for (const BorrowedExtent& extent : kept) {
+    column.extent_starts_.push_back(row);
+    column.extent_values_.push_back(extent.values);
+    row += extent.count;
+  }
+  column.num_borrowed_ = row;
+  column.size_ = row;
+  return column;
+}
+
+Value Column::GetFromExtents(uint64_t row) const {
+  const auto it = std::upper_bound(extent_starts_.begin(),
+                                   extent_starts_.end(), row);
+  const size_t e = static_cast<size_t>(it - extent_starts_.begin()) - 1;
+  return extent_values_[e][row - extent_starts_[e]];
+}
+
 Column::Column(const Column& other)
     : cardinality_(other.cardinality_),
       size_(other.size_),
       borrowed_(other.borrowed_),
-      num_borrowed_(other.num_borrowed_) {
+      num_borrowed_(other.num_borrowed_),
+      extent_starts_(other.extent_starts_),
+      extent_values_(other.extent_values_) {
   const uint64_t block_rows = size_ - num_borrowed_;
   for (size_t b = 0; b < kNumBlocks; ++b) {
     if (other.blocks_[b] == nullptr) continue;

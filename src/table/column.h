@@ -42,6 +42,22 @@ class Column {
   static Column Borrowed(uint32_t cardinality, const Value* values,
                          uint64_t count);
 
+  /// One piece of a multi-extent borrowed prefix: `count` consecutive rows
+  /// backed by `values`.
+  struct BorrowedExtent {
+    const Value* values = nullptr;
+    uint64_t count = 0;
+  };
+
+  /// A column whose borrowed prefix is stitched from several extents in row
+  /// order — the segmented store's open path, where each sealed segment's
+  /// values live in its own mapped file and the extents cannot be made
+  /// contiguous. Lookup in the prefix is a branchless single-extent hit
+  /// when only one extent exists, a binary search otherwise. Same lifetime
+  /// contract as Borrowed().
+  static Column BorrowedExtents(uint32_t cardinality,
+                                std::vector<BorrowedExtent> extents);
+
   Column(const Column& other);
   Column& operator=(const Column& other);
   Column(Column&&) noexcept = default;
@@ -83,7 +99,10 @@ class Column {
 
   /// Value at `row` (kMissingValue if the cell is missing).
   Value Get(uint64_t row) const {
-    if (row < num_borrowed_) return borrowed_[row];
+    if (row < num_borrowed_) {
+      if (borrowed_ != nullptr) return borrowed_[row];
+      return GetFromExtents(row);
+    }
     const uint64_t biased = (row - num_borrowed_) + kFirstBlockSize;
     const int high_bit = 63 - __builtin_clzll(biased);
     return blocks_[static_cast<size_t>(high_bit) - kFirstBlockBits]
@@ -110,6 +129,10 @@ class Column {
   double NonMissingMean() const;
 
  private:
+  /// Multi-extent prefix lookup (out of line: the single-extent and heap
+  /// paths stay branch-cheap in the header).
+  Value GetFromExtents(uint64_t row) const;
+
   /// First block holds 2^kFirstBlockBits values; block i holds twice as
   /// many as block i-1. 48 blocks cover far more rows than the uint32_t
   /// row ids used everywhere else.
@@ -123,8 +146,13 @@ class Column {
   mutable ThreadRole writer_role_;
   /// Non-owning prefix of rows [0, num_borrowed_); see Borrowed(). Blocks
   /// then hold rows num_borrowed_.. (block math is relative to the prefix).
+  /// Exactly one of borrowed_ / extent_*_ describes a non-empty prefix:
+  /// borrowed_ for the single-extent form, the extent arrays (parallel,
+  /// starts ascending from 0) for the stitched form.
   const Value* borrowed_ = nullptr;
   uint64_t num_borrowed_ = 0;
+  std::vector<uint64_t> extent_starts_;
+  std::vector<const Value*> extent_values_;
   std::array<std::unique_ptr<Value[]>, kNumBlocks> blocks_;
 };
 

@@ -1,0 +1,247 @@
+// Segment-boundary property suite: plan-vs-oracle equivalence for the
+// sharded segment store, concentrated on the places segmentation can get
+// row accounting wrong — queries whose matches straddle seal seams,
+// predicates that zone-prune most segments, deletes concentrated inside a
+// single segment, and the same checks again after compaction shifts
+// begin_rows. Serial, parallel, and count-only execution must all agree
+// bit-for-bit with the row-level oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/segments.h"
+#include "query/expr.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+constexpr uint64_t kSegmentRows = 48;
+
+// Mixed-structure fixture: a0 clustered (zone maps can prune), a1 and a2
+// uniform-ish with missing cells (zone maps cannot), so one query set
+// exercises both pruned and unprunable probes.
+Database MakeSegmentedDb(uint64_t num_rows, bool enable) {
+  std::vector<AttributeSpec> specs = {{"a0", 10}, {"a1", 6}, {"a2", 4}};
+  Table table = Table::Create(Schema(specs)).value();
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    const Value clustered = static_cast<Value>(1 + (r / kSegmentRows) % 10);
+    const Value uniform =
+        r % 7 == 0 ? kMissingValue : static_cast<Value>(1 + (r * 17) % 6);
+    const Value coarse =
+        r % 13 == 0 ? kMissingValue : static_cast<Value>(1 + (r * 5) % 4);
+    EXPECT_TRUE(table.AppendRow({clustered, uniform, coarse}).ok());
+  }
+  Database db = Database::FromTable(std::move(table)).value();
+  if (enable) {
+    SegmentOptions options;
+    options.segment_rows = kSegmentRows;
+    EXPECT_TRUE(db.EnableSegments(options).ok());
+  }
+  return db;
+}
+
+// Term fixtures chosen against the fixture's layout: point and range
+// queries on the clustered attribute (seam-straddling by construction,
+// since a0 changes value exactly at seal boundaries), cross-attribute
+// conjunctions, and full-domain spans.
+std::vector<std::vector<NamedTerm>> TermFixtures() {
+  return {
+      {{"a0", 3, 3}},                     // exactly one segment per cycle
+      {{"a0", 3, 4}},                     // straddles one seam
+      {{"a0", 1, 10}},                    // full domain: nothing prunable
+      {{"a1", 2, 5}},                     // unprunable attribute
+      {{"a0", 5, 6}, {"a1", 1, 3}},       // pruned conjunct + unpruned
+      {{"a0", 2, 2}, {"a1", 2, 2}, {"a2", 1, 2}},
+      {{"a2", 4, 4}},
+  };
+}
+
+std::vector<QueryExpr> ExprFixtures() {
+  const QueryExpr c = QueryExpr::MakeTerm(0, {3, 4});
+  const QueryExpr u = QueryExpr::MakeTerm(1, {2, 5});
+  const QueryExpr v = QueryExpr::MakeTerm(2, {1, 2});
+  return {
+      c,
+      QueryExpr::MakeAnd({c, u}),
+      QueryExpr::MakeOr({c, v}),
+      QueryExpr::MakeNot(c),  // NOT over a pruned leaf: zeros must be exact
+      QueryExpr::MakeAnd({u, QueryExpr::MakeNot(c)}),
+      QueryExpr::MakeNot(QueryExpr::MakeOr({c, QueryExpr::MakeAnd({u, v})})),
+  };
+}
+
+std::vector<uint32_t> Oracle(const Database& db,
+                             const std::vector<QueryTerm>& terms,
+                             MissingSemantics semantics) {
+  RangeQuery query;
+  query.terms = terms;
+  query.semantics = semantics;
+  std::vector<uint32_t> rows;
+  for (uint64_t r = 0; r < db.num_rows(); ++r) {
+    if (!db.IsDeleted(static_cast<uint32_t>(r)) &&
+        RowMatches(db.table(), r, query)) {
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return rows;
+}
+
+std::vector<uint32_t> OracleExpr(const Database& db, const QueryExpr& expr,
+                                 MissingSemantics semantics) {
+  std::vector<uint32_t> rows;
+  for (uint64_t r = 0; r < db.num_rows(); ++r) {
+    if (!db.IsDeleted(static_cast<uint32_t>(r)) &&
+        ExprMatches(db.table(), r, expr, semantics)) {
+      rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return rows;
+}
+
+// Runs every fixture through serial, parallel, and count-only execution
+// and insists on oracle agreement. Shared by all scenarios below.
+void CheckAllShapes(const Database& db, const std::string& scenario) {
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    for (const std::vector<NamedTerm>& named : TermFixtures()) {
+      std::vector<QueryTerm> terms;
+      for (const NamedTerm& term : named) {
+        terms.push_back(db.ResolveTerm(term).value());
+      }
+      const auto expected = Oracle(db, terms, semantics);
+      std::string label = scenario + " [" +
+                          std::string(MissingSemanticsToString(semantics)) +
+                          "]";
+      for (const NamedTerm& t : named) {
+        label += " " + t.attribute + "=[" + std::to_string(t.lo) + "," +
+                 std::to_string(t.hi) + "]";
+      }
+
+      const auto serial = db.Run(QueryRequest::Terms(named, semantics));
+      ASSERT_TRUE(serial.ok()) << label << ": "
+                               << serial.status().ToString();
+      EXPECT_EQ(serial->row_ids, expected) << label;
+
+      const auto parallel =
+          db.Run(QueryRequest::Terms(named, semantics).Parallel(4));
+      ASSERT_TRUE(parallel.ok()) << label;
+      EXPECT_EQ(parallel->row_ids, expected) << label << " (parallel)";
+
+      const auto counted =
+          db.Run(QueryRequest::Terms(named, semantics).CountOnly());
+      ASSERT_TRUE(counted.ok()) << label;
+      EXPECT_EQ(counted->count, expected.size()) << label << " (count)";
+    }
+
+    for (const QueryExpr& expr : ExprFixtures()) {
+      const auto expected = OracleExpr(db, expr, semantics);
+      const std::string label = scenario + " on " + expr.ToString();
+      const auto serial = db.Run(QueryRequest::Expression(expr, semantics));
+      ASSERT_TRUE(serial.ok()) << label << ": "
+                               << serial.status().ToString();
+      EXPECT_EQ(serial->row_ids, expected) << label;
+      const auto parallel =
+          db.Run(QueryRequest::Expression(expr, semantics).Parallel(4));
+      ASSERT_TRUE(parallel.ok()) << label;
+      EXPECT_EQ(parallel->row_ids, expected) << label << " (parallel)";
+    }
+  }
+}
+
+TEST(SegmentBoundaryPropertyTest, SegmentedAgreesWithUnsegmented) {
+  // Same rows, segments on vs off: every query shape must return identical
+  // ids. 10 sealed segments plus a 21-row unsealed tail.
+  const Database segmented = MakeSegmentedDb(501, true);
+  const Database plain = MakeSegmentedDb(501, false);
+  ASSERT_EQ(segmented.num_segments(), 10u);
+  for (MissingSemantics semantics :
+       {MissingSemantics::kMatch, MissingSemantics::kNoMatch}) {
+    for (const std::vector<NamedTerm>& named : TermFixtures()) {
+      const auto a = segmented.Run(QueryRequest::Terms(named, semantics));
+      const auto b = plain.Run(QueryRequest::Terms(named, semantics));
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->row_ids, b->row_ids);
+    }
+  }
+  CheckAllShapes(segmented, "segmented-with-tail");
+}
+
+TEST(SegmentBoundaryPropertyTest, SealAlignedStore) {
+  // No unsealed tail at all: every row lives in a segment, so the delta
+  // scan contributes nothing and the merge path is fully responsible.
+  const Database db = MakeSegmentedDb(10 * kSegmentRows, true);
+  ASSERT_EQ(db.sealed_rows(), db.num_rows());
+  CheckAllShapes(db, "seal-aligned");
+}
+
+TEST(SegmentBoundaryPropertyTest, ZonePrunedSegmentsStayExact) {
+  const Database db = MakeSegmentedDb(10 * kSegmentRows, true);
+  // Sanity that pruning actually engages for the clustered point query —
+  // the suite would vacuously pass if zone maps never pruned.
+  const auto probe = db.Run(
+      QueryRequest::Text("a0 = 3", MissingSemantics::kNoMatch));
+  ASSERT_TRUE(probe.ok());
+  EXPECT_GT(probe->stats.segments_pruned, 0u);
+  EXPECT_EQ(probe->stats.segments_scanned + probe->stats.segments_pruned,
+            db.num_segments());
+  CheckAllShapes(db, "zone-pruned");
+}
+
+TEST(SegmentBoundaryPropertyTest, DeletesConcentratedInOneSegment) {
+  Database db = MakeSegmentedDb(501, true);
+  // Hollow out segment 3 (rows 144..191): interior, boundary rows of the
+  // segment, and its first/last row specifically.
+  for (uint32_t r = 3 * kSegmentRows; r < 4 * kSegmentRows; r += 2) {
+    ASSERT_TRUE(db.Delete(r).ok());
+  }
+  ASSERT_TRUE(db.Delete(4 * kSegmentRows - 1).ok());
+  CheckAllShapes(db, "deletes-one-segment");
+
+  // Also a deleted row at each side of a seam elsewhere.
+  ASSERT_TRUE(db.Delete(6 * kSegmentRows - 1).ok());
+  ASSERT_TRUE(db.Delete(6 * kSegmentRows).ok());
+  CheckAllShapes(db, "deletes-at-seams");
+}
+
+TEST(SegmentBoundaryPropertyTest, CompactionShiftsThenAgrees) {
+  Database db = MakeSegmentedDb(501, true);
+  for (uint32_t r = 3 * kSegmentRows; r < 4 * kSegmentRows; r += 2) {
+    ASSERT_TRUE(db.Delete(r).ok());
+  }
+  ASSERT_TRUE(db.CompactNow().ok());
+  ASSERT_EQ(db.num_deleted_rows(), 0u);
+  // Carried segments now sit at shifted begin_rows; their local indexes
+  // must still splice to the right global positions.
+  CheckAllShapes(db, "post-compaction");
+
+  // Delete again across the shifted layout and compact a second time.
+  for (uint32_t r = 10; r < 100; r += 7) {
+    ASSERT_TRUE(db.Delete(r).ok());
+  }
+  CheckAllShapes(db, "deletes-after-compaction");
+  ASSERT_TRUE(db.CompactNow().ok());
+  CheckAllShapes(db, "twice-compacted");
+}
+
+TEST(SegmentBoundaryPropertyTest, InsertsAcrossSeamsAgree) {
+  Database db = MakeSegmentedDb(2 * kSegmentRows + 5, true);
+  // Grow the tail through two more seal boundaries, checking at every
+  // watermark relation to the seam: just before, at, and just after.
+  for (uint64_t i = 0; i < 2 * kSegmentRows; ++i) {
+    const Value v = static_cast<Value>(1 + i % 10);
+    ASSERT_TRUE(db.Insert({v, v % 6 + 1, kMissingValue}).ok());
+    const uint64_t pos = db.num_rows() % kSegmentRows;
+    if (pos <= 1 || pos == kSegmentRows - 1) {
+      CheckAllShapes(db, "growing@" + std::to_string(db.num_rows()));
+    }
+  }
+  EXPECT_GE(db.num_segments(), 4u);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -128,6 +128,8 @@ TEST(WireTest, QueryResultRoundTripsStatsAndRouting) {
   result.stats.words_touched = 777;
   result.stats.simd_path = 3;
   result.stats.words_decoded = 512;
+  result.stats.segments_scanned = 6;
+  result.stats.segments_pruned = 2;
   result.routing.index_name = "BEE-WAH";
   result.routing.is_point_query = true;
   result.routing.estimated_selectivity = 0.125;
@@ -146,6 +148,8 @@ TEST(WireTest, QueryResultRoundTripsStatsAndRouting) {
   EXPECT_EQ(decoded->stats.words_touched, 777u);
   EXPECT_EQ(decoded->stats.simd_path, 3u);
   EXPECT_EQ(decoded->stats.words_decoded, 512u);
+  EXPECT_EQ(decoded->stats.segments_scanned, 6u);
+  EXPECT_EQ(decoded->stats.segments_pruned, 2u);
   EXPECT_EQ(decoded->routing.index_name, "BEE-WAH");
   EXPECT_TRUE(decoded->routing.is_point_query);
   EXPECT_DOUBLE_EQ(decoded->routing.estimated_selectivity, 0.125);
@@ -194,6 +198,10 @@ TEST(WireTest, ServerStatsRoundTrips) {
   stats.p99_micros = 90000;
   stats.uptime_millis = 123456;
   stats.draining = true;
+  stats.segments = 17;
+  stats.compactions = 3;
+  stats.compaction_reclaimed_rows = 999;
+  stats.compaction_reclaimed_bytes = 11988;
   const auto decoded = DecodeServerStats(EncodeServerStats(stats));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->accepted_connections, 10u);
@@ -212,6 +220,10 @@ TEST(WireTest, ServerStatsRoundTrips) {
   EXPECT_EQ(decoded->p99_micros, 90000u);
   EXPECT_EQ(decoded->uptime_millis, 123456u);
   EXPECT_TRUE(decoded->draining);
+  EXPECT_EQ(decoded->segments, 17u);
+  EXPECT_EQ(decoded->compactions, 3u);
+  EXPECT_EQ(decoded->compaction_reclaimed_rows, 999u);
+  EXPECT_EQ(decoded->compaction_reclaimed_bytes, 11988u);
 }
 
 TEST(WireTest, DecoderSkipsUnknownFieldsForForwardCompatibility) {

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh BENCH_*.json output against baselines.
+
+CI's bench-smoke job runs the benchmark binaries into a scratch directory
+and then calls
+
+    python3 tools/bench_compare.py --baseline-dir . --current-dir bench-out
+
+which compares every BENCH_*.json present in BOTH directories. Entries are
+keyed by (bench, config) and compared on `millis` (the `bytes` column is a
+size, not a time; sizes are checked for exact-match drift and reported but
+never gate). The gate FAILS (exit 1) when any file's geometric-mean ratio
+current/baseline over its stable entries exceeds the threshold (default
++15%).
+
+Noisy metrics — tail latencies and anything else matching --noisy (default:
+names containing "p99") — are excluded from the geomean and reported
+warn-only: a regressed p99 on a shared CI runner is usually scheduler
+noise, and gating on it teaches people to ignore the gate. The geomean over
+the remaining entries is the blocking signal precisely because one noisy
+entry cannot move it past the threshold on its own.
+
+Updating baselines: intentional performance changes land by refreshing the
+committed BENCH_*.json files in the same PR (run the bench locally or take
+the bench-trajectories artifact from CI) — the workflow skips this gate
+when the PR carries the `bench-baseline-update` label so the refresh commit
+itself does not need to beat the numbers it is replacing.
+
+--inject PCT is a self-test hook: it scales every current `millis` by
+(1 + PCT/100) before comparing, so CI can assert the gate actually fails on
+a synthetic regression (see the "gate self-check" step in ci.yml).
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import re
+import sys
+
+
+def load_results(path):
+    """Returns {(bench, config): (millis, bytes)} from one BENCH_*.json."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    results = {}
+    for entry in doc.get("results", []):
+        key = (str(entry["bench"]), str(entry["config"]))
+        if key in results:
+            raise ValueError(f"{path}: duplicate result key {key}")
+        results[key] = (float(entry["millis"]), int(entry.get("bytes", 0)))
+    return results
+
+
+def compare_file(name, baseline, current, threshold, noisy_re, inject_pct):
+    """Compares one file's result maps. Returns (failed, lines)."""
+    limit = 1.0 + threshold / 100.0
+    lines = []
+    ratios = []  # stable entries only
+    worst = None  # (ratio, key) over stable entries
+    failed = False
+
+    common = sorted(set(baseline) & set(current))
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+
+    for key in common:
+        base_ms, base_bytes = baseline[key]
+        cur_ms, cur_bytes = current[key]
+        cur_ms *= 1.0 + inject_pct / 100.0
+        label = f"{key[0]} [{key[1]}]"
+        if base_ms <= 0.0:
+            lines.append(f"  skip  {label}: non-positive baseline millis")
+            continue
+        ratio = cur_ms / base_ms
+        noisy = bool(noisy_re.search(key[0]) or noisy_re.search(key[1]))
+        if noisy:
+            if ratio > limit:
+                lines.append(
+                    f"  WARN  {label}: {base_ms:.4f} -> {cur_ms:.4f} ms "
+                    f"({(ratio - 1) * 100:+.1f}%), noisy metric, not gating"
+                )
+            continue
+        ratios.append(ratio)
+        if worst is None or ratio > worst[0]:
+            worst = (ratio, label)
+        if base_bytes != cur_bytes and base_bytes != 0:
+            lines.append(
+                f"  note  {label}: bytes {base_bytes} -> {cur_bytes} "
+                f"(size drift; informational)"
+            )
+
+    for key in only_base:
+        lines.append(f"  note  {key[0]} [{key[1]}]: missing from current run")
+    for key in only_cur:
+        lines.append(f"  note  {key[0]} [{key[1]}]: new entry, no baseline")
+
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        verdict = "OK"
+        if geomean > limit:
+            verdict = "FAIL"
+            failed = True
+        lines.insert(
+            0,
+            f"{verdict:>6}  {name}: geomean {(geomean - 1) * 100:+.1f}% over "
+            f"{len(ratios)} stable entr{'y' if len(ratios) == 1 else 'ies'} "
+            f"(threshold +{threshold:.0f}%); worst "
+            f"{(worst[0] - 1) * 100:+.1f}% at {worst[1]}",
+        )
+    else:
+        lines.insert(0, f"  skip  {name}: no stable entries in common")
+    return failed, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json benchmark output against baselines."
+    )
+    parser.add_argument(
+        "--baseline-dir", required=True,
+        help="directory holding the committed BENCH_*.json baselines")
+    parser.add_argument(
+        "--current-dir", required=True,
+        help="directory holding freshly produced BENCH_*.json output")
+    parser.add_argument(
+        "--threshold", type=float, default=15.0,
+        help="geomean regression percentage that fails the gate "
+             "(default: 15)")
+    parser.add_argument(
+        "--noisy", default="p99",
+        help="regex over bench/config names marking warn-only noisy metrics "
+             "(default: p99)")
+    parser.add_argument(
+        "--inject", type=float, default=0.0, metavar="PCT",
+        help="self-test: inflate every current millis by PCT%% before "
+             "comparing")
+    args = parser.parse_args()
+
+    noisy_re = re.compile(args.noisy)
+    current_files = sorted(
+        glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))
+    if not current_files:
+        print(f"bench_compare: no BENCH_*.json in {args.current_dir}",
+              file=sys.stderr)
+        return 2
+
+    any_failed = False
+    compared = 0
+    for cur_path in current_files:
+        name = os.path.basename(cur_path)
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            print(f"  skip  {name}: no committed baseline")
+            continue
+        failed, lines = compare_file(
+            name, load_results(base_path), load_results(cur_path),
+            args.threshold, noisy_re, args.inject)
+        compared += 1
+        any_failed = any_failed or failed
+        print("\n".join(lines))
+
+    if compared == 0:
+        print("bench_compare: nothing to compare (no baselines matched)",
+              file=sys.stderr)
+        return 2
+    if any_failed:
+        print(
+            "\nbench_compare: REGRESSION over threshold. If this change is "
+            "an intentional perf trade-off, refresh the committed "
+            "BENCH_*.json baselines in this PR and apply the "
+            "`bench-baseline-update` label to skip this gate.")
+        return 1
+    print(f"\nbench_compare: {compared} file(s) within "
+          f"+{args.threshold:.0f}% geomean threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -257,6 +257,14 @@ int RunRemote(const CliOptions& options) {
     std::printf("latency:              p50 %llu us, p99 %llu us\n",
                 static_cast<unsigned long long>(stats->p50_micros),
                 static_cast<unsigned long long>(stats->p99_micros));
+    std::printf("segments:             %llu sealed; %llu compaction(s), "
+                "%llu row(s) / %llu byte(s) reclaimed\n",
+                static_cast<unsigned long long>(stats->segments),
+                static_cast<unsigned long long>(stats->compactions),
+                static_cast<unsigned long long>(
+                    stats->compaction_reclaimed_rows),
+                static_cast<unsigned long long>(
+                    stats->compaction_reclaimed_bytes));
     if (options.query_text.empty()) return 0;
   }
 

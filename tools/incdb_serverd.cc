@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -38,6 +39,9 @@ struct DaemonOptions {
   std::string open_dir;
   std::string csv_path;
   std::string index = "auto";
+  /// Run a background compactor; deletes are reclaimed while serving.
+  bool compact = false;
+  BackgroundCompactor::Options compactor;
   server::ServerOptions server;
 };
 
@@ -47,7 +51,9 @@ int Usage() {
       "usage: incdb_serverd --open=DIR  [--host=H] [--port=P] [--workers=N]"
       " [--queue=N]\n"
       "       incdb_serverd --csv=FILE [--index=bee|bre|bie|bsl|va|va+|scan]"
-      " [...]\n");
+      " [...]\n"
+      "       [--compact] [--compact-interval-ms=N]"
+      " [--compact-min-deleted=N]\n");
   return 2;
 }
 
@@ -70,6 +76,16 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
     } else if (arg.rfind("--queue=", 0) == 0) {
       options->server.queue_capacity =
           static_cast<size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg == "--compact") {
+      options->compact = true;
+    } else if (arg.rfind("--compact-interval-ms=", 0) == 0) {
+      options->compact = true;
+      options->compactor.interval_millis =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 22));
+    } else if (arg.rfind("--compact-min-deleted=", 0) == 0) {
+      options->compact = true;
+      options->compactor.min_deleted_rows =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 22));
     } else {
       return false;
     }
@@ -121,6 +137,22 @@ int Main(int argc, char** argv) {
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
     return 1;
+  }
+
+  // Optional background compaction: reclaims deleted rows while serving
+  // (readers never block; compaction publishes via the epoch swap).
+  // Destroyed before the Database — declaration order matters here.
+  std::unique_ptr<BackgroundCompactor> compactor;
+  if (options.compact) {
+    compactor =
+        std::make_unique<BackgroundCompactor>(&db.value(), options.compactor);
+    std::fprintf(stderr,
+                 "# background compactor: every %llums once %llu row(s) "
+                 "deleted\n",
+                 static_cast<unsigned long long>(
+                     options.compactor.interval_millis),
+                 static_cast<unsigned long long>(
+                     options.compactor.min_deleted_rows));
   }
 
   std::signal(SIGTERM, HandleShutdownSignal);

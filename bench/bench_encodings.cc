@@ -1,0 +1,92 @@
+// Space-vs-probes study for the slicer x encoder architecture: the direct
+// equality index against the multi-component (Chan-Ioannidis O(sum of
+// radices) bitmaps) and hierarchical (O(log C) probes per wide range)
+// composite kinds, with bit-sliced as the compact-storage yardstick,
+// across three cardinality decades.
+//
+// Expected shape: at C=100 equality is competitive everywhere; at C=10k
+// the O(C) bitmap count starts to hurt storage; at C=1M equality pays for
+// a million mostly-empty bitvectors while MC stores ~2 sqrt(C) = 2000 and
+// hierarchical answers wide ranges in <= 2 log2(C) probes.
+
+#include <cstdio>
+#include <random>
+
+#include "bench/bench_common.h"
+#include "table/generator.h"
+
+namespace incdb {
+namespace {
+
+std::vector<RangeQuery> MakeQueries(uint32_t cardinality, bool point,
+                                    uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // Wide ranges cover 70% of the domain (the regime where equality probes
+  // O(C) bitmaps and hierarchical probes O(log C)).
+  const uint32_t width =
+      point ? 1 : std::max<uint32_t>(1, (cardinality * 7) / 10);
+  std::vector<RangeQuery> queries(bench::BenchQueries());
+  for (RangeQuery& query : queries) {
+    const uint32_t lo = 1 + static_cast<uint32_t>(
+                                rng() % (cardinality - width + 1));
+    query.terms = {{0, {static_cast<Value>(lo),
+                        static_cast<Value>(lo + width - 1)}}};
+    query.semantics = MissingSemantics::kNoMatch;
+  }
+  return queries;
+}
+
+int Main() {
+  const uint64_t rows = bench::BenchRows(100000);
+  const IndexKind kinds[] = {
+      IndexKind::kBitmapEquality,
+      IndexKind::kBitmapMultiComponent,
+      IndexKind::kBitmapHierarchical,
+      IndexKind::kBitmapBitSliced,
+  };
+
+  std::printf("# Encoding space-vs-probes crossover (%llu rows, 1 attribute, "
+              "10%% missing, %zu queries per shape)\n",
+              static_cast<unsigned long long>(rows), bench::BenchQueries());
+  bench::PrintHeader(
+      {"cardinality", "kind", "build_mb", "point_ms", "wide_range_ms"});
+
+  for (uint32_t cardinality : {100u, 10'000u, 1'000'000u}) {
+    const Table table =
+        GenerateTable(UniformSpec(rows, cardinality, 0.10, 1, 42)).value();
+    const std::vector<RangeQuery> point_queries =
+        MakeQueries(cardinality, /*point=*/true, 7);
+    const std::vector<RangeQuery> wide_queries =
+        MakeQueries(cardinality, /*point=*/false, 11);
+    const std::string config = "C=" + std::to_string(cardinality);
+    for (IndexKind kind : kinds) {
+      // One index alive at a time: C=1M equality alone holds a million
+      // bitvectors and the fleet would otherwise dominate peak RSS.
+      const std::unique_ptr<IncompleteIndex> index =
+          bench::MustCreateIndex(kind, table);
+      const uint64_t bytes = index->SizeInBytes();
+      const double point_ms =
+          bench::MustRunWorkload(*index, point_queries, rows).total_millis;
+      const double wide_ms =
+          bench::MustRunWorkload(*index, wide_queries, rows).total_millis;
+      const std::string name(IndexKindToString(kind));
+      bench::PrintRow({std::to_string(cardinality), name,
+                       bench::FormatBytesAsMB(bytes),
+                       bench::FormatDouble(point_ms, 2),
+                       bench::FormatDouble(wide_ms, 2)});
+      bench::RecordResult("build_size@" + name, config, 0.0, bytes);
+      bench::RecordResult("point@" + name, config, point_ms, bytes);
+      bench::RecordResult("wide_range@" + name, config, wide_ms, bytes);
+    }
+  }
+  bench::WriteJson();
+  return 0;
+}
+
+}  // namespace
+}  // namespace incdb
+
+int main(int argc, char** argv) {
+  incdb::bench::Init(argc, argv);
+  return incdb::Main();
+}

@@ -3,88 +3,12 @@
 #include <algorithm>
 #include <fstream>
 
+#include "bitmap/slicer.h"
 #include "common/bitutil.h"
 #include "common/io.h"
 #include "common/logging.h"
 
 namespace incdb {
-
-namespace {
-
-/// Incremental builder for one WAH bitvector: appends set bits at ascending
-/// row positions, run-length-filling the gaps, so build cost is proportional
-/// to the number of set bits rather than the number of rows.
-class SetBitBuilder {
- public:
-  void SetBitAt(uint64_t row) {
-    INCDB_DCHECK(row >= appended_);
-    bits_.AppendRun(false, row - appended_);
-    bits_.AppendBit(true);
-    appended_ = row + 1;
-  }
-
-  WahBitVector Finish(uint64_t num_rows) {
-    bits_.AppendRun(false, num_rows - appended_);
-    appended_ = num_rows;
-    return std::move(bits_);
-  }
-
- private:
-  WahBitVector bits_;
-  uint64_t appended_ = 0;
-};
-
-/// Adapts the fused WAH kernels' per-operation accounting (WahOpStats) into
-/// the query counters: dense SIMD windows and decoded group words fold into
-/// QueryStats at scope exit. get() is null when no stats were requested, so
-/// the kernels skip the bookkeeping entirely.
-class WahStatsScope {
- public:
-  explicit WahStatsScope(QueryStats* stats) : stats_(stats) {}
-  ~WahStatsScope() {
-    if (stats_ != nullptr) {
-      stats_->simd_path += op_stats_.dense_windows;
-      stats_->words_decoded += op_stats_.words_decoded;
-    }
-  }
-  WahStatsScope(const WahStatsScope&) = delete;
-  WahStatsScope& operator=(const WahStatsScope&) = delete;
-
-  WahOpStats* get() { return stats_ != nullptr ? &op_stats_ : nullptr; }
-
- private:
-  QueryStats* stats_;
-  WahOpStats op_stats_;
-};
-
-}  // namespace
-
-std::string_view BitmapEncodingToString(BitmapEncoding encoding) {
-  switch (encoding) {
-    case BitmapEncoding::kEquality:
-      return "BEE";
-    case BitmapEncoding::kRange:
-      return "BRE";
-    case BitmapEncoding::kInterval:
-      return "BIE";
-    case BitmapEncoding::kBitSliced:
-      return "BSL";
-  }
-  return "unknown";
-}
-
-namespace {
-
-// Interval-encoding geometry: bitmap I_j covers values [j, j+m-1] with
-// m = ceil(C/2); n = C-m+1 bitmaps are stored.
-uint32_t IntervalEncodingM(uint32_t cardinality) {
-  return (cardinality + 1) / 2;
-}
-uint32_t IntervalEncodingN(uint32_t cardinality) {
-  return cardinality - IntervalEncodingM(cardinality) + 1;
-}
-
-}  // namespace
 
 Result<BitmapIndex> BitmapIndex::Build(const Table& table, Options options) {
   if (table.num_rows() == 0) {
@@ -115,62 +39,12 @@ Result<BitmapIndex> BitmapIndex::Build(const Table& table, Options options) {
           "cardinality is 1 (paper §4.2)");
     }
 
-    if (options.encoding == BitmapEncoding::kBitSliced) {
-      // Binary-encode each value into b slice bitmaps; missing rows carry
-      // the reserved all-zeros code (absent from every slice).
-      const int num_slices = bitutil::BitsForCardinality(cardinality);
-      std::vector<SetBitBuilder> builders(static_cast<size_t>(num_slices));
-      SetBitBuilder sliced_missing;
-      for (uint64_t r = 0; r < n; ++r) {
-        const Value v = column.Get(r);
-        if (IsMissing(v)) {
-          sliced_missing.SetBitAt(r);
-          continue;
-        }
-        for (uint32_t code = static_cast<uint32_t>(v); code != 0;
-             code &= code - 1) {
-          builders[static_cast<size_t>(bitutil::CountTrailingZeros(code))]
-              .SetBitAt(r);
-        }
-      }
-      ab.values.reserve(static_cast<size_t>(num_slices));
-      for (int k = 0; k < num_slices; ++k) {
-        ab.values.push_back(builders[static_cast<size_t>(k)].Finish(n));
-      }
-      if (ab.has_missing) ab.missing = sliced_missing.Finish(n);
-      attributes.push_back(std::move(ab));
-      continue;
-    }
-
-    if (options.encoding == BitmapEncoding::kInterval) {
-      // Each value v belongs to I_j for j in [v-m+1, v] (clamped); build
-      // all n window bitmaps in one pass.
-      const uint32_t m = IntervalEncodingM(cardinality);
-      const uint32_t n_bitmaps = IntervalEncodingN(cardinality);
-      std::vector<SetBitBuilder> builders(n_bitmaps);
-      SetBitBuilder interval_missing;
-      for (uint64_t r = 0; r < n; ++r) {
-        const Value v = column.Get(r);
-        if (IsMissing(v)) {
-          interval_missing.SetBitAt(r);
-          continue;
-        }
-        const uint32_t value = static_cast<uint32_t>(v);
-        const uint32_t first = value >= m ? value - m + 1 : 1;
-        const uint32_t last = std::min(n_bitmaps, value);
-        for (uint32_t j = first; j <= last; ++j) builders[j - 1].SetBitAt(r);
-      }
-      ab.values.reserve(n_bitmaps);
-      for (uint32_t j = 0; j < n_bitmaps; ++j) {
-        ab.values.push_back(builders[j].Finish(n));
-      }
-      if (ab.has_missing) ab.missing = interval_missing.Finish(n);
-      attributes.push_back(std::move(ab));
-      continue;
-    }
-
-    // Equality bitmaps first (also the scaffold for range encoding).
-    std::vector<SetBitBuilder> value_builders(cardinality);
+    // One direct axis (slot j-1 = value j) fed through the shared encoding
+    // engine; the composite index kinds run the same loop over multi-axis
+    // slicers (composite_index.cc).
+    INCDB_ASSIGN_OR_RETURN(Slicer slicer,
+                           Slicer::Create(SlotScheme::kDirect, cardinality));
+    AxisEncoder encoder(options.encoding, cardinality);
     SetBitBuilder missing_builder;
     for (uint64_t r = 0; r < n; ++r) {
       const Value v = column.Get(r);
@@ -178,45 +52,22 @@ Result<BitmapIndex> BitmapIndex::Build(const Table& table, Options options) {
         switch (options.missing_strategy) {
           case MissingStrategy::kExtraBitmap:
             missing_builder.SetBitAt(r);
+            encoder.AddMissingRow(r);  // range: missing counts as value 0
             break;
           case MissingStrategy::kAllOnes:
-            for (auto& builder : value_builders) builder.SetBitAt(r);
+            for (uint32_t s = 0; s < cardinality; ++s) encoder.AddRow(r, s);
             break;
           case MissingStrategy::kAllZeros:
             break;  // absent from every bitmap
         }
       } else {
-        value_builders[static_cast<size_t>(v) - 1].SetBitAt(r);
+        encoder.AddRow(r, slicer.SlotOf(v, 0));
       }
     }
-
-    std::vector<WahBitVector> equality(cardinality);
-    for (uint32_t j = 0; j < cardinality; ++j) {
-      equality[j] = value_builders[j].Finish(n);
-    }
-    std::optional<WahBitVector> missing;
+    ab.values = encoder.Finish(n);
     if (ab.has_missing &&
         options.missing_strategy == MissingStrategy::kExtraBitmap) {
-      missing = missing_builder.Finish(n);
-    }
-
-    if (options.encoding == BitmapEncoding::kEquality) {
-      ab.values = std::move(equality);
-      ab.missing = std::move(missing);
-    } else {
-      // Range encoding: B_{i,j} = "value <= j", built as a running OR over
-      // the equality bitmaps. Missing counts as value 0, so the running OR
-      // starts from the missing bitmap and missing rows are 1 everywhere.
-      // The all-ones top bitmap B_{i,C} is dropped (paper §4.3).
-      ab.values.reserve(cardinality > 0 ? cardinality - 1 : 0);
-      WahBitVector running = missing.has_value()
-                                 ? *missing
-                                 : WahBitVector::Fill(n, false);
-      for (uint32_t j = 1; j <= cardinality - 1; ++j) {
-        running = running.Or(equality[j - 1]);
-        ab.values.push_back(running);
-      }
-      ab.missing = std::move(missing);
+      ab.missing = missing_builder.Finish(n);
     }
     attributes.push_back(std::move(ab));
   }
@@ -237,6 +88,15 @@ std::string BitmapIndex::Name() const {
       break;
   }
   return name;
+}
+
+AxisRef BitmapIndex::AxisOf(const AttributeBitmaps& ab) const {
+  AxisRef axis;
+  axis.num_slots = ab.cardinality;
+  axis.bitmaps = std::span<const WahBitVector>(ab.values);
+  axis.missing = ab.missing.has_value() ? &*ab.missing : nullptr;
+  axis.num_rows = num_rows_;
+  return axis;
 }
 
 Result<WahBitVector> BitmapIndex::EvaluateInterval(size_t attr,
@@ -268,397 +128,8 @@ Result<WahBitVector> BitmapIndex::EvaluateInterval(size_t attr,
         "kAllZeros erases missing rows; it cannot answer missing-is-match "
         "queries (paper §4.2)");
   }
-  switch (options_.encoding) {
-    case BitmapEncoding::kEquality:
-      return EvaluateEquality(ab, interval, semantics, stats);
-    case BitmapEncoding::kRange:
-      return EvaluateRange(ab, interval, semantics, stats);
-    case BitmapEncoding::kInterval:
-      return EvaluateIntervalEncoded(ab, interval, semantics, stats);
-    case BitmapEncoding::kBitSliced:
-      return EvaluateBitSliced(ab, interval, semantics, stats);
-  }
-  return Status::Internal("unknown encoding");
-}
-
-WahBitVector BitmapIndex::EvaluateIntervalEncoded(
-    const AttributeBitmaps& ab, Interval interval, MissingSemantics semantics,
-    QueryStats* stats) const {
-  // Two-bitmap evaluation rules for the interval encoding, derived from
-  // I_j = [j, j+m-1], m = ceil(C/2), n = C-m+1 stored bitmaps. For a query
-  // [l, h] of width w = h-l+1:
-  //   w == C             -> all ones (no bitmap touched)
-  //   w == m             -> I_l
-  //   w  > m             -> I_l OR I_{h-m+1}        ([l,l+m-1] ∪ [h-m+1,h],
-  //                         contiguous because w <= C <= 2m)
-  //   w  < m and h < m   -> I_l AND NOT I_{h+1}     (bottom corner)
-  //   w  < m and l > n   -> I_{h-m+1} AND NOT I_{l-m}  (top corner)
-  //   w  < m otherwise   -> I_l AND I_{h-m+1}       (window intersection)
-  // Missing rows are 0 in every I_j, so: match semantics ORs in B_{i,0};
-  // no-match gets correct results for free (the full-domain case excepted,
-  // which needs NOT B_{i,0}).
-  const Value cardinality = static_cast<Value>(ab.cardinality);
-  const Value m = static_cast<Value>(IntervalEncodingM(ab.cardinality));
-  const Value n = static_cast<Value>(IntervalEncodingN(ab.cardinality));
-  const Value lo = interval.lo;
-  const Value hi = interval.hi;
-  const Value width = hi - lo + 1;
-  auto bitmap = [&](Value j) -> const WahBitVector& {
-    INCDB_DCHECK(j >= 1 && j <= n);
-    const WahBitVector& vec = ab.values[static_cast<size_t>(j) - 1];
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += vec.NumWords();
-    }
-    return vec;
-  };
-  auto missing_bitmap = [&]() -> const WahBitVector& {
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += ab.missing->NumWords();
-    }
-    return *ab.missing;
-  };
-  auto count_op = [&]() {
-    if (stats != nullptr) ++stats->bitvector_ops;
-  };
-  const bool or_in_missing =
-      semantics == MissingSemantics::kMatch && ab.missing.has_value();
-
-  if (width == cardinality) {
-    if (semantics == MissingSemantics::kMatch || !ab.missing.has_value()) {
-      return WahBitVector::Fill(num_rows_, true);
-    }
-    count_op();
-    return missing_bitmap().Not();
-  }
-
-  // The union-shaped cases fuse every operand (including B_{i,0} under
-  // match semantics) into one OrMany pass.
-  if (width >= m) {
-    std::vector<const WahBitVector*> ops;
-    ops.push_back(&bitmap(lo));
-    if (width > m) ops.push_back(&bitmap(hi - m + 1));
-    if (or_in_missing) ops.push_back(&missing_bitmap());
-    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
-    WahStatsScope op_scope(stats);
-    return WahBitVector::OrMany(ops, op_scope.get());
-  }
-
-  WahBitVector result;
-  if (hi < m) {
-    result = bitmap(lo).AndNot(bitmap(hi + 1));
-    count_op();
-  } else if (lo > n) {
-    result = bitmap(hi - m + 1).AndNot(bitmap(lo - m));
-    count_op();
-  } else {
-    result = bitmap(lo).And(bitmap(hi - m + 1));
-    count_op();
-  }
-  if (or_in_missing) {
-    result = result.Or(missing_bitmap());
-    count_op();
-  }
-  return result;
-}
-
-WahBitVector BitmapIndex::EvaluateEquality(const AttributeBitmaps& ab,
-                                           Interval interval,
-                                           MissingSemantics semantics,
-                                           QueryStats* stats) const {
-  const uint32_t cardinality = ab.cardinality;
-  const Value lo = interval.lo;
-  const Value hi = interval.hi;
-  auto access = [&](const WahBitVector& bitmap) -> const WahBitVector* {
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += bitmap.NumWords();
-    }
-    return &bitmap;
-  };
-  // Collects B_{i,from} .. B_{i,to} as operands for one fused OrMany.
-  auto collect = [&](std::vector<const WahBitVector*>& ops, Value from,
-                     Value to) {
-    for (Value j = from; j <= to; ++j) {
-      ops.push_back(access(ab.values[static_cast<size_t>(j) - 1]));
-    }
-  };
-  // Single-pass k-way union; zero fill when there is nothing to unite.
-  auto fused_or = [&](const std::vector<const WahBitVector*>& ops)
-      -> WahBitVector {
-    if (ops.empty()) return WahBitVector::Fill(num_rows_, false);
-    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
-    WahStatsScope op_scope(stats);
-    return WahBitVector::OrMany(ops, op_scope.get());
-  };
-
-  // Paper Fig. 2: use the direct OR when the interval covers at most half
-  // the domain, otherwise complement the OR of the outside bitmaps. We pick
-  // the side with fewer bitmaps, which realizes the paper's worst-case
-  // bound of min(AS, 1-AS) * C + 1 bitvector accesses. Either side is one
-  // fused OrMany pass instead of a pairwise fold.
-  const Value width = hi - lo + 1;
-  const bool narrow = width <= static_cast<Value>(cardinality) - width;
-  std::vector<const WahBitVector*> ops;
-  ops.reserve(static_cast<size_t>(
-      (narrow ? width : static_cast<Value>(cardinality) - width) + 1));
-
-  if (options_.missing_strategy == MissingStrategy::kAllZeros) {
-    // Rejected alternative: missing rows appear in no bitmap, so the
-    // complement path would resurrect them; every interval must be answered
-    // by the direct OR (the performance drawback the ablation shows).
-    collect(ops, lo, hi);
-    return fused_or(ops);
-  }
-
-  if (options_.missing_strategy == MissingStrategy::kAllOnes) {
-    // Rejected alternative (match semantics only): missing rows are 1 in
-    // every bitmap, so the direct OR already includes them; the complement
-    // path must recover them by ANDing two value bitmaps (only missing rows
-    // are set in more than one).
-    if (narrow) {
-      collect(ops, lo, hi);
-      return fused_or(ops);
-    }
-    collect(ops, 1, lo - 1);
-    collect(ops, hi + 1, static_cast<Value>(cardinality));
-    WahBitVector result = fused_or(ops).Not();
-    if (stats != nullptr) ++stats->bitvector_ops;
-    if (cardinality >= 2) {
-      WahBitVector missing_rows =
-          access(ab.values[0])->And(*access(ab.values[1]));
-      result = result.Or(missing_rows);
-      if (stats != nullptr) stats->bitvector_ops += 2;
-    }
-    return result;
-  }
-
-  // kExtraBitmap — the paper's design (Fig. 2).
-  if (narrow) {
-    // One fused pass over the inside bitmaps plus B_{i,0} when missing rows
-    // count as matches.
-    collect(ops, lo, hi);
-    if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
-      ops.push_back(access(*ab.missing));
-    }
-    return fused_or(ops);
-  }
-  collect(ops, 1, lo - 1);
-  collect(ops, hi + 1, static_cast<Value>(cardinality));
-  if (semantics == MissingSemantics::kNoMatch && ab.missing.has_value()) {
-    // NOT(outside OR B_0): the complement alone would admit missing rows.
-    ops.push_back(access(*ab.missing));
-  }
-  WahBitVector result = fused_or(ops).Not();
-  if (stats != nullptr) ++stats->bitvector_ops;
-  return result;
-}
-
-BitmapIndex::BitmapRef BitmapIndex::RangeLE(const AttributeBitmaps& ab,
-                                            Value j,
-                                            QueryStats* stats) const {
-  auto borrow = [&](const WahBitVector& vec) -> BitmapRef {
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += vec.NumWords();
-    }
-    return BitmapRef{std::nullopt, &vec};
-  };
-  if (j <= 0) {
-    // "value <= 0" = the missing rows (missing is encoded as value 0).
-    if (ab.missing.has_value()) return borrow(*ab.missing);
-    return BitmapRef{WahBitVector::Fill(num_rows_, false), nullptr};
-  }
-  if (static_cast<uint32_t>(j) >= ab.cardinality) {
-    // The dropped all-ones B_C.
-    return BitmapRef{WahBitVector::Fill(num_rows_, true), nullptr};
-  }
-  return borrow(ab.values[static_cast<size_t>(j) - 1]);
-}
-
-WahBitVector BitmapIndex::EvaluateRange(const AttributeBitmaps& ab,
-                                        Interval interval,
-                                        MissingSemantics semantics,
-                                        QueryStats* stats) const {
-  const Value cardinality = static_cast<Value>(ab.cardinality);
-  const Value lo = interval.lo;
-  const Value hi = interval.hi;
-  auto count_op = [&](int n = 1) {
-    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
-  };
-  auto access_missing = [&]() -> const WahBitVector& {
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += ab.missing->NumWords();
-    }
-    return *ab.missing;
-  };
-  auto or_missing = [&](WahBitVector r) -> WahBitVector {
-    if (ab.missing.has_value()) {
-      count_op();
-      return r.Or(access_missing());
-    }
-    return r;
-  };
-  auto xor_missing = [&](WahBitVector r) -> WahBitVector {
-    if (ab.missing.has_value()) {
-      count_op();
-      return r.Xor(access_missing());
-    }
-    return r;
-  };
-
-  if (semantics == MissingSemantics::kMatch) {
-    // Paper Fig. 3(a).
-    if (cardinality == 1) return WahBitVector::Fill(num_rows_, true);
-    if (lo == hi) {
-      if (lo == 1) return RangeLE(ab, 1, stats).get();
-      if (lo == cardinality) {
-        count_op();
-        return or_missing(RangeLE(ab, lo - 1, stats).get().Not());
-      }
-      count_op();
-      return or_missing(
-          RangeLE(ab, lo, stats).get().Xor(RangeLE(ab, lo - 1, stats).get()));
-    }
-    if (lo == 1 && hi == cardinality) {
-      return WahBitVector::Fill(num_rows_, true);
-    }
-    if (lo == 1) return RangeLE(ab, hi, stats).get();
-    if (hi == cardinality) {
-      count_op();
-      return or_missing(RangeLE(ab, lo - 1, stats).get().Not());
-    }
-    count_op();
-    return or_missing(
-        RangeLE(ab, hi, stats).get().Xor(RangeLE(ab, lo - 1, stats).get()));
-  }
-
-  // Paper Fig. 3(b) — missing is not a match.
-  if (cardinality == 1) {
-    if (ab.missing.has_value()) {
-      count_op();
-      return access_missing().Not();
-    }
-    return WahBitVector::Fill(num_rows_, true);
-  }
-  if (lo == hi) {
-    if (lo == 1) return xor_missing(RangeLE(ab, 1, stats).get());
-    if (lo == cardinality) {
-      count_op();
-      return RangeLE(ab, lo - 1, stats).get().Not();
-    }
-    count_op();
-    return RangeLE(ab, lo, stats).get().Xor(RangeLE(ab, lo - 1, stats).get());
-  }
-  if (lo == 1 && hi == cardinality) {
-    if (ab.missing.has_value()) {
-      count_op();
-      return access_missing().Not();
-    }
-    return WahBitVector::Fill(num_rows_, true);
-  }
-  if (lo == 1) return xor_missing(RangeLE(ab, hi, stats).get());
-  if (hi == cardinality) {
-    count_op();
-    return RangeLE(ab, lo - 1, stats).get().Not();
-  }
-  count_op();
-  return RangeLE(ab, hi, stats).get().Xor(RangeLE(ab, lo - 1, stats).get());
-}
-
-WahBitVector BitmapIndex::EvaluateBitSliced(const AttributeBitmaps& ab,
-                                            Interval interval,
-                                            MissingSemantics semantics,
-                                            QueryStats* stats) const {
-  // O'Neil-Quass bit-sliced evaluation over the compressed slices.
-  // Codes: missing = 0, value v = v; slices S_0..S_{b-1} (LSB first).
-  //
-  //   EQ(v): running AND of S_k (bit set) / AND-NOT S_k (bit clear).
-  //   LE(v): the classic circuit — walk slices MSB→LSB keeping
-  //          BLT (certainly less) and BEQ (equal so far):
-  //            bit k of v set:   BLT |= BEQ & ~S_k;  BEQ &= S_k
-  //            bit k of v clear: BEQ &= ~S_k
-  //          LE = BLT | BEQ.
-  //   [lo, hi]: LE(hi) AND NOT (lo == 1 ? B_0 : LE(lo-1)) — code 0
-  //   (missing) is below every value, so the subtraction also strips
-  //   missing rows; match semantics then OR B_0 back in.
-  const Value cardinality = static_cast<Value>(ab.cardinality);
-  const Value lo = interval.lo;
-  const Value hi = interval.hi;
-  const int num_slices = static_cast<int>(ab.values.size());
-  auto slice = [&](int k) -> const WahBitVector& {
-    const WahBitVector& vec = ab.values[static_cast<size_t>(k)];
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += vec.NumWords();
-    }
-    return vec;
-  };
-  auto count_op = [&](int n = 1) {
-    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
-  };
-  auto equals = [&](Value v) -> WahBitVector {
-    // One fused pass of AND_k (bit k set ? S_k : NOT S_k) — the per-operand
-    // complement never materializes NOT S_k.
-    std::vector<WahBitVector::Operand> ops;
-    ops.reserve(static_cast<size_t>(num_slices));
-    for (int k = num_slices - 1; k >= 0; --k) {
-      ops.push_back({&slice(k), ((v >> k) & 1) == 0});
-    }
-    count_op(num_slices);
-    WahStatsScope op_scope(stats);
-    return WahBitVector::AndMany(std::span<const WahBitVector::Operand>(ops),
-                                 op_scope.get());
-  };
-  auto less_equal = [&](Value v) -> WahBitVector {
-    WahBitVector blt = WahBitVector::Fill(num_rows_, false);
-    WahBitVector beq = WahBitVector::Fill(num_rows_, true);
-    for (int k = num_slices - 1; k >= 0; --k) {
-      const WahBitVector& sk = slice(k);
-      if ((v >> k) & 1) {
-        blt = blt.Or(beq.AndNot(sk));
-        beq = beq.And(sk);
-        count_op(3);
-      } else {
-        beq = beq.AndNot(sk);
-        count_op();
-      }
-    }
-    count_op();
-    return blt.Or(beq);
-  };
-  auto missing_rows = [&]() -> WahBitVector {
-    if (!ab.missing.has_value()) return WahBitVector::Fill(num_rows_, false);
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += ab.missing->NumWords();
-    }
-    return *ab.missing;
-  };
-
-  WahBitVector base;
-  if (lo == hi) {
-    base = equals(lo);  // code lo >= 1, so missing (code 0) is excluded
-  } else {
-    WahBitVector le_hi = hi == cardinality
-                             ? WahBitVector::Fill(num_rows_, true)
-                             : less_equal(hi);
-    // Subtract codes <= lo-1; LE(0) is exactly the missing rows.
-    WahBitVector below = lo == 1 ? missing_rows() : less_equal(lo - 1);
-    base = le_hi.AndNot(below);
-    count_op();
-  }
-  if (semantics == MissingSemantics::kMatch && ab.missing.has_value()) {
-    if (stats != nullptr) {
-      ++stats->bitvectors_accessed;
-      stats->words_touched += ab.missing->NumWords();
-    }
-    base = base.Or(*ab.missing);
-    count_op();
-  }
-  return base;
+  return EvaluateSlotInterval(options_.encoding, AxisOf(ab), interval,
+                              options_.missing_strategy, semantics, stats);
 }
 
 Result<std::vector<WahBitVector>> BitmapIndex::EvaluateTerms(
@@ -1013,23 +484,8 @@ Result<BitmapIndex> BitmapIndex::Load(const std::string& path) {
       ab.has_missing = true;
     }
     INCDB_ASSIGN_OR_RETURN(uint64_t num_bitmaps, reader.ReadU64());
-    uint64_t expected = 0;
-    switch (options.encoding) {
-      case BitmapEncoding::kEquality:
-        expected = ab.cardinality;
-        break;
-      case BitmapEncoding::kRange:
-        expected = ab.cardinality > 0 ? ab.cardinality - 1 : 0;
-        break;
-      case BitmapEncoding::kInterval:
-        expected = IntervalEncodingN(ab.cardinality);
-        break;
-      case BitmapEncoding::kBitSliced:
-        expected =
-            static_cast<uint64_t>(bitutil::BitsForCardinality(ab.cardinality));
-        break;
-    }
-    if (num_bitmaps != expected) {
+    if (num_bitmaps !=
+        AxisEncoder::NumBitmaps(options.encoding, ab.cardinality)) {
       return Status::IOError("'" + path + "': bitmap count mismatch");
     }
     ab.values.reserve(num_bitmaps);
@@ -1057,22 +513,8 @@ Result<BitmapIndex> BitmapIndex::FromParts(
   }
   for (size_t a = 0; a < attributes.size(); ++a) {
     const AttributeBitmaps& ab = attributes[a];
-    uint64_t expected = 0;
-    switch (options.encoding) {
-      case BitmapEncoding::kEquality:
-        expected = ab.cardinality;
-        break;
-      case BitmapEncoding::kRange:
-        expected = ab.cardinality > 0 ? ab.cardinality - 1 : 0;
-        break;
-      case BitmapEncoding::kInterval:
-        expected = IntervalEncodingN(ab.cardinality);
-        break;
-      case BitmapEncoding::kBitSliced:
-        expected =
-            static_cast<uint64_t>(bitutil::BitsForCardinality(ab.cardinality));
-        break;
-    }
+    const uint64_t expected =
+        AxisEncoder::NumBitmaps(options.encoding, ab.cardinality);
     if (ab.values.size() != expected) {
       return Status::IOError("bitmap parts: attribute " + std::to_string(a) +
                              " has " + std::to_string(ab.values.size()) +

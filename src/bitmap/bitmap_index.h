@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bitmap/encoder.h"
 #include "compression/wah_bitvector.h"
 #include "core/incomplete_index.h"
 #include "query/query.h"
@@ -13,51 +14,12 @@
 
 namespace incdb {
 
-/// Bitmap record encoding (paper §4.2 / §4.3, plus the interval encoding
-/// from the paper's related work [5] adapted to missing data).
-enum class BitmapEncoding {
-  /// BEE: B_{i,j}[x] = 1 iff record x has value j for attribute i.
-  kEquality,
-  /// BRE: B_{i,j}[x] = 1 iff record x has value <= j; the all-ones top
-  /// bitmap B_{i,C} is dropped. Missing is treated as value 0 (smaller than
-  /// the whole domain), so missing rows are 1 in every kept bitmap.
-  kRange,
-  /// BIE (Chan & Ioannidis' interval encoding, the paper's reference [5],
-  /// extended here with the same B_{i,0} missing bitvector as BEE):
-  /// I_{i,j}[x] = 1 iff value(x) in [j, j+m-1] with m = ceil(C/2); only
-  /// n = C-m+1 bitmaps are stored (about half of BEE) and any interval is
-  /// answered with at most two of them. Missing rows are 0 in every I_j.
-  kInterval,
-  /// BSL (bit-sliced / binary encoding, after O'Neil & Quass — the paper's
-  /// reference [10] — extended to missing data): record x's value is
-  /// binary-encoded into b = ceil(lg(C+1)) slice bitmaps S_0..S_{b-1};
-  /// the all-zeros code is reserved for missing (mirroring the VA-file's
-  /// trick). The smallest bitmap index (log C bitmaps) at the cost of
-  /// O(log C) logical operations per query dimension, evaluated with the
-  /// classic bit-sliced less-than-or-equal circuit.
-  kBitSliced,
-};
-
-/// How missing cells are represented in an equality-encoded index.
-enum class MissingStrategy {
-  /// The paper's design: a dedicated bitvector B_{i,0} marks missing rows.
-  kExtraBitmap,
-  /// §4.2 rejected alternative (kept for the ablation bench): missing rows
-  /// are 1 in *every* value bitmap. Only answers missing-is-match queries;
-  /// ambiguous when C_i == 1; ruins run compression. Equality only.
-  kAllOnes,
-  /// §4.2 rejected alternative: missing rows are 0 in every value bitmap.
-  /// Only answers missing-not-match queries and disables the complement
-  /// optimization for wide ranges. Equality only.
-  kAllZeros,
-};
-
-std::string_view BitmapEncodingToString(BitmapEncoding encoding);
-
 /// WAH-compressed bitmap index over an incomplete table, supporting both
-/// query semantics. Implements the paper's interval-evaluation rules
-/// exactly: Fig. 2 for equality encoding, Fig. 3 for range encoding; all
-/// logical work happens on the compressed form.
+/// query semantics. The direct-slicer composition of the binning x encoding
+/// architecture (bitmap/slicer.h x bitmap/encoder.h): one slot per value,
+/// any of the four encodings. Implements the paper's interval-evaluation
+/// rules exactly: Fig. 2 for equality encoding, Fig. 3 for range encoding;
+/// all logical work happens on the compressed form.
 class BitmapIndex : public IncompleteIndex {
  public:
   struct Options {
@@ -191,40 +153,9 @@ class BitmapIndex : public IncompleteIndex {
         num_rows_(num_rows),
         attributes_(std::move(attributes)) {}
 
-  // Fig. 2 (equality) / Fig. 3 (range) interval evaluation, plus the
-  // two-bitmap rules for the interval encoding (derivation in the .cc).
-  WahBitVector EvaluateEquality(const AttributeBitmaps& ab, Interval interval,
-                                MissingSemantics semantics,
-                                QueryStats* stats) const;
-  WahBitVector EvaluateRange(const AttributeBitmaps& ab, Interval interval,
-                             MissingSemantics semantics,
-                             QueryStats* stats) const;
-  WahBitVector EvaluateIntervalEncoded(const AttributeBitmaps& ab,
-                                       Interval interval,
-                                       MissingSemantics semantics,
-                                       QueryStats* stats) const;
-  WahBitVector EvaluateBitSliced(const AttributeBitmaps& ab,
-                                 Interval interval,
-                                 MissingSemantics semantics,
-                                 QueryStats* stats) const;
-
-  // A bitvector either borrowed from index storage or synthesized on the
-  // fly. Lets RangeLE hand out stored bitmaps without copying their
-  // compressed payload (the old hot-path cost of every BRE query).
-  struct BitmapRef {
-    std::optional<WahBitVector> owned;
-    const WahBitVector* borrowed = nullptr;
-
-    const WahBitVector& get() const {
-      return owned.has_value() ? *owned : *borrowed;
-    }
-  };
-
-  // Range encoding: bitvector for "value <= j" (j in [0, C]); j = 0 is the
-  // missing bitmap (zero fill when the attribute is complete), j = C the
-  // dropped all-ones bitmap.
-  BitmapRef RangeLE(const AttributeBitmaps& ab, Value j,
-                    QueryStats* stats) const;
+  // The attribute's bitvectors viewed as one encoder axis (the direct
+  // slicer has exactly one axis: slot j-1 = value j).
+  AxisRef AxisOf(const AttributeBitmaps& ab) const;
 
   // Shared query path: evaluates every search-key term to a compressed
   // bitvector. ExecuteCompressed fuses them with a k-way AndMany (Execute

@@ -1,0 +1,418 @@
+#include "bitmap/composite_index.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace incdb {
+
+Result<CompositeBitmapIndex> CompositeBitmapIndex::Build(const Table& table,
+                                                         Options options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a composite bitmap index on an empty table");
+  }
+  if (options.scheme == SlotScheme::kDirect) {
+    return Status::InvalidArgument(
+        "direct slot scheme is BitmapIndex's job; composite kinds are "
+        "multi-component or hierarchical");
+  }
+
+  const uint64_t n = table.num_rows();
+  std::vector<AttributeAxes> attributes;
+  std::vector<Slicer> slicers;
+  attributes.reserve(table.num_attributes());
+  slicers.reserve(table.num_attributes());
+
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const Column& column = table.column(a);
+    const uint32_t cardinality = column.cardinality();
+    AttributeAxes ax;
+    ax.cardinality = cardinality;
+    ax.has_missing = column.MissingCount() > 0;
+
+    INCDB_ASSIGN_OR_RETURN(Slicer slicer,
+                           Slicer::Create(options.scheme, cardinality));
+    std::vector<AxisEncoder> encoders;
+    encoders.reserve(slicer.num_axes());
+    for (size_t axis = 0; axis < slicer.num_axes(); ++axis) {
+      encoders.emplace_back(BitmapEncoding::kEquality,
+                            slicer.num_slots(axis));
+    }
+    SetBitBuilder missing_builder;
+    for (uint64_t r = 0; r < n; ++r) {
+      const Value v = column.Get(r);
+      if (IsMissing(v)) {
+        // B_{i,0} once per attribute; missing rows are absent from every
+        // axis bitmap (the paper's kExtraBitmap strategy, composed per
+        // component for free).
+        missing_builder.SetBitAt(r);
+        continue;
+      }
+      for (size_t axis = 0; axis < slicer.num_axes(); ++axis) {
+        encoders[axis].AddRow(r, slicer.SlotOf(v, axis));
+      }
+    }
+    ax.axes.reserve(slicer.num_axes());
+    for (size_t axis = 0; axis < slicer.num_axes(); ++axis) {
+      ax.axes.push_back(encoders[axis].Finish(n));
+    }
+    if (ax.has_missing) ax.missing = missing_builder.Finish(n);
+    attributes.push_back(std::move(ax));
+    slicers.push_back(std::move(slicer));
+  }
+  return CompositeBitmapIndex(options, n, std::move(attributes),
+                              std::move(slicers));
+}
+
+Result<CompositeBitmapIndex> CompositeBitmapIndex::FromParts(
+    Options options, uint64_t num_rows,
+    std::vector<AttributeAxes> attributes) {
+  if (options.scheme == SlotScheme::kDirect) {
+    return Status::InvalidArgument(
+        "composite parts: direct slot scheme is BitmapIndex's job");
+  }
+  std::vector<Slicer> slicers;
+  slicers.reserve(attributes.size());
+  for (size_t a = 0; a < attributes.size(); ++a) {
+    const AttributeAxes& ax = attributes[a];
+    INCDB_ASSIGN_OR_RETURN(Slicer slicer,
+                           Slicer::Create(options.scheme, ax.cardinality));
+    if (ax.axes.size() != slicer.num_axes()) {
+      return Status::IOError("composite parts: attribute " +
+                             std::to_string(a) + " has " +
+                             std::to_string(ax.axes.size()) +
+                             " axes, slicer implies " +
+                             std::to_string(slicer.num_axes()));
+    }
+    for (size_t axis = 0; axis < slicer.num_axes(); ++axis) {
+      if (ax.axes[axis].size() != slicer.num_slots(axis)) {
+        return Status::IOError(
+            "composite parts: attribute " + std::to_string(a) + " axis " +
+            std::to_string(axis) + " has " +
+            std::to_string(ax.axes[axis].size()) +
+            " bitmaps, slicer implies " +
+            std::to_string(slicer.num_slots(axis)));
+      }
+      for (const WahBitVector& bitmap : ax.axes[axis]) {
+        if (bitmap.size() != num_rows) {
+          return Status::IOError("composite parts: attribute " +
+                                 std::to_string(a) + " bitmap size mismatch");
+        }
+      }
+    }
+    if (ax.has_missing != ax.missing.has_value()) {
+      return Status::IOError("composite parts: attribute " +
+                             std::to_string(a) +
+                             " missing-bitmap flag mismatch");
+    }
+    if (ax.missing.has_value() && ax.missing->size() != num_rows) {
+      return Status::IOError("composite parts: attribute " +
+                             std::to_string(a) +
+                             " missing bitmap size mismatch");
+    }
+    slicers.push_back(std::move(slicer));
+  }
+  return CompositeBitmapIndex(options, num_rows, std::move(attributes),
+                              std::move(slicers));
+}
+
+std::string CompositeBitmapIndex::Name() const {
+  return options_.scheme == SlotScheme::kMultiComponent ? "MC-WAH"
+                                                        : "HIER-WAH";
+}
+
+AxisRef CompositeBitmapIndex::AxisOf(size_t attr, size_t axis) const {
+  const AttributeAxes& ax = attributes_[attr];
+  AxisRef ref;
+  ref.num_slots = slicers_[attr].num_slots(axis);
+  ref.bitmaps = std::span<const WahBitVector>(ax.axes[axis]);
+  ref.missing = ax.missing.has_value() ? &*ax.missing : nullptr;
+  ref.num_rows = num_rows_;
+  return ref;
+}
+
+WahBitVector CompositeBitmapIndex::EvalMixedRadix(size_t attr, size_t axis,
+                                                  uint64_t lo, uint64_t hi,
+                                                  QueryStats* stats) const {
+  // Rows whose mixed-radix code over axes [0, axis] lies in [lo, hi] —
+  // standard digit-range decomposition: split on the top digit, recurse on
+  // the edge digits' remainders, answer the aligned middle with one
+  // per-axis slot interval. Every per-axis probe goes through the shared
+  // equality evaluator under no-match semantics, so B_0 strips missing
+  // rows on the complement path and the AND/OR composition never
+  // resurrects them.
+  auto digit_range = [&](uint64_t d_lo, uint64_t d_hi) -> WahBitVector {
+    if (stats != nullptr) ++stats->probe_components;
+    return EvaluateSlotInterval(
+        BitmapEncoding::kEquality, AxisOf(attr, axis),
+        {static_cast<Value>(d_lo + 1), static_cast<Value>(d_hi + 1)},
+        MissingStrategy::kExtraBitmap, MissingSemantics::kNoMatch, stats);
+  };
+  auto count_op = [&](uint64_t n = 1) {
+    if (stats != nullptr) stats->bitvector_ops += n;
+  };
+  if (axis == 0) return digit_range(lo, hi);
+
+  const uint64_t div = slicers_[attr].axes()[axis].divisor;
+  const uint64_t d_lo = lo / div;
+  const uint64_t d_hi = hi / div;
+  const uint64_t rem_lo = lo % div;
+  const uint64_t rem_hi = hi % div;
+
+  if (d_lo == d_hi) {
+    WahBitVector sub = EvalMixedRadix(attr, axis - 1, rem_lo, rem_hi, stats);
+    count_op();
+    return digit_range(d_lo, d_lo).And(sub);
+  }
+
+  std::vector<WahBitVector> pieces;
+  uint64_t mid_lo = d_lo;
+  uint64_t mid_hi = d_hi;
+  if (rem_lo != 0) {
+    // Low edge: top digit d_lo, lower digits >= rem_lo.
+    WahBitVector sub = EvalMixedRadix(attr, axis - 1, rem_lo, div - 1, stats);
+    count_op();
+    pieces.push_back(digit_range(d_lo, d_lo).And(sub));
+    ++mid_lo;
+  }
+  if (rem_hi != div - 1) {
+    // High edge: top digit d_hi, lower digits <= rem_hi.
+    WahBitVector sub = EvalMixedRadix(attr, axis - 1, 0, rem_hi, stats);
+    count_op();
+    pieces.push_back(digit_range(d_hi, d_hi).And(sub));
+    --mid_hi;
+  }
+  if (mid_lo <= mid_hi) {
+    // Aligned middle: every lower-digit combination matches, so the top
+    // digit interval alone decides (slots past the domain hold empty
+    // bitmaps and OR away harmlessly).
+    pieces.push_back(digit_range(mid_lo, mid_hi));
+  }
+  if (pieces.size() == 1) return std::move(pieces.front());
+  std::vector<const WahBitVector*> ptrs;
+  ptrs.reserve(pieces.size());
+  for (const WahBitVector& piece : pieces) ptrs.push_back(&piece);
+  count_op(pieces.size() - 1);
+  WahStatsScope op_scope(stats);
+  return WahBitVector::OrMany(ptrs, op_scope.get());
+}
+
+WahBitVector CompositeBitmapIndex::EvalHierarchical(
+    size_t attr, Interval interval, MissingSemantics semantics,
+    QueryStats* stats) const {
+  // Segment-tree cover of [lo, hi]: peel an unaligned edge bin per side,
+  // ascend one level, repeat — at most two bins per level, all fused into
+  // one OrMany. Bin b at level l+1 is exactly the union of level-l bins 2b
+  // and 2b+1 (the clipped top bin simply has an absent sibling), so the
+  // cover is exact.
+  const AttributeAxes& ax = attributes_[attr];
+  std::vector<const WahBitVector*> ops;
+  int last_level = -1;
+  uint64_t levels_probed = 0;
+  auto probe = [&](size_t level, uint64_t slot) {
+    const WahBitVector& vec = ax.axes[level][static_cast<size_t>(slot)];
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    if (static_cast<int>(level) != last_level) {
+      ++levels_probed;
+      last_level = static_cast<int>(level);
+    }
+    ops.push_back(&vec);
+  };
+
+  uint64_t lo = static_cast<uint64_t>(interval.lo) - 1;
+  uint64_t hi = static_cast<uint64_t>(interval.hi) - 1;
+  size_t level = 0;
+  while (true) {
+    if (lo > hi) break;
+    if (lo == hi) {
+      probe(level, lo);
+      break;
+    }
+    if ((lo & 1) != 0) probe(level, lo++);
+    if ((hi & 1) == 0) probe(level, hi--);
+    if (lo > hi) break;
+    lo >>= 1;
+    hi >>= 1;
+    ++level;
+  }
+  if (stats != nullptr) stats->probe_levels += levels_probed;
+
+  if (semantics == MissingSemantics::kMatch && ax.missing.has_value()) {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += ax.missing->NumWords();
+    }
+    ops.push_back(&*ax.missing);
+  }
+  if (ops.empty()) return WahBitVector::Fill(num_rows_, false);
+  if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
+  WahStatsScope op_scope(stats);
+  return WahBitVector::OrMany(ops, op_scope.get());
+}
+
+Result<WahBitVector> CompositeBitmapIndex::EvaluateInterval(
+    size_t attr, Interval interval, MissingSemantics semantics,
+    QueryStats* stats) const {
+  if (attr >= attributes_.size()) {
+    return Status::OutOfRange("attribute index " + std::to_string(attr) +
+                              " out of range");
+  }
+  const AttributeAxes& ax = attributes_[attr];
+  if (interval.lo < 1 ||
+      interval.hi > static_cast<Value>(ax.cardinality) ||
+      interval.lo > interval.hi) {
+    return Status::InvalidArgument("interval [" + std::to_string(interval.lo) +
+                                   "," + std::to_string(interval.hi) +
+                                   "] invalid for cardinality " +
+                                   std::to_string(ax.cardinality));
+  }
+
+  if (interval.lo == 1 &&
+      interval.hi == static_cast<Value>(ax.cardinality)) {
+    // Full domain: no probe tree needed (mirrors the equality kind).
+    if (semantics == MissingSemantics::kMatch || !ax.missing.has_value()) {
+      return WahBitVector::Fill(num_rows_, true);
+    }
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      ++stats->bitvector_ops;
+      stats->words_touched += ax.missing->NumWords();
+    }
+    return ax.missing->Not();
+  }
+
+  if (options_.scheme == SlotScheme::kHierarchical) {
+    return EvalHierarchical(attr, interval, semantics, stats);
+  }
+
+  WahBitVector result =
+      EvalMixedRadix(attr, slicers_[attr].num_axes() - 1,
+                     static_cast<uint64_t>(interval.lo) - 1,
+                     static_cast<uint64_t>(interval.hi) - 1, stats);
+  if (semantics == MissingSemantics::kMatch && ax.missing.has_value()) {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      ++stats->bitvector_ops;
+      stats->words_touched += ax.missing->NumWords();
+    }
+    result = result.Or(*ax.missing);
+  }
+  return result;
+}
+
+Result<std::vector<WahBitVector>> CompositeBitmapIndex::EvaluateTerms(
+    const RangeQuery& query, QueryStats* stats) const {
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query must have at least one term");
+  }
+  std::vector<WahBitVector> terms;
+  terms.reserve(query.terms.size());
+  for (const QueryTerm& term : query.terms) {
+    INCDB_ASSIGN_OR_RETURN(
+        WahBitVector term_result,
+        EvaluateInterval(term.attribute, term.interval, query.semantics,
+                         stats));
+    terms.push_back(std::move(term_result));
+  }
+  return terms;
+}
+
+namespace {
+
+std::vector<const WahBitVector*> Pointers(
+    const std::vector<WahBitVector>& vecs) {
+  std::vector<const WahBitVector*> ptrs;
+  ptrs.reserve(vecs.size());
+  for (const WahBitVector& vec : vecs) ptrs.push_back(&vec);
+  return ptrs;
+}
+
+}  // namespace
+
+Result<WahBitVector> CompositeBitmapIndex::ExecuteCompressed(
+    const RangeQuery& query, QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(std::vector<WahBitVector> terms,
+                         EvaluateTerms(query, stats));
+  if (terms.size() == 1) return std::move(terms.front());
+  // Cross-attribute conjunction as one fused k-way AND.
+  if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
+  WahStatsScope op_scope(stats);
+  return WahBitVector::AndMany(Pointers(terms), op_scope.get());
+}
+
+Result<BitVector> CompositeBitmapIndex::Execute(const RangeQuery& query,
+                                                QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(WahBitVector acc, ExecuteCompressed(query, stats));
+  return acc.Decompress();
+}
+
+Result<uint64_t> CompositeBitmapIndex::ExecuteCount(const RangeQuery& query,
+                                                    QueryStats* stats) const {
+  INCDB_ASSIGN_OR_RETURN(std::vector<WahBitVector> terms,
+                         EvaluateTerms(query, stats));
+  if (stats != nullptr) stats->bitvector_ops += terms.size() - 1;
+  WahStatsScope op_scope(stats);
+  return WahBitVector::AndManyCount(Pointers(terms), op_scope.get());
+}
+
+Status CompositeBitmapIndex::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, index has " +
+        std::to_string(attributes_.size()) + " attributes");
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    const Value v = row[a];
+    if (v != kMissingValue &&
+        (v < 1 || static_cast<uint32_t>(v) > attributes_[a].cardinality)) {
+      return Status::OutOfRange("attribute " + std::to_string(a) +
+                                ": value " + std::to_string(v) +
+                                " outside domain");
+    }
+  }
+  for (size_t a = 0; a < row.size(); ++a) {
+    AttributeAxes& ax = attributes_[a];
+    const Slicer& slicer = slicers_[a];
+    const Value v = row[a];
+    const bool missing = IsMissing(v);
+    if (missing && !ax.missing.has_value()) {
+      // First missing value for this attribute: materialize B_{i,0}.
+      ax.missing = WahBitVector::Fill(num_rows_, false);
+      ax.has_missing = true;
+    }
+    for (size_t axis = 0; axis < ax.axes.size(); ++axis) {
+      const uint32_t slot = missing ? 0 : slicer.SlotOf(v, axis);
+      for (uint32_t s = 0; s < ax.axes[axis].size(); ++s) {
+        ax.axes[axis][s].AppendBit(!missing && s == slot);
+      }
+    }
+    if (ax.missing.has_value()) ax.missing->AppendBit(missing);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+uint64_t CompositeBitmapIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const AttributeAxes& ax : attributes_) {
+    for (const std::vector<WahBitVector>& axis : ax.axes) {
+      for (const WahBitVector& bitmap : axis) total += bitmap.SizeInBytes();
+    }
+    if (ax.missing.has_value()) total += ax.missing->SizeInBytes();
+  }
+  return total;
+}
+
+size_t CompositeBitmapIndex::NumBitmaps(size_t attr) const {
+  const AttributeAxes& ax = attributes_[attr];
+  size_t total = ax.missing.has_value() ? 1 : 0;
+  for (const std::vector<WahBitVector>& axis : ax.axes) total += axis.size();
+  return total;
+}
+
+}  // namespace incdb

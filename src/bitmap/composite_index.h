@@ -1,0 +1,126 @@
+#ifndef INCDB_BITMAP_COMPOSITE_INDEX_H_
+#define INCDB_BITMAP_COMPOSITE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitmap/encoder.h"
+#include "bitmap/slicer.h"
+#include "compression/wah_bitvector.h"
+#include "core/incomplete_index.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace incdb {
+
+/// WAH bitmap index over a multi-axis slicer — the composite half of the
+/// binning x encoding architecture (docs/ENCODINGS.md). Each attribute is
+/// sliced into several axes, every axis equality-encoded through the shared
+/// AxisEncoder, and a predicate lowers to an AND/OR tree of per-axis slot
+/// probes:
+///
+///  - kMultiComponent (Chan & Ioannidis): mixed-radix digits, one axis per
+///    component. Storage O(sum of radices) ~ 2*sqrt(C) bitmaps instead of
+///    O(C); a range decomposes into per-digit pieces ANDed across axes.
+///  - kHierarchical: fanout-2 bin levels, one axis per level. Storage
+///    ~2C bitmaps, but a wide range is covered by <= 2 aligned bins per
+///    level — O(log C) probes where equality encoding pays O(C).
+///
+/// Missing data uses the paper's B_{i,0} trick once per attribute (not per
+/// axis): missing rows are absent from every axis bitmap, and the per-axis
+/// equality evaluator composes B_0 into its complement path so wide ranges
+/// stay cheap without resurrecting missing rows.
+class CompositeBitmapIndex : public IncompleteIndex {
+ public:
+  struct Options {
+    SlotScheme scheme = SlotScheme::kMultiComponent;
+  };
+
+  /// All bitvectors for one attribute: per-axis equality bitmaps plus the
+  /// shared missing bitvector (public so the storage engine can serialize
+  /// and reassemble without rebuilding).
+  struct AttributeAxes {
+    uint32_t cardinality = 0;
+    bool has_missing = false;
+    /// B_{i,0}; empty optional when the attribute is complete.
+    std::optional<WahBitVector> missing;
+    /// axes[a][s] = rows whose value maps to slot s on axis a.
+    std::vector<std::vector<WahBitVector>> axes;
+  };
+
+  /// Builds the index. Fails on an empty table or a direct scheme (that is
+  /// BitmapIndex's job).
+  static Result<CompositeBitmapIndex> Build(const Table& table,
+                                            Options options);
+
+  /// Reassembles an index from storage-deserialized parts (typically
+  /// mmap-borrowed WAH views). Validates every axis shape against the
+  /// slicer geometry derived from (scheme, cardinality) and every bitvector
+  /// length against `num_rows`.
+  static Result<CompositeBitmapIndex> FromParts(
+      Options options, uint64_t num_rows,
+      std::vector<AttributeAxes> attributes);
+
+  std::string Name() const override;
+  Result<BitVector> Execute(const RangeQuery& query,
+                            QueryStats* stats = nullptr) const override;
+  uint64_t SizeInBytes() const override;
+  Result<uint64_t> ExecuteCount(const RangeQuery& query,
+                                QueryStats* stats = nullptr) const override;
+  Status AppendRow(const std::vector<Value>& row) override;
+
+  /// Evaluates one search-key term to a compressed result — the probe-tree
+  /// lowering described above. Exposed for tests and the probe-count
+  /// assertions (stats->probe_components / probe_levels observability).
+  Result<WahBitVector> EvaluateInterval(size_t attr, Interval interval,
+                                        MissingSemantics semantics,
+                                        QueryStats* stats = nullptr) const;
+
+  SlotScheme scheme() const { return options_.scheme; }
+  uint64_t num_rows() const { return num_rows_; }
+  const std::vector<AttributeAxes>& attributes() const { return attributes_; }
+
+  /// Bitvectors stored for attribute `attr` (all axes + B_0 if present).
+  size_t NumBitmaps(size_t attr) const;
+
+ private:
+  CompositeBitmapIndex(Options options, uint64_t num_rows,
+                       std::vector<AttributeAxes> attributes,
+                       std::vector<Slicer> slicers)
+      : options_(options),
+        num_rows_(num_rows),
+        attributes_(std::move(attributes)),
+        slicers_(std::move(slicers)) {}
+
+  // One axis of one attribute viewed through the encoder's query interface
+  // (the attribute's B_0 rides along on every axis).
+  AxisRef AxisOf(size_t attr, size_t axis) const;
+
+  // Mixed-radix range recursion over axes [0, axis]: rows whose composite
+  // code (digits below and including `axis`) lies in [lo, hi].
+  WahBitVector EvalMixedRadix(size_t attr, size_t axis, uint64_t lo,
+                              uint64_t hi, QueryStats* stats) const;
+
+  // Segment-tree cover: <= 2 aligned bins per level OR-ed in one fused pass.
+  WahBitVector EvalHierarchical(size_t attr, Interval interval,
+                                MissingSemantics semantics,
+                                QueryStats* stats) const;
+
+  Result<std::vector<WahBitVector>> EvaluateTerms(const RangeQuery& query,
+                                                  QueryStats* stats) const;
+  Result<WahBitVector> ExecuteCompressed(const RangeQuery& query,
+                                         QueryStats* stats) const;
+
+  Options options_;
+  uint64_t num_rows_ = 0;
+  std::vector<AttributeAxes> attributes_;
+  /// Per-attribute slot geometry, rebuilt from (scheme, cardinality) — not
+  /// serialized.
+  std::vector<Slicer> slicers_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_BITMAP_COMPOSITE_INDEX_H_

@@ -1,0 +1,532 @@
+#include "bitmap/encoder.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace incdb {
+
+std::string_view BitmapEncodingToString(BitmapEncoding encoding) {
+  switch (encoding) {
+    case BitmapEncoding::kEquality:
+      return "BEE";
+    case BitmapEncoding::kRange:
+      return "BRE";
+    case BitmapEncoding::kInterval:
+      return "BIE";
+    case BitmapEncoding::kBitSliced:
+      return "BSL";
+  }
+  return "unknown";
+}
+
+uint32_t IntervalEncodingM(uint32_t cardinality) {
+  return (cardinality + 1) / 2;
+}
+
+uint32_t IntervalEncodingN(uint32_t cardinality) {
+  return cardinality - IntervalEncodingM(cardinality) + 1;
+}
+
+AxisEncoder::AxisEncoder(BitmapEncoding encoding, uint32_t num_slots)
+    : encoding_(encoding), num_slots_(num_slots) {
+  // Range builds on the full C-deep equality scaffold; Finish folds it into
+  // the C-1 stored cumulative bitmaps.
+  builders_.resize(encoding == BitmapEncoding::kRange
+                       ? num_slots
+                       : static_cast<size_t>(NumBitmaps(encoding, num_slots)));
+}
+
+void AxisEncoder::AddRow(uint64_t row, uint32_t slot) {
+  INCDB_DCHECK(slot < num_slots_);
+  switch (encoding_) {
+    case BitmapEncoding::kEquality:
+    case BitmapEncoding::kRange:
+      // Range shares the equality scaffold; Finish folds it into the
+      // cumulative "value <= j" ladder.
+      builders_[slot].SetBitAt(row);
+      break;
+    case BitmapEncoding::kInterval: {
+      // Slot s (value s+1) belongs to I_j for j in [s-m+2, s+1] clamped to
+      // the stored window [1, n].
+      const uint32_t value = slot + 1;
+      const uint32_t m = IntervalEncodingM(num_slots_);
+      const uint32_t n_bitmaps = static_cast<uint32_t>(builders_.size());
+      const uint32_t first = value >= m ? value - m + 1 : 1;
+      const uint32_t last = std::min(n_bitmaps, value);
+      for (uint32_t j = first; j <= last; ++j) builders_[j - 1].SetBitAt(row);
+      break;
+    }
+    case BitmapEncoding::kBitSliced: {
+      // Binary-encode code = slot+1 (the all-zeros code stays reserved for
+      // missing) into the slice builders.
+      for (uint32_t code = slot + 1; code != 0; code &= code - 1) {
+        builders_[static_cast<size_t>(bitutil::CountTrailingZeros(code))]
+            .SetBitAt(row);
+      }
+      break;
+    }
+  }
+}
+
+void AxisEncoder::AddMissingRow(uint64_t row) {
+  if (encoding_ != BitmapEncoding::kRange) return;
+  range_missing_.SetBitAt(row);
+  has_range_missing_ = true;
+}
+
+std::vector<WahBitVector> AxisEncoder::Finish(uint64_t num_rows) {
+  std::vector<WahBitVector> bitmaps;
+  bitmaps.reserve(builders_.size());
+  if (encoding_ == BitmapEncoding::kRange) {
+    // B_j = "value <= j" as a running OR over the equality scaffold, seeded
+    // from the missing rows (missing counts as value 0, below the domain);
+    // the all-ones top bitmap B_C is dropped (paper §4.3).
+    WahBitVector running = has_range_missing_
+                               ? range_missing_.Finish(num_rows)
+                               : WahBitVector::Fill(num_rows, false);
+    for (uint32_t j = 1; j <= num_slots_ - 1; ++j) {
+      running = running.Or(builders_[j - 1].Finish(num_rows));
+      bitmaps.push_back(running);
+    }
+    // The scaffold holds num_slots_ builders but only the first
+    // num_slots_-1 feed stored bitmaps (the top one would OR into the
+    // dropped all-ones B_C).
+    return bitmaps;
+  }
+  for (SetBitBuilder& builder : builders_) {
+    bitmaps.push_back(builder.Finish(num_rows));
+  }
+  return bitmaps;
+}
+
+uint64_t AxisEncoder::NumBitmaps(BitmapEncoding encoding, uint32_t num_slots) {
+  switch (encoding) {
+    case BitmapEncoding::kEquality:
+      return num_slots;
+    case BitmapEncoding::kRange:
+      return num_slots > 0 ? num_slots - 1 : 0;
+    case BitmapEncoding::kInterval:
+      return IntervalEncodingN(num_slots);
+    case BitmapEncoding::kBitSliced:
+      return static_cast<uint64_t>(bitutil::BitsForCardinality(num_slots));
+  }
+  return 0;
+}
+
+namespace {
+
+// A bitvector either borrowed from index storage or synthesized on the
+// fly. Lets RangeLE hand out stored bitmaps without copying their
+// compressed payload (the old hot-path cost of every BRE query).
+struct BitmapRef {
+  std::optional<WahBitVector> owned;
+  const WahBitVector* borrowed = nullptr;
+
+  const WahBitVector& get() const {
+    return owned.has_value() ? *owned : *borrowed;
+  }
+};
+
+// Range encoding: bitvector for "value <= j" (j in [0, C]); j = 0 is the
+// missing bitmap (zero fill when the attribute is complete), j = C the
+// dropped all-ones bitmap.
+BitmapRef RangeLE(const AxisRef& axis, Value j, QueryStats* stats) {
+  auto borrow = [&](const WahBitVector& vec) -> BitmapRef {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return BitmapRef{std::nullopt, &vec};
+  };
+  if (j <= 0) {
+    // "value <= 0" = the missing rows (missing is encoded as value 0).
+    if (axis.missing != nullptr) return borrow(*axis.missing);
+    return BitmapRef{WahBitVector::Fill(axis.num_rows, false), nullptr};
+  }
+  if (static_cast<uint32_t>(j) >= axis.num_slots) {
+    // The dropped all-ones B_C.
+    return BitmapRef{WahBitVector::Fill(axis.num_rows, true), nullptr};
+  }
+  return borrow(axis.bitmaps[static_cast<size_t>(j) - 1]);
+}
+
+WahBitVector EvaluateEquality(const AxisRef& axis, Interval interval,
+                              MissingStrategy strategy,
+                              MissingSemantics semantics, QueryStats* stats) {
+  const uint32_t cardinality = axis.num_slots;
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  auto access = [&](const WahBitVector& bitmap) -> const WahBitVector* {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += bitmap.NumWords();
+    }
+    return &bitmap;
+  };
+  // Collects B_{i,from} .. B_{i,to} as operands for one fused OrMany.
+  auto collect = [&](std::vector<const WahBitVector*>& ops, Value from,
+                     Value to) {
+    for (Value j = from; j <= to; ++j) {
+      ops.push_back(access(axis.bitmaps[static_cast<size_t>(j) - 1]));
+    }
+  };
+  // Single-pass k-way union; zero fill when there is nothing to unite.
+  auto fused_or = [&](const std::vector<const WahBitVector*>& ops)
+      -> WahBitVector {
+    if (ops.empty()) return WahBitVector::Fill(axis.num_rows, false);
+    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
+    WahStatsScope op_scope(stats);
+    return WahBitVector::OrMany(ops, op_scope.get());
+  };
+
+  // Paper Fig. 2: use the direct OR when the interval covers at most half
+  // the domain, otherwise complement the OR of the outside bitmaps. We pick
+  // the side with fewer bitmaps, which realizes the paper's worst-case
+  // bound of min(AS, 1-AS) * C + 1 bitvector accesses. Either side is one
+  // fused OrMany pass instead of a pairwise fold.
+  const Value width = hi - lo + 1;
+  const bool narrow = width <= static_cast<Value>(cardinality) - width;
+  std::vector<const WahBitVector*> ops;
+  ops.reserve(static_cast<size_t>(
+      (narrow ? width : static_cast<Value>(cardinality) - width) + 1));
+
+  if (strategy == MissingStrategy::kAllZeros) {
+    // Rejected alternative: missing rows appear in no bitmap, so the
+    // complement path would resurrect them; every interval must be answered
+    // by the direct OR (the performance drawback the ablation shows).
+    collect(ops, lo, hi);
+    return fused_or(ops);
+  }
+
+  if (strategy == MissingStrategy::kAllOnes) {
+    // Rejected alternative (match semantics only): missing rows are 1 in
+    // every bitmap, so the direct OR already includes them; the complement
+    // path must recover them by ANDing two value bitmaps (only missing rows
+    // are set in more than one).
+    if (narrow) {
+      collect(ops, lo, hi);
+      return fused_or(ops);
+    }
+    collect(ops, 1, lo - 1);
+    collect(ops, hi + 1, static_cast<Value>(cardinality));
+    WahBitVector result = fused_or(ops).Not();
+    if (stats != nullptr) ++stats->bitvector_ops;
+    if (cardinality >= 2) {
+      WahBitVector missing_rows =
+          access(axis.bitmaps[0])->And(*access(axis.bitmaps[1]));
+      result = result.Or(missing_rows);
+      if (stats != nullptr) stats->bitvector_ops += 2;
+    }
+    return result;
+  }
+
+  // kExtraBitmap — the paper's design (Fig. 2).
+  if (narrow) {
+    // One fused pass over the inside bitmaps plus B_{i,0} when missing rows
+    // count as matches.
+    collect(ops, lo, hi);
+    if (semantics == MissingSemantics::kMatch && axis.missing != nullptr) {
+      ops.push_back(access(*axis.missing));
+    }
+    return fused_or(ops);
+  }
+  collect(ops, 1, lo - 1);
+  collect(ops, hi + 1, static_cast<Value>(cardinality));
+  if (semantics == MissingSemantics::kNoMatch && axis.missing != nullptr) {
+    // NOT(outside OR B_0): the complement alone would admit missing rows.
+    ops.push_back(access(*axis.missing));
+  }
+  WahBitVector result = fused_or(ops).Not();
+  if (stats != nullptr) ++stats->bitvector_ops;
+  return result;
+}
+
+WahBitVector EvaluateRange(const AxisRef& axis, Interval interval,
+                           MissingSemantics semantics, QueryStats* stats) {
+  const Value cardinality = static_cast<Value>(axis.num_slots);
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  auto count_op = [&](int n = 1) {
+    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
+  };
+  auto access_missing = [&]() -> const WahBitVector& {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += axis.missing->NumWords();
+    }
+    return *axis.missing;
+  };
+  auto or_missing = [&](WahBitVector r) -> WahBitVector {
+    if (axis.missing != nullptr) {
+      count_op();
+      return r.Or(access_missing());
+    }
+    return r;
+  };
+  auto xor_missing = [&](WahBitVector r) -> WahBitVector {
+    if (axis.missing != nullptr) {
+      count_op();
+      return r.Xor(access_missing());
+    }
+    return r;
+  };
+
+  if (semantics == MissingSemantics::kMatch) {
+    // Paper Fig. 3(a).
+    if (cardinality == 1) return WahBitVector::Fill(axis.num_rows, true);
+    if (lo == hi) {
+      if (lo == 1) return RangeLE(axis, 1, stats).get();
+      if (lo == cardinality) {
+        count_op();
+        return or_missing(RangeLE(axis, lo - 1, stats).get().Not());
+      }
+      count_op();
+      return or_missing(RangeLE(axis, lo, stats)
+                            .get()
+                            .Xor(RangeLE(axis, lo - 1, stats).get()));
+    }
+    if (lo == 1 && hi == cardinality) {
+      return WahBitVector::Fill(axis.num_rows, true);
+    }
+    if (lo == 1) return RangeLE(axis, hi, stats).get();
+    if (hi == cardinality) {
+      count_op();
+      return or_missing(RangeLE(axis, lo - 1, stats).get().Not());
+    }
+    count_op();
+    return or_missing(
+        RangeLE(axis, hi, stats).get().Xor(RangeLE(axis, lo - 1, stats).get()));
+  }
+
+  // Paper Fig. 3(b) — missing is not a match.
+  if (cardinality == 1) {
+    if (axis.missing != nullptr) {
+      count_op();
+      return access_missing().Not();
+    }
+    return WahBitVector::Fill(axis.num_rows, true);
+  }
+  if (lo == hi) {
+    if (lo == 1) return xor_missing(RangeLE(axis, 1, stats).get());
+    if (lo == cardinality) {
+      count_op();
+      return RangeLE(axis, lo - 1, stats).get().Not();
+    }
+    count_op();
+    return RangeLE(axis, lo, stats)
+        .get()
+        .Xor(RangeLE(axis, lo - 1, stats).get());
+  }
+  if (lo == 1 && hi == cardinality) {
+    if (axis.missing != nullptr) {
+      count_op();
+      return access_missing().Not();
+    }
+    return WahBitVector::Fill(axis.num_rows, true);
+  }
+  if (lo == 1) return xor_missing(RangeLE(axis, hi, stats).get());
+  if (hi == cardinality) {
+    count_op();
+    return RangeLE(axis, lo - 1, stats).get().Not();
+  }
+  count_op();
+  return RangeLE(axis, hi, stats).get().Xor(RangeLE(axis, lo - 1, stats).get());
+}
+
+WahBitVector EvaluateIntervalEncoded(const AxisRef& axis, Interval interval,
+                                     MissingSemantics semantics,
+                                     QueryStats* stats) {
+  // Two-bitmap evaluation rules for the interval encoding, derived from
+  // I_j = [j, j+m-1], m = ceil(C/2), n = C-m+1 stored bitmaps. For a query
+  // [l, h] of width w = h-l+1:
+  //   w == C             -> all ones (no bitmap touched)
+  //   w == m             -> I_l
+  //   w  > m             -> I_l OR I_{h-m+1}        ([l,l+m-1] ∪ [h-m+1,h],
+  //                         contiguous because w <= C <= 2m)
+  //   w  < m and h < m   -> I_l AND NOT I_{h+1}     (bottom corner)
+  //   w  < m and l > n   -> I_{h-m+1} AND NOT I_{l-m}  (top corner)
+  //   w  < m otherwise   -> I_l AND I_{h-m+1}       (window intersection)
+  // Missing rows are 0 in every I_j, so: match semantics ORs in B_{i,0};
+  // no-match gets correct results for free (the full-domain case excepted,
+  // which needs NOT B_{i,0}).
+  const Value cardinality = static_cast<Value>(axis.num_slots);
+  const Value m = static_cast<Value>(IntervalEncodingM(axis.num_slots));
+  const Value n = static_cast<Value>(IntervalEncodingN(axis.num_slots));
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  const Value width = hi - lo + 1;
+  auto bitmap = [&](Value j) -> const WahBitVector& {
+    INCDB_DCHECK(j >= 1 && j <= n);
+    const WahBitVector& vec = axis.bitmaps[static_cast<size_t>(j) - 1];
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return vec;
+  };
+  auto missing_bitmap = [&]() -> const WahBitVector& {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += axis.missing->NumWords();
+    }
+    return *axis.missing;
+  };
+  auto count_op = [&]() {
+    if (stats != nullptr) ++stats->bitvector_ops;
+  };
+  const bool or_in_missing =
+      semantics == MissingSemantics::kMatch && axis.missing != nullptr;
+
+  if (width == cardinality) {
+    if (semantics == MissingSemantics::kMatch || axis.missing == nullptr) {
+      return WahBitVector::Fill(axis.num_rows, true);
+    }
+    count_op();
+    return missing_bitmap().Not();
+  }
+
+  // The union-shaped cases fuse every operand (including B_{i,0} under
+  // match semantics) into one OrMany pass.
+  if (width >= m) {
+    std::vector<const WahBitVector*> ops;
+    ops.push_back(&bitmap(lo));
+    if (width > m) ops.push_back(&bitmap(hi - m + 1));
+    if (or_in_missing) ops.push_back(&missing_bitmap());
+    if (stats != nullptr) stats->bitvector_ops += ops.size() - 1;
+    WahStatsScope op_scope(stats);
+    return WahBitVector::OrMany(ops, op_scope.get());
+  }
+
+  WahBitVector result;
+  if (hi < m) {
+    result = bitmap(lo).AndNot(bitmap(hi + 1));
+    count_op();
+  } else if (lo > n) {
+    result = bitmap(hi - m + 1).AndNot(bitmap(lo - m));
+    count_op();
+  } else {
+    result = bitmap(lo).And(bitmap(hi - m + 1));
+    count_op();
+  }
+  if (or_in_missing) {
+    result = result.Or(missing_bitmap());
+    count_op();
+  }
+  return result;
+}
+
+WahBitVector EvaluateBitSliced(const AxisRef& axis, Interval interval,
+                               MissingSemantics semantics, QueryStats* stats) {
+  // O'Neil-Quass bit-sliced evaluation over the compressed slices.
+  // Codes: missing = 0, value v = v; slices S_0..S_{b-1} (LSB first).
+  //
+  //   EQ(v): running AND of S_k (bit set) / AND-NOT S_k (bit clear).
+  //   LE(v): the classic circuit — walk slices MSB→LSB keeping
+  //          BLT (certainly less) and BEQ (equal so far):
+  //            bit k of v set:   BLT |= BEQ & ~S_k;  BEQ &= S_k
+  //            bit k of v clear: BEQ &= ~S_k
+  //          LE = BLT | BEQ.
+  //   [lo, hi]: LE(hi) AND NOT (lo == 1 ? B_0 : LE(lo-1)) — code 0
+  //   (missing) is below every value, so the subtraction also strips
+  //   missing rows; match semantics then OR B_0 back in.
+  const Value cardinality = static_cast<Value>(axis.num_slots);
+  const Value lo = interval.lo;
+  const Value hi = interval.hi;
+  const int num_slices = static_cast<int>(axis.bitmaps.size());
+  auto slice = [&](int k) -> const WahBitVector& {
+    const WahBitVector& vec = axis.bitmaps[static_cast<size_t>(k)];
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += vec.NumWords();
+    }
+    return vec;
+  };
+  auto count_op = [&](int n = 1) {
+    if (stats != nullptr) stats->bitvector_ops += static_cast<uint64_t>(n);
+  };
+  auto equals = [&](Value v) -> WahBitVector {
+    // One fused pass of AND_k (bit k set ? S_k : NOT S_k) — the per-operand
+    // complement never materializes NOT S_k.
+    std::vector<WahBitVector::Operand> ops;
+    ops.reserve(static_cast<size_t>(num_slices));
+    for (int k = num_slices - 1; k >= 0; --k) {
+      ops.push_back({&slice(k), ((v >> k) & 1) == 0});
+    }
+    count_op(num_slices);
+    WahStatsScope op_scope(stats);
+    return WahBitVector::AndMany(std::span<const WahBitVector::Operand>(ops),
+                                 op_scope.get());
+  };
+  auto less_equal = [&](Value v) -> WahBitVector {
+    WahBitVector blt = WahBitVector::Fill(axis.num_rows, false);
+    WahBitVector beq = WahBitVector::Fill(axis.num_rows, true);
+    for (int k = num_slices - 1; k >= 0; --k) {
+      const WahBitVector& sk = slice(k);
+      if ((v >> k) & 1) {
+        blt = blt.Or(beq.AndNot(sk));
+        beq = beq.And(sk);
+        count_op(3);
+      } else {
+        beq = beq.AndNot(sk);
+        count_op();
+      }
+    }
+    count_op();
+    return blt.Or(beq);
+  };
+  auto missing_rows = [&]() -> WahBitVector {
+    if (axis.missing == nullptr) {
+      return WahBitVector::Fill(axis.num_rows, false);
+    }
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += axis.missing->NumWords();
+    }
+    return *axis.missing;
+  };
+
+  WahBitVector base;
+  if (lo == hi) {
+    base = equals(lo);  // code lo >= 1, so missing (code 0) is excluded
+  } else {
+    WahBitVector le_hi = hi == cardinality
+                             ? WahBitVector::Fill(axis.num_rows, true)
+                             : less_equal(hi);
+    // Subtract codes <= lo-1; LE(0) is exactly the missing rows.
+    WahBitVector below = lo == 1 ? missing_rows() : less_equal(lo - 1);
+    base = le_hi.AndNot(below);
+    count_op();
+  }
+  if (semantics == MissingSemantics::kMatch && axis.missing != nullptr) {
+    if (stats != nullptr) {
+      ++stats->bitvectors_accessed;
+      stats->words_touched += axis.missing->NumWords();
+    }
+    base = base.Or(*axis.missing);
+    count_op();
+  }
+  return base;
+}
+
+}  // namespace
+
+WahBitVector EvaluateSlotInterval(BitmapEncoding encoding, const AxisRef& axis,
+                                  Interval interval, MissingStrategy strategy,
+                                  MissingSemantics semantics,
+                                  QueryStats* stats) {
+  switch (encoding) {
+    case BitmapEncoding::kEquality:
+      return EvaluateEquality(axis, interval, strategy, semantics, stats);
+    case BitmapEncoding::kRange:
+      return EvaluateRange(axis, interval, semantics, stats);
+    case BitmapEncoding::kInterval:
+      return EvaluateIntervalEncoded(axis, interval, semantics, stats);
+    case BitmapEncoding::kBitSliced:
+      return EvaluateBitSliced(axis, interval, semantics, stats);
+  }
+  return WahBitVector::Fill(axis.num_rows, false);
+}
+
+}  // namespace incdb

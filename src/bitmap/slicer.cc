@@ -1,0 +1,83 @@
+#include "bitmap/slicer.h"
+
+#include "common/bitutil.h"
+
+namespace incdb {
+
+namespace {
+
+/// ceil(sqrt(c)) by Newton iteration on integers (exact; no floating-point
+/// rounding hazard anywhere in the representable range).
+uint32_t CeilSqrt(uint32_t c) {
+  if (c <= 1) return c;
+  uint64_t x = c;
+  uint64_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + c / x) / 2;
+  }
+  // x = floor(sqrt(c)); bump to the ceiling when c is not a perfect square.
+  return static_cast<uint32_t>(x * x == c ? x : x + 1);
+}
+
+}  // namespace
+
+std::string_view SlotSchemeToString(SlotScheme scheme) {
+  switch (scheme) {
+    case SlotScheme::kDirect:
+      return "direct";
+    case SlotScheme::kMultiComponent:
+      return "multi-component";
+    case SlotScheme::kHierarchical:
+      return "hierarchical";
+  }
+  return "unknown";
+}
+
+Result<Slicer> Slicer::Create(SlotScheme scheme, uint32_t cardinality) {
+  if (cardinality == 0) {
+    return Status::InvalidArgument("slicer: cardinality must be >= 1");
+  }
+  std::vector<Axis> axes;
+  switch (scheme) {
+    case SlotScheme::kDirect:
+      axes.push_back(Axis{cardinality, 1});
+      break;
+    case SlotScheme::kMultiComponent: {
+      // Two balanced components: space O(r0 + r1) ~ 2*sqrt(C) is the
+      // k-component optimum at k = 2 (Chan & Ioannidis); the top radix is
+      // minimal for the chosen base, so every top digit actually occurs.
+      const uint32_t r0 = CeilSqrt(cardinality);
+      const uint32_t r1 =
+          static_cast<uint32_t>(bitutil::CeilDiv(cardinality, r0));
+      axes.push_back(Axis{r0, 1});
+      axes.push_back(Axis{r1, r0});
+      break;
+    }
+    case SlotScheme::kHierarchical: {
+      // Fanout-2 levels up to a single root bin: bin b at level l covers
+      // values [b*2^l + 1, (b+1)*2^l] (clipped to the domain), so every
+      // level-l bin is the union of two level-(l-1) bins and a range is
+      // coverable by <= 2 aligned bins per level.
+      uint32_t slots = cardinality;
+      uint64_t divisor = 1;
+      axes.push_back(Axis{slots, divisor});
+      while (slots > 1) {
+        slots = static_cast<uint32_t>(bitutil::CeilDiv(slots, 2));
+        divisor *= 2;
+        axes.push_back(Axis{slots, divisor});
+      }
+      break;
+    }
+  }
+  if (axes.empty()) return Status::InvalidArgument("slicer: unknown scheme");
+  return Slicer(scheme, cardinality, std::move(axes));
+}
+
+uint64_t Slicer::TotalSlots() const {
+  uint64_t total = 0;
+  for (const Axis& axis : axes_) total += axis.num_slots;
+  return total;
+}
+
+}  // namespace incdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bitmap/slicer.h"
 #include "common/bitutil.h"
 #include "stats/wah_model.h"
 
@@ -184,6 +185,73 @@ IndexCostEstimate IndexAdvisor::Estimate(IndexKind kind,
       return estimate;
     }
 
+    case IndexKind::kBitmapMultiComponent:
+    case IndexKind::kBitmapHierarchical: {
+      // Composite kinds: size and probe counts follow from the slicer
+      // geometry (axes/levels), not from the raw cardinality.
+      const SlotScheme scheme = kind == IndexKind::kBitmapMultiComponent
+                                    ? SlotScheme::kMultiComponent
+                                    : SlotScheme::kHierarchical;
+      double size = 0.0;
+      double per_dim_cost = 0.0;
+      for (size_t a = 0; a < histograms_.size(); ++a) {
+        const AttributeHistogram& hist = histograms_[a];
+        const Result<Slicer> sliced = Slicer::Create(scheme,
+                                                     hist.cardinality());
+        if (!sliced.ok()) continue;
+        const Slicer& slicer = sliced.value();
+        double avg_words = 0.0;
+        double bitmap_count = 0.0;
+        for (size_t axis = 0; axis < slicer.axes().size(); ++axis) {
+          const uint32_t slots = slicer.axes()[axis].num_slots;
+          std::vector<double> mass(slots, 0.0);
+          for (uint32_t v = 1; v <= hist.cardinality(); ++v) {
+            mass[slicer.SlotOf(v, axis)] += static_cast<double>(hist.count(v));
+          }
+          for (uint32_t s = 0; s < slots; ++s) {
+            const double density = mass[s] / std::max(1.0, n);
+            size += ExpectedWahBytes(num_rows_, density);
+            avg_words += ExpectedWahWords(num_rows_, density);
+            bitmap_count += 1.0;
+          }
+        }
+        avg_words /= std::max(1.0, bitmap_count);
+        const double missing_words =
+            hist.missing_count() > 0
+                ? ExpectedWahWords(num_rows_, hist.MissingRate())
+                : 0.0;
+        if (hist.missing_count() > 0) {
+          size += ExpectedWahBytes(num_rows_, hist.MissingRate());
+        }
+        const double width = AvgTermWidth(profile, a);
+        double probes = 0.0;
+        if (scheme == SlotScheme::kMultiComponent) {
+          // Two edge digit-ranges on the low axis (the equality min-side
+          // trick bounds each at r0/2 + 1) plus one aligned digit-range on
+          // the high axis.
+          const double r0 =
+              static_cast<double>(slicer.axes().front().num_slots);
+          const double r1 =
+              static_cast<double>(slicer.axes().back().num_slots);
+          const double mid = std::clamp(width / std::max(1.0, r0), 0.0, r1);
+          probes = 2.0 * std::min(width, r0 / 2.0 + 1.0) +
+                   std::min(mid, r1 - mid) + 1.0;
+        } else {
+          // Segment-tree cover: <= 2 aligned bins per level, ~2 log2(w)
+          // bins total for a width-w range.
+          const double levels = static_cast<double>(slicer.axes().size());
+          probes = std::min(2.0 * levels,
+                            2.0 * std::log2(std::max(2.0, width)) + 1.0);
+        }
+        per_dim_cost += probes * avg_words + missing_words;
+      }
+      estimate.size_bytes = size;
+      estimate.query_cost =
+          per_dim_cost / std::max<size_t>(1, histograms_.size()) *
+              static_cast<double>(dims) + fold_cost;
+      return estimate;
+    }
+
     case IndexKind::kVaFile:
     case IndexKind::kVaPlusFile: {
       double stride_bits = 0.0;
@@ -244,7 +312,8 @@ std::vector<IndexCostEstimate> IndexAdvisor::Rank(
   for (IndexKind kind :
        {IndexKind::kSequentialScan, IndexKind::kBitmapEquality,
         IndexKind::kBitmapRange, IndexKind::kBitmapInterval,
-        IndexKind::kBitmapBitSliced, IndexKind::kVaFile,
+        IndexKind::kBitmapBitSliced, IndexKind::kBitmapMultiComponent,
+        IndexKind::kBitmapHierarchical, IndexKind::kVaFile,
         IndexKind::kMosaic, IndexKind::kBitstringAugmented}) {
     const IndexCostEstimate estimate = Estimate(kind, profile);
     if (estimate.size_bytes <= memory_budget_bytes) ranked.push_back(estimate);

@@ -51,6 +51,13 @@ struct QueryStats {
   /// plan covered; zero/zero on non-segmented plans.
   uint64_t segments_scanned = 0;
   uint64_t segments_pruned = 0;
+  /// Composite bitmap kinds (docs/ENCODINGS.md): per-component slot probes
+  /// a multi-component index performed (one per digit interval lowered onto
+  /// an axis), and hierarchy levels a hierarchical index's segment-tree
+  /// cover touched. Together with bitvectors_accessed these make the probe
+  /// tree's shape observable in EXPLAIN.
+  uint64_t probe_components = 0;
+  uint64_t probe_levels = 0;
 
   void Reset() { *this = QueryStats(); }
 
@@ -69,6 +76,8 @@ struct QueryStats {
     words_decoded += other.words_decoded;
     segments_scanned += other.segments_scanned;
     segments_pruned += other.segments_pruned;
+    probe_components += other.probe_components;
+    probe_levels += other.probe_levels;
   }
 };
 

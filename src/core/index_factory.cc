@@ -1,8 +1,12 @@
 #include "core/index_factory.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "baselines/bitstring_augmented.h"
 #include "baselines/mosaic.h"
 #include "bitmap/bitmap_index.h"
+#include "bitmap/composite_index.h"
 #include "core/scan_index.h"
 #include "vafile/va_file.h"
 
@@ -40,8 +44,57 @@ std::string_view IndexKindToString(IndexKind kind) {
       return "MOSAIC";
     case IndexKind::kBitstringAugmented:
       return "Bitstring-Augmented";
+    case IndexKind::kBitmapMultiComponent:
+      return "MC-WAH";
+    case IndexKind::kBitmapHierarchical:
+      return "HIER-WAH";
   }
   return "unknown";
+}
+
+Result<IndexKind> IndexKindFromString(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  static constexpr struct {
+    std::string_view alias;
+    IndexKind kind;
+  } kAliases[] = {
+      {"seqscan", IndexKind::kSequentialScan},
+      {"scan", IndexKind::kSequentialScan},
+      {"bee-wah", IndexKind::kBitmapEquality},
+      {"bee", IndexKind::kBitmapEquality},
+      {"bre-wah", IndexKind::kBitmapRange},
+      {"bre", IndexKind::kBitmapRange},
+      {"bie-wah", IndexKind::kBitmapInterval},
+      {"bie", IndexKind::kBitmapInterval},
+      {"bsl-wah", IndexKind::kBitmapBitSliced},
+      {"bsl", IndexKind::kBitmapBitSliced},
+      {"va-file", IndexKind::kVaFile},
+      {"va", IndexKind::kVaFile},
+      {"va+-file", IndexKind::kVaPlusFile},
+      {"va+", IndexKind::kVaPlusFile},
+      {"mosaic", IndexKind::kMosaic},
+      {"bitstring-augmented", IndexKind::kBitstringAugmented},
+      {"bitstring", IndexKind::kBitstringAugmented},
+      {"mc-wah", IndexKind::kBitmapMultiComponent},
+      {"mc", IndexKind::kBitmapMultiComponent},
+      {"hier-wah", IndexKind::kBitmapHierarchical},
+      {"hier", IndexKind::kBitmapHierarchical},
+  };
+  for (const auto& entry : kAliases) {
+    if (lower == entry.alias) return entry.kind;
+  }
+  std::string valid;
+  IndexKind last_named = IndexKind::kSequentialScan;
+  for (const auto& entry : kAliases) {
+    if (entry.kind == last_named && !valid.empty()) continue;
+    if (!valid.empty()) valid += ", ";
+    valid += entry.alias;
+    last_named = entry.kind;
+  }
+  return Status::InvalidArgument("unknown index kind '" + std::string(name) +
+                                 "'; valid kinds: " + valid);
 }
 
 Result<std::unique_ptr<IncompleteIndex>> CreateIndex(IndexKind kind,
@@ -71,6 +124,12 @@ Result<std::unique_ptr<IncompleteIndex>> CreateIndex(IndexKind kind,
       return Wrap(MosaicIndex::Build(table));
     case IndexKind::kBitstringAugmented:
       return Wrap(BitstringAugmentedIndex::Build(table));
+    case IndexKind::kBitmapMultiComponent:
+      return Wrap(CompositeBitmapIndex::Build(
+          table, {SlotScheme::kMultiComponent}));
+    case IndexKind::kBitmapHierarchical:
+      return Wrap(CompositeBitmapIndex::Build(
+          table, {SlotScheme::kHierarchical}));
   }
   return Status::InvalidArgument("unknown index kind");
 }

@@ -32,9 +32,21 @@ enum class IndexKind {
   kMosaic,
   /// Bitstring-augmented R-tree baseline (related work [12]).
   kBitstringAugmented,
+  /// WAH bitmap over the Chan-Ioannidis mixed-radix slicer: ~2*sqrt(C)
+  /// bitmaps per attribute instead of C, per-digit probe trees
+  /// (docs/ENCODINGS.md).
+  kBitmapMultiComponent,
+  /// WAH bitmap over fanout-2 bin levels: ~2C bitmaps, but a wide range
+  /// touches <= 2 bins per level — O(log C) probes (docs/ENCODINGS.md).
+  kBitmapHierarchical,
 };
 
 std::string_view IndexKindToString(IndexKind kind);
+
+/// Case-insensitive inverse of IndexKindToString, also accepting the CLI
+/// short aliases (scan, bee, bre, bie, bsl, va, va+, mosaic, bitstring,
+/// mc, hier). Unknown names fail with the valid list in the error.
+Result<IndexKind> IndexKindFromString(std::string_view name);
 
 /// Builds an index of the requested kind over `table`. The table must
 /// outlive the returned index (the sequential scan and VA-file read it at

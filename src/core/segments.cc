@@ -15,6 +15,8 @@ bool IsSegmentIndexKind(IndexKind kind) {
     case IndexKind::kBitmapRange:
     case IndexKind::kBitmapInterval:
     case IndexKind::kBitmapBitSliced:
+    case IndexKind::kBitmapMultiComponent:
+    case IndexKind::kBitmapHierarchical:
       return true;
     default:
       // Scan has no payload; VA/Mosaic/Bitstring consult the table at query

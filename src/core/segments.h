@@ -24,9 +24,10 @@ struct SegmentOptions {
   /// form the unsealed tail and are served by the delta scan.
   uint64_t segment_rows = 64 * 1024;
   /// Index kind built per segment at seal time. Must be one of the
-  /// self-contained bitmap kinds (kBitmapEquality/Range/Interval/BitSliced):
-  /// those never consult the table after Build, so a segment's index can be
-  /// built from a transient row copy and outlive it.
+  /// self-contained bitmap kinds (kBitmapEquality/Range/Interval/BitSliced,
+  /// or the composite kBitmapMultiComponent/Hierarchical): those never
+  /// consult the table after Build, so a segment's index can be built from
+  /// a transient row copy and outlive it.
   IndexKind index_kind = IndexKind::kBitmapEquality;
 };
 

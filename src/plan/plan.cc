@@ -57,6 +57,8 @@ void AppendCounters(const QueryStats& stats, std::string* out) {
   add("decoded", stats.words_decoded);
   add("segs", stats.segments_scanned);
   add("pruned", stats.segments_pruned);
+  add("axes", stats.probe_components);
+  add("levels", stats.probe_levels);
 }
 
 void RenderNode(const PlanNode& node, const std::string& prefix, bool is_last,

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "bitmap/slicer.h"
 #include "plan/plan_executor.h"
 #include "query/parser.h"
 #include "query/selectivity.h"
@@ -28,11 +29,13 @@ namespace {
 const IndexKind kPointPreference[] = {
     IndexKind::kBitmapEquality,  IndexKind::kBitmapRange,
     IndexKind::kBitmapInterval,  IndexKind::kBitmapBitSliced,
+    IndexKind::kBitmapMultiComponent, IndexKind::kBitmapHierarchical,
     IndexKind::kVaFile,          IndexKind::kVaPlusFile,
     IndexKind::kMosaic,          IndexKind::kBitstringAugmented,
     IndexKind::kSequentialScan};
 const IndexKind kRangePreference[] = {
     IndexKind::kBitmapRange,     IndexKind::kBitmapInterval,
+    IndexKind::kBitmapHierarchical, IndexKind::kBitmapMultiComponent,
     IndexKind::kBitmapEquality,  IndexKind::kBitmapBitSliced,
     IndexKind::kVaFile,          IndexKind::kVaPlusFile,
     IndexKind::kMosaic,          IndexKind::kBitstringAugmented,
@@ -72,6 +75,70 @@ double SimdWordCostFactor() {
       return 1.0;
   }
   return 1.0;
+}
+
+/// Estimated equality-encoded bitvector accesses for a slot interval of
+/// `width` over an axis of `slots`: the evaluator reads the smaller of the
+/// inside/outside sides (Fig. 2), plus one for B_0 / the complement pass.
+double EqualityProbes(double width, double slots) {
+  return std::min(width, slots - width) + 1.0;
+}
+
+/// Exact bitmaps-touched count of the multi-component probe tree
+/// (composite_index.cc EvalMixedRadix), computed arithmetically from the
+/// slicer's component structure — no dependence on C itself.
+double MixedRadixProbes(const Slicer& slicer, size_t axis, uint64_t lo,
+                        uint64_t hi) {
+  const double slots = static_cast<double>(slicer.num_slots(axis));
+  if (axis == 0) {
+    return EqualityProbes(static_cast<double>(hi - lo + 1), slots);
+  }
+  const uint64_t div = slicer.axes()[axis].divisor;
+  uint64_t d_lo = lo / div;
+  uint64_t d_hi = hi / div;
+  const uint64_t rem_lo = lo % div;
+  const uint64_t rem_hi = hi % div;
+  if (d_lo == d_hi) {
+    return 1.0 + MixedRadixProbes(slicer, axis - 1, rem_lo, rem_hi);
+  }
+  double probes = 0.0;
+  if (rem_lo != 0) {
+    probes += 1.0 + MixedRadixProbes(slicer, axis - 1, rem_lo, div - 1);
+    ++d_lo;
+  }
+  if (rem_hi != div - 1) {
+    probes += 1.0 + MixedRadixProbes(slicer, axis - 1, 0, rem_hi);
+    --d_hi;
+  }
+  if (d_lo <= d_hi) {
+    probes += EqualityProbes(static_cast<double>(d_hi - d_lo + 1), slots);
+  }
+  return probes;
+}
+
+/// Exact bin count of the hierarchical segment-tree cover (<= 2 per level),
+/// derived from the level structure alone.
+double HierarchicalProbes(uint64_t lo, uint64_t hi) {
+  double probes = 0.0;
+  while (true) {
+    if (lo > hi) break;
+    if (lo == hi) {
+      probes += 1.0;
+      break;
+    }
+    if ((lo & 1) != 0) {
+      probes += 1.0;
+      ++lo;
+    }
+    if ((hi & 1) == 0) {
+      probes += 1.0;
+      --hi;
+    }
+    if (lo > hi) break;
+    lo >>= 1;
+    hi >>= 1;
+  }
+  return probes;
 }
 
 /// Predicted words touched when `kind` serves one conjunctive term list.
@@ -119,6 +186,47 @@ double KindCost(const internal::SnapshotState& state, IndexKind kind,
       for (const QueryTerm& term : terms) {
         accesses +=
             Log2Ceil(schema.attribute(term.attribute).cardinality) + 1.0;
+      }
+      return accesses * bitvector_words;
+    }
+    case IndexKind::kBitmapMultiComponent: {
+      double accesses = 0.0;
+      for (const QueryTerm& term : terms) {
+        const uint32_t cardinality =
+            schema.attribute(term.attribute).cardinality;
+        if (term.interval.lo == 1 &&
+            term.interval.hi == static_cast<Value>(cardinality)) {
+          accesses += missing_extra;
+          continue;
+        }
+        Result<Slicer> slicer =
+            Slicer::Create(SlotScheme::kMultiComponent, cardinality);
+        if (!slicer.ok()) {
+          accesses += static_cast<double>(term.interval.Width());
+          continue;
+        }
+        accesses += MixedRadixProbes(
+                        slicer.value(), slicer.value().num_axes() - 1,
+                        static_cast<uint64_t>(term.interval.lo) - 1,
+                        static_cast<uint64_t>(term.interval.hi) - 1) +
+                    missing_extra;
+      }
+      return accesses * bitvector_words;
+    }
+    case IndexKind::kBitmapHierarchical: {
+      double accesses = 0.0;
+      for (const QueryTerm& term : terms) {
+        const uint32_t cardinality =
+            schema.attribute(term.attribute).cardinality;
+        if (term.interval.lo == 1 &&
+            term.interval.hi == static_cast<Value>(cardinality)) {
+          accesses += missing_extra;
+          continue;
+        }
+        accesses += HierarchicalProbes(
+                        static_cast<uint64_t>(term.interval.lo) - 1,
+                        static_cast<uint64_t>(term.interval.hi) - 1) +
+                    missing_extra;
       }
       return accesses * bitvector_words;
     }

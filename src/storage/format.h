@@ -65,7 +65,10 @@ inline constexpr const char kSegmentMagic[8] = {'I', 'N', 'C', 'D',
 /// does not know (forward compatibility is explicit, not accidental).
 /// v1: monolithic catalog + data segment. v2: adds the optional segment
 /// table (and per-segment files) to the catalog; v1 stores open unchanged.
-inline constexpr uint32_t kFormatVersion = 2;
+/// v3: adds composite bitmap index blobs (multi-component / hierarchical —
+/// per-attribute axis groups instead of one flat bitmap list); v1/v2
+/// stores open unchanged.
+inline constexpr uint32_t kFormatVersion = 3;
 
 /// First bytes of a seg-<id>.dat segment file (raw 8-byte prefix, keeping
 /// blob offsets 8-aligned from 0) and of its meta block.

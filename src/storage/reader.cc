@@ -7,6 +7,7 @@
 
 #include "baselines/mosaic.h"
 #include "bitmap/bitmap_index.h"
+#include "bitmap/composite_index.h"
 #include "common/io.h"
 #include "storage/checksum.h"
 #include "storage/format.h"
@@ -245,6 +246,76 @@ Result<std::shared_ptr<const IncompleteIndex>> ReadVaFile(
       std::make_shared<VaFile>(std::move(file)));
 }
 
+/// Inverse of WriteCompositeIndex (v3 blob record): wire metadata from the
+/// catalog stream, WAH code words borrowed zero-copy from the mapping.
+/// FromParts re-derives the slicer geometry from (scheme, cardinality) and
+/// validates every axis shape against it.
+Result<std::shared_ptr<const IncompleteIndex>> ReadCompositeIndex(
+    BinaryReader& catalog, const MappedFile& map, IndexKind kind,
+    size_t num_attributes, bool verify) {
+  CompositeBitmapIndex::Options options;
+  INCDB_ASSIGN_OR_RETURN(uint8_t scheme, catalog.ReadU8());
+  if (scheme > static_cast<uint8_t>(SlotScheme::kHierarchical)) {
+    return Status::IOError("store catalog: corrupted composite scheme");
+  }
+  options.scheme = static_cast<SlotScheme>(scheme);
+  const SlotScheme expected = kind == IndexKind::kBitmapMultiComponent
+                                  ? SlotScheme::kMultiComponent
+                                  : SlotScheme::kHierarchical;
+  if (options.scheme != expected) {
+    return Status::IOError(
+        "store catalog: composite scheme does not match its registry kind");
+  }
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_rows, catalog.ReadU64());
+  INCDB_ASSIGN_OR_RETURN(uint64_t num_attrs, catalog.ReadU64());
+  if (num_attrs != num_attributes) {
+    return Status::IOError(
+        "store catalog: composite attribute count does not match the table");
+  }
+  std::vector<CompositeBitmapIndex::AttributeAxes> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    CompositeBitmapIndex::AttributeAxes aa;
+    INCDB_ASSIGN_OR_RETURN(aa.cardinality, catalog.ReadU32());
+    INCDB_ASSIGN_OR_RETURN(uint8_t has_missing, catalog.ReadU8());
+    if (has_missing > 1) {
+      return Status::IOError("store catalog: corrupted composite flags");
+    }
+    if (has_missing != 0) {
+      INCDB_ASSIGN_OR_RETURN(WahBitVector missing,
+                             ReadWahBitvector(catalog, map, verify));
+      aa.missing = std::move(missing);
+      aa.has_missing = true;
+    }
+    INCDB_ASSIGN_OR_RETURN(uint64_t num_axes, catalog.ReadU64());
+    if (num_axes > 64) {
+      return Status::IOError("store catalog: implausible axis count");
+    }
+    aa.axes.reserve(num_axes);
+    for (uint64_t x = 0; x < num_axes; ++x) {
+      INCDB_ASSIGN_OR_RETURN(uint64_t num_bitmaps, catalog.ReadU64());
+      if (num_bitmaps > (1u << 26)) {
+        return Status::IOError("store catalog: implausible bitmap count");
+      }
+      std::vector<WahBitVector> axis;
+      axis.reserve(num_bitmaps);
+      for (uint64_t j = 0; j < num_bitmaps; ++j) {
+        INCDB_ASSIGN_OR_RETURN(WahBitVector vec,
+                               ReadWahBitvector(catalog, map, verify));
+        axis.push_back(std::move(vec));
+      }
+      aa.axes.push_back(std::move(axis));
+    }
+    attributes.push_back(std::move(aa));
+  }
+  INCDB_ASSIGN_OR_RETURN(
+      CompositeBitmapIndex index,
+      CompositeBitmapIndex::FromParts(options, num_rows,
+                                      std::move(attributes)));
+  return std::shared_ptr<const IncompleteIndex>(
+      std::make_shared<CompositeBitmapIndex>(std::move(index)));
+}
+
 /// One row of the catalog's v2 segment table.
 struct SegmentCatalogEntry {
   uint64_t content_id = 0;
@@ -333,9 +404,15 @@ Result<LoadedSegment> OpenSegmentFile(const std::string& dir,
                            SliceArray<Value>(map, offset, num_rows));
     loaded.columns.push_back(values);
   }
-  INCDB_ASSIGN_OR_RETURN(
-      std::shared_ptr<const IncompleteIndex> index,
-      ReadBitmapIndex(meta, map, entry.kind, num_attrs, verify));
+  std::shared_ptr<const IncompleteIndex> index;
+  if (entry.kind == IndexKind::kBitmapMultiComponent ||
+      entry.kind == IndexKind::kBitmapHierarchical) {
+    INCDB_ASSIGN_OR_RETURN(
+        index, ReadCompositeIndex(meta, map, entry.kind, num_attrs, verify));
+  } else {
+    INCDB_ASSIGN_OR_RETURN(
+        index, ReadBitmapIndex(meta, map, entry.kind, num_attrs, verify));
+  }
   auto segment = std::make_shared<internal::Segment>();
   segment->content_id = entry.content_id;
   segment->begin_row = entry.begin_row;
@@ -490,7 +567,7 @@ Result<OpenedStore> OpenStore(const std::string& dir,
       INCDB_ASSIGN_OR_RETURN(seg_options.segment_rows, catalog.ReadU64());
       INCDB_ASSIGN_OR_RETURN(uint8_t options_kind, catalog.ReadU8());
       if (seg_options.segment_rows == 0 ||
-          options_kind > static_cast<uint8_t>(IndexKind::kBitstringAugmented)
+          options_kind > static_cast<uint8_t>(IndexKind::kBitmapHierarchical)
           || !IsSegmentIndexKind(static_cast<IndexKind>(options_kind))) {
         return Status::IOError("'" + catalog_path +
                                "': corrupted segment options");
@@ -516,7 +593,7 @@ Result<OpenedStore> OpenStore(const std::string& dir,
         INCDB_ASSIGN_OR_RETURN(entry.num_rows, catalog.ReadU64());
         INCDB_ASSIGN_OR_RETURN(uint8_t kind_byte, catalog.ReadU8());
         if (kind_byte >
-                static_cast<uint8_t>(IndexKind::kBitstringAugmented) ||
+                static_cast<uint8_t>(IndexKind::kBitmapHierarchical) ||
             !IsSegmentIndexKind(static_cast<IndexKind>(kind_byte))) {
           return Status::IOError("'" + catalog_path +
                                  "': corrupted segment index kind");
@@ -610,7 +687,7 @@ Result<OpenedStore> OpenStore(const std::string& dir,
   }
   for (uint64_t i = 0; i < num_indexes; ++i) {
     INCDB_ASSIGN_OR_RETURN(uint8_t kind_byte, catalog.ReadU8());
-    if (kind_byte > static_cast<uint8_t>(IndexKind::kBitstringAugmented) ||
+    if (kind_byte > static_cast<uint8_t>(IndexKind::kBitmapHierarchical) ||
         kind_byte == static_cast<uint8_t>(IndexKind::kSequentialScan)) {
       return Status::IOError("'" + catalog_path +
                              "': corrupted index kind tag");
@@ -632,6 +709,14 @@ Result<OpenedStore> OpenStore(const std::string& dir,
             entry.index,
             ReadBitmapIndex(catalog, *mapping, kind, num_attrs,
                             options.verify_checksums));
+        break;
+      }
+      case IndexKind::kBitmapMultiComponent:
+      case IndexKind::kBitmapHierarchical: {
+        INCDB_ASSIGN_OR_RETURN(
+            entry.index,
+            ReadCompositeIndex(catalog, *mapping, kind, num_attrs,
+                               options.verify_checksums));
         break;
       }
       case IndexKind::kVaFile:

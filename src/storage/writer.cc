@@ -17,6 +17,7 @@
 
 #include "baselines/mosaic.h"
 #include "bitmap/bitmap_index.h"
+#include "bitmap/composite_index.h"
 #include "common/io.h"
 #include "storage/checksum.h"
 #include "storage/format.h"
@@ -113,6 +114,29 @@ void WriteBitmapIndex(const BitmapIndex& index, SegmentWriter& seg,
   }
 }
 
+/// v3 composite blob record: scheme byte, then per attribute the shared
+/// missing bitvector (if any) and the per-axis bitmap groups. Bulk WAH
+/// words go to the segment file; only wire metadata lands in the catalog,
+/// so an open borrows every bitvector zero-copy from the mapping.
+void WriteCompositeIndex(const CompositeBitmapIndex& index, SegmentWriter& seg,
+                         BinaryWriter& catalog) {
+  catalog.WriteU8(static_cast<uint8_t>(index.scheme()));
+  catalog.WriteU64(index.num_rows());
+  catalog.WriteU64(index.attributes().size());
+  for (const CompositeBitmapIndex::AttributeAxes& aa : index.attributes()) {
+    catalog.WriteU32(aa.cardinality);
+    catalog.WriteU8(aa.has_missing ? 1 : 0);
+    if (aa.has_missing) WriteWahBitvector(*aa.missing, seg, catalog);
+    catalog.WriteU64(aa.axes.size());
+    for (const std::vector<WahBitVector>& axis : aa.axes) {
+      catalog.WriteU64(axis.size());
+      for (const WahBitVector& vec : axis) {
+        WriteWahBitvector(vec, seg, catalog);
+      }
+    }
+  }
+}
+
 void WriteVaFile(const VaFile& index, SegmentWriter& seg,
                  BinaryWriter& catalog) {
   catalog.WriteU8(static_cast<uint8_t>(index.options().quantization));
@@ -188,6 +212,11 @@ Result<std::string> StageSegmentFile(const Table& table,
     case IndexKind::kBitmapBitSliced:
       WriteBitmapIndex(static_cast<const BitmapIndex&>(*segment.index), seg,
                        meta);
+      break;
+    case IndexKind::kBitmapMultiComponent:
+    case IndexKind::kBitmapHierarchical:
+      WriteCompositeIndex(
+          static_cast<const CompositeBitmapIndex&>(*segment.index), seg, meta);
       break;
     default:
       return Status::Internal(
@@ -474,6 +503,12 @@ Status WriteSnapshot(const internal::SnapshotState& state,
       case IndexKind::kBitmapBitSliced:
         WriteBitmapIndex(static_cast<const BitmapIndex&>(*entry.index), seg,
                          catalog);
+        break;
+      case IndexKind::kBitmapMultiComponent:
+      case IndexKind::kBitmapHierarchical:
+        WriteCompositeIndex(
+            static_cast<const CompositeBitmapIndex&>(*entry.index), seg,
+            catalog);
         break;
       case IndexKind::kVaFile:
       case IndexKind::kVaPlusFile:

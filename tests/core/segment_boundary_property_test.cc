@@ -25,7 +25,8 @@ constexpr uint64_t kSegmentRows = 48;
 // Mixed-structure fixture: a0 clustered (zone maps can prune), a1 and a2
 // uniform-ish with missing cells (zone maps cannot), so one query set
 // exercises both pruned and unprunable probes.
-Database MakeSegmentedDb(uint64_t num_rows, bool enable) {
+Database MakeSegmentedDb(uint64_t num_rows, bool enable,
+                         IndexKind index_kind = IndexKind::kBitmapEquality) {
   std::vector<AttributeSpec> specs = {{"a0", 10}, {"a1", 6}, {"a2", 4}};
   Table table = Table::Create(Schema(specs)).value();
   for (uint64_t r = 0; r < num_rows; ++r) {
@@ -40,6 +41,7 @@ Database MakeSegmentedDb(uint64_t num_rows, bool enable) {
   if (enable) {
     SegmentOptions options;
     options.segment_rows = kSegmentRows;
+    options.index_kind = index_kind;
     EXPECT_TRUE(db.EnableSegments(options).ok());
   }
   return db;
@@ -226,6 +228,34 @@ TEST(SegmentBoundaryPropertyTest, CompactionShiftsThenAgrees) {
   CheckAllShapes(db, "deletes-after-compaction");
   ASSERT_TRUE(db.CompactNow().ok());
   CheckAllShapes(db, "twice-compacted");
+}
+
+TEST(SegmentBoundaryPropertyTest, CompositeSegmentIndexKindsAgree) {
+  // The composite kinds as per-segment indexes: same seam-straddling,
+  // zone-pruning, delete, and compaction scenarios, every shape against
+  // the oracle.
+  for (IndexKind kind : {IndexKind::kBitmapMultiComponent,
+                         IndexKind::kBitmapHierarchical}) {
+    const std::string tag(IndexKindToString(kind));
+    Database db = MakeSegmentedDb(501, true, kind);
+    ASSERT_EQ(db.num_segments(), 10u);
+    CheckAllShapes(db, tag + "-with-tail");
+
+    for (uint32_t r = 3 * kSegmentRows; r < 4 * kSegmentRows; r += 2) {
+      ASSERT_TRUE(db.Delete(r).ok());
+    }
+    CheckAllShapes(db, tag + "-deletes");
+    ASSERT_TRUE(db.CompactNow().ok());
+    CheckAllShapes(db, tag + "-post-compaction");
+
+    // Grow the tail through a seal boundary so fresh segments are built
+    // with the composite kind too.
+    for (uint64_t i = 0; i < kSegmentRows; ++i) {
+      const Value v = static_cast<Value>(1 + i % 10);
+      ASSERT_TRUE(db.Insert({v, v % 6 + 1, kMissingValue}).ok());
+    }
+    CheckAllShapes(db, tag + "-grown");
+  }
 }
 
 TEST(SegmentBoundaryPropertyTest, InsertsAcrossSeamsAgree) {

@@ -1,6 +1,6 @@
 // Plan-vs-oracle property suite: every query shape lowered by the planner
 // must agree exactly with the row-level oracle (RowMatches / ExprMatches)
-// across all eight buildable index kinds and both missing-data semantics —
+// across all ten buildable index kinds and both missing-data semantics —
 // bare-index plans first, then full snapshot plans with appended tails,
 // deletions, count-only and parallel execution layered on.
 
@@ -21,10 +21,11 @@ namespace plan {
 namespace {
 
 constexpr IndexKind kBuildableKinds[] = {
-    IndexKind::kBitmapEquality,  IndexKind::kBitmapRange,
-    IndexKind::kBitmapInterval,  IndexKind::kBitmapBitSliced,
-    IndexKind::kVaFile,          IndexKind::kVaPlusFile,
-    IndexKind::kMosaic,          IndexKind::kBitstringAugmented,
+    IndexKind::kBitmapEquality,       IndexKind::kBitmapRange,
+    IndexKind::kBitmapInterval,       IndexKind::kBitmapBitSliced,
+    IndexKind::kBitmapMultiComponent, IndexKind::kBitmapHierarchical,
+    IndexKind::kVaFile,               IndexKind::kVaPlusFile,
+    IndexKind::kMosaic,               IndexKind::kBitstringAugmented,
 };
 
 // Conjunctive fixtures over three attributes with cardinality 6: point,

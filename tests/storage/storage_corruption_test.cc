@@ -49,6 +49,11 @@ class StorageCorruptionTest : public ::testing::Test {
     Database db = std::move(Database::FromTable(std::move(table)).value());
     ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapEquality).ok());
     ASSERT_TRUE(db.BuildIndex(IndexKind::kVaFile).ok());
+    // The v3 composite blob records (multi-component + hierarchical) must
+    // be walked by the byte-flip loops too: every byte of their wire
+    // metadata and WAH words lives inside some checksummed section.
+    ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapMultiComponent).ok());
+    ASSERT_TRUE(db.BuildIndex(IndexKind::kBitmapHierarchical).ok());
     // ctest runs each case as its own process in a shared working
     // directory; the pid keeps parallel cases off each other's files.
     dir_ = "storage_corrupt_" + std::to_string(getpid()) + ".incdb";

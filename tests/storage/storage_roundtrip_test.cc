@@ -114,6 +114,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllKinds, StorageRoundTripTest,
     ::testing::Values(IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
                       IndexKind::kBitmapInterval, IndexKind::kBitmapBitSliced,
+                      IndexKind::kBitmapMultiComponent,
+                      IndexKind::kBitmapHierarchical,
                       IndexKind::kVaFile, IndexKind::kVaPlusFile,
                       IndexKind::kMosaic, IndexKind::kBitstringAugmented));
 
@@ -121,6 +123,7 @@ TEST(StorageRoundTrip, AllIndexesAtOnce) {
   Database db = MakeDatabase(/*seed=*/11);
   for (IndexKind kind :
        {IndexKind::kBitmapEquality, IndexKind::kBitmapRange,
+        IndexKind::kBitmapMultiComponent, IndexKind::kBitmapHierarchical,
         IndexKind::kVaFile, IndexKind::kMosaic,
         IndexKind::kBitstringAugmented}) {
     ASSERT_TRUE(db.BuildIndex(kind).ok());

@@ -33,6 +33,7 @@
 
 #include "core/advisor.h"
 #include "core/database.h"
+#include "core/index_factory.h"
 #include "query/parser.h"
 #include "server/client.h"
 #include "stats/histogram.h"
@@ -68,7 +69,8 @@ struct CliOptions {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: incdb_cli <data.csv> [--index=bee|bre|bie|bsl|va|va+|scan]\n"
+      "usage: incdb_cli <data.csv> "
+      "[--index=bee|bre|bie|bsl|mc|hier|va|va+|scan]\n"
       "                 [--semantics=match|no-match] [--count] [--limit=N]\n"
       "                 [--explain] [--threads=N] \"<predicate>\"\n"
       "       incdb_cli <data.csv> --stats\n"
@@ -80,17 +82,6 @@ int Usage() {
       "\"<predicate>\"\n"
       "       incdb_cli --connect=HOST:PORT --server-stats\n");
   return 2;
-}
-
-Result<IndexKind> ParseIndexKind(const std::string& name) {
-  if (name == "bee") return IndexKind::kBitmapEquality;
-  if (name == "bre") return IndexKind::kBitmapRange;
-  if (name == "bie") return IndexKind::kBitmapInterval;
-  if (name == "bsl") return IndexKind::kBitmapBitSliced;
-  if (name == "va") return IndexKind::kVaFile;
-  if (name == "va+") return IndexKind::kVaPlusFile;
-  if (name == "scan") return IndexKind::kSequentialScan;
-  return Status::InvalidArgument("unknown index kind '" + name + "'");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -351,7 +342,7 @@ int Main(int argc, char** argv) {
       }
     }
   } else if (options.index != "scan") {
-    const auto kind = ParseIndexKind(options.index);
+    const auto kind = IndexKindFromString(options.index);
     if (!kind.ok()) {
       std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
       return Usage();

@@ -50,8 +50,8 @@ int Usage() {
       stderr,
       "usage: incdb_serverd --open=DIR  [--host=H] [--port=P] [--workers=N]"
       " [--queue=N]\n"
-      "       incdb_serverd --csv=FILE [--index=bee|bre|bie|bsl|va|va+|scan]"
-      " [...]\n"
+      "       incdb_serverd --csv=FILE "
+      "[--index=bee|bre|bie|bsl|mc|hier|va|va+|scan] [...]\n"
       "       [--compact] [--compact-interval-ms=N]"
       " [--compact-min-deleted=N]\n");
   return 2;
@@ -94,17 +94,6 @@ bool ParseArgs(int argc, char** argv, DaemonOptions* options) {
   return options->open_dir.empty() != options->csv_path.empty();
 }
 
-Result<IndexKind> ParseIndexKind(const std::string& name) {
-  if (name == "bee") return IndexKind::kBitmapEquality;
-  if (name == "bre") return IndexKind::kBitmapRange;
-  if (name == "bie") return IndexKind::kBitmapInterval;
-  if (name == "bsl") return IndexKind::kBitmapBitSliced;
-  if (name == "va") return IndexKind::kVaFile;
-  if (name == "va+") return IndexKind::kVaPlusFile;
-  if (name == "scan") return IndexKind::kSequentialScan;
-  return Status::InvalidArgument("unknown index kind '" + name + "'");
-}
-
 Result<Database> LoadDatabase(const DaemonOptions& options) {
   if (!options.open_dir.empty()) {
     return Database::Open(options.open_dir, /*verify_checksums=*/true);
@@ -113,7 +102,7 @@ Result<Database> LoadDatabase(const DaemonOptions& options) {
   INCDB_ASSIGN_OR_RETURN(Database db, Database::FromTable(std::move(table)));
   if (options.index != "auto" && options.index != "scan") {
     INCDB_ASSIGN_OR_RETURN(const IndexKind kind,
-                           ParseIndexKind(options.index));
+                           IndexKindFromString(options.index));
     INCDB_RETURN_IF_ERROR(db.BuildIndex(kind));
   } else if (options.index == "auto") {
     // Default serving index: equality-encoded bitmaps answer both point

@@ -32,6 +32,13 @@ Checks, over the committed sources (no build needed):
                     build or silently leak AVX2 codegen into TUs that must
                     run on baseline hardware. Everyone else goes through the
                     runtime-dispatched simd::ActiveKernels() table.
+  slicer-isolation  The slicer layer (src/bitmap/slicer.*) maps values to
+                    slot intervals and must know nothing about how slots are
+                    materialized: any include of the WAH/compression module
+                    or the bitmap encoder headers is banned there. Keeping
+                    the slicer free of encoder types is what makes the
+                    binning x encoding matrix orthogonal — a new encoding
+                    must not force a slicer edit, and vice versa.
   net-isolation     OS networking headers (<sys/socket.h>, <netdb.h>, ...)
                     and raw socket syscalls are banned outside src/server/
                     and tests/server/ (which impersonates hostile peers on
@@ -138,6 +145,14 @@ NET_IDENT_RE = re.compile(
     r'socket|getaddrinfo|freeaddrinfo|setsockopt|getsockopt|getsockname|'
     r'inet_pton|inet_ntop|recvfrom|sendto'
     r')\s*\(')
+
+# The slicer layer's private DAG (see slicer-isolation above): value->slot
+# geometry only, so it may see the value type and the common utilities but
+# never the compression module or the encoder/bitmap-index headers that sit
+# beside it in src/bitmap/.
+SLICER_FILES = frozenset({"src/bitmap/slicer.h", "src/bitmap/slicer.cc"})
+SLICER_ALLOWED_MODULES = frozenset({"common", "table"})
+SLICER_ALLOWED_SELF = frozenset({"bitmap/slicer.h"})
 
 # Implementation files may additionally include these modules' headers.
 # core/*.cc call down into the plan layer (Database::Run lowers through the
@@ -307,6 +322,17 @@ class Linter:
         if not m:
             return
         target = m.group(1)
+        if rel.replace(os.sep, "/") in SLICER_FILES:
+            parts = target.split("/")
+            if (len(parts) >= 2 and parts[0] in ALLOWED_HEADER_DEPS and
+                    parts[0] not in SLICER_ALLOWED_MODULES and
+                    target not in SLICER_ALLOWED_SELF):
+                self.report(path, lineno, "slicer-isolation",
+                            f"the slicer layer must not include '{target}': "
+                            "slot geometry is independent of WAH/encoder "
+                            "machinery (only common/ and table/ are below "
+                            "it)", raw)
+                return
         if target in INTERFACE_HEADERS:
             return  # dependency-inversion seam, see INTERFACE_HEADERS
         parts = target.split("/")
